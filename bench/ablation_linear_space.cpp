@@ -1,0 +1,66 @@
+// Ablation — linear-space traceback strategies (the paper's §III-A related
+// work): classic Myers-Miller (pure recomputation) vs FastLSA (k x k cached
+// grid, related work [18]) vs the CUDAlign staged traceback (special rows on
+// disk, stages 2-5). Compares total DP cells, wall clock and cache/disk
+// footprint for the same global alignment problem.
+#include "baseline/fastlsa.hpp"
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "dp/myers_miller.hpp"
+
+int main() {
+  using namespace cudalign;
+  using namespace cudalign::bench;
+
+  print_header("Ablation", "linear-space traceback: Myers-Miller vs FastLSA vs staged");
+  std::printf("%-12s | %-12s %10s %10s %12s\n", "Size", "method", "time(s)", "cells",
+              "aux memory");
+
+  const double s = bench_scale();
+  for (const double kbp : {500.0, 2000.0, 8000.0}) {
+    const auto n = static_cast<Index>(kbp * s);
+    const auto pair = seq::make_related_pair(n, n, 31337 + static_cast<std::uint64_t>(kbp));
+    const auto scheme = scoring::Scheme::paper_defaults();
+
+    {
+      Timer t;
+      dp::MyersMillerStats stats;
+      dp::MyersMillerOptions options;
+      options.base_case_cells = 4096;
+      (void)dp::myers_miller(pair.s0.bases(), pair.s1.bases(), scheme, dp::CellState::kH,
+                             dp::CellState::kH, options, &stats);
+      std::printf("%-12s | %-12s %10s %10s %12s\n", seq::size_label(n, n).c_str(),
+                  "MyersMiller", format_seconds(t.seconds()).c_str(),
+                  format_sci(static_cast<double>(stats.cells)).c_str(),
+                  format_bytes(static_cast<std::int64_t>(8 * 2 * n)).c_str());
+    }
+    {
+      Timer t;
+      baseline::FastLsaOptions options;
+      options.grid = 8;
+      options.base_cells = 4096;
+      const auto lsa = baseline::fastlsa_align(pair.s0.bases(), pair.s1.bases(), scheme,
+                                               dp::CellState::kH, dp::CellState::kH, options);
+      std::printf("%-12s | %-12s %10s %10s %12s\n", seq::size_label(n, n).c_str(),
+                  "FastLSA(k=8)", format_seconds(t.seconds()).c_str(),
+                  format_sci(static_cast<double>(lsa.stats.cells)).c_str(),
+                  format_bytes(static_cast<std::int64_t>(lsa.stats.peak_cache_bytes)).c_str());
+    }
+    {
+      Timer t;
+      const auto result =
+          core::align_pipeline(pair.s0, pair.s1, bench_options(16 * 8 * (n + 1)));
+      WideScore cells = 0;
+      for (const auto& st : result.stages) cells += st.cells;
+      std::printf("%-12s | %-12s %10s %10s %12s\n", seq::size_label(n, n).c_str(),
+                  "CUDAlign", format_seconds(t.seconds()).c_str(),
+                  format_sci(static_cast<double>(cells)).c_str(),
+                  format_bytes(result.sra_peak_bytes).c_str());
+    }
+  }
+  std::printf("\nShape check (§III-A narrative): Myers-Miller recomputes ~2x the matrix;\n"
+              "FastLSA's cached grid cuts the recomputation to ~mn(1 + 2/k); the staged\n"
+              "CUDAlign traceback approaches ~1x total cells by spending disk (SRA)\n"
+              "instead of RAM — the design point that makes GPU chromosome runs viable.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 12 — the chromosome-pair alignment plot: Stage 6's sampled path
+// rendered as an ASCII dot-plot, plus zoom panels of interesting sections
+// (the paper shows five zoomed regions) and a TSV dump for external plotting.
+#include <fstream>
+#include <sstream>
+
+#include "alignment/render.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cudalign;
+  using namespace cudalign::bench;
+
+  print_header("Figure 12", "alignment path dot-plot with zoom panels");
+  const auto e = chromosome_pair();
+  const auto pair = make_pair(e);
+  const auto result = core::align_pipeline(pair.s0, pair.s1, bench_options());
+  if (result.empty) {
+    std::printf("empty alignment (unexpected)\n");
+    return 1;
+  }
+
+  std::printf("full-matrix view (%lld x %lld):\n%s\n",
+              static_cast<long long>(pair.s0.size()), static_cast<long long>(pair.s1.size()),
+              alignment::ascii_dotplot(result.alignment, pair.s0.size(), pair.s1.size(), 20, 60)
+                  .c_str());
+
+  // Zoom panels: windows of the transcript around evenly spaced columns.
+  const auto points = alignment::sample_path(result.alignment, 6);
+  std::printf("zoom panels (path neighbourhoods):\n");
+  for (std::size_t k = 1; k + 1 < points.size(); ++k) {
+    const auto& p = points[k];
+    std::printf("  zoom %zu: path passes (%lld, %lld)\n", k, static_cast<long long>(p.i),
+                static_cast<long long>(p.j));
+  }
+
+  // TSV dump for external plotting (the actual "figure data").
+  const auto samples = alignment::sample_path(result.alignment, 512);
+  std::ostringstream tsv;
+  alignment::write_path_tsv(tsv, samples);
+  std::ofstream out("fig12_path.tsv");
+  out << tsv.str();
+  std::printf("\nwrote %zu path samples to fig12_path.tsv\n", samples.size());
+  std::printf("Shape check: one long near-diagonal path (the paper's chromosome plot),\n"
+              "with local wiggles at indel clusters visible in the zoom panels.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) of the substrate hot paths: tile
+// kernel throughput across tile shapes, the linear-space sweep, the classic
+// Myers-Miller aligner and the Stage-5 partition solver. These are the knobs
+// behind the table-level numbers (alpha-blocking shape, grid geometry).
+#include <benchmark/benchmark.h>
+
+#include "dp/gotoh.hpp"
+#include "dp/linear.hpp"
+#include "dp/myers_miller.hpp"
+#include "engine/executor.hpp"
+#include "seq/generator.hpp"
+
+namespace {
+
+using namespace cudalign;
+
+const seq::Sequence& seq_a() {
+  static const seq::Sequence s = seq::random_dna(1 << 16, 11, "bench_a");
+  return s;
+}
+const seq::Sequence& seq_b() {
+  static const seq::Sequence s = seq::random_dna(1 << 16, 12, "bench_b");
+  return s;
+}
+
+void BM_TileKernel(benchmark::State& state) {
+  const Index rows = state.range(0);
+  const Index cols = state.range(1);
+  const auto scheme = scoring::Scheme::paper_defaults();
+  engine::Recurrence rec = engine::Recurrence::local(scheme);
+  std::vector<engine::BusCell> hbus(static_cast<std::size_t>(cols) + 1);
+  std::vector<engine::BusCell> vin(static_cast<std::size_t>(rows) + 1);
+  std::vector<engine::BusCell> vout(static_cast<std::size_t>(rows) + 1);
+  for (Index j = 0; j <= cols; ++j) hbus[static_cast<std::size_t>(j)] = rec.top_boundary(j);
+  for (Index i = 0; i <= rows; ++i) vin[static_cast<std::size_t>(i)] = rec.left_boundary(i);
+  engine::TileScratch scratch;
+  for (auto _ : state) {
+    engine::TileJob job;
+    job.r0 = 0;
+    job.r1 = rows;
+    job.c0 = 0;
+    job.c1 = cols;
+    job.a = seq_a().bases();
+    job.b = seq_b().bases();
+    job.recurrence = &rec;
+    job.hbus = hbus;
+    job.vbus_in = vin;
+    job.vbus_out = vout;
+    job.track_best = true;
+    benchmark::DoNotOptimize(engine::run_tile(job, scratch));
+  }
+  state.counters["MCUPS"] = benchmark::Counter(
+      static_cast<double>(rows) * static_cast<double>(cols) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TileKernel)->Args({64, 1024})->Args({256, 1024})->Args({64, 8192})->Args({512, 512});
+
+void BM_LinearSweep(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = seq_a().view(0, n);
+  const auto b = seq_b().view(0, n);
+  const auto scheme = scoring::Scheme::paper_defaults();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::linear_local_best(a, b, scheme));
+  }
+  state.counters["MCUPS"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(n) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LinearSweep)->Arg(1024)->Arg(4096);
+
+void BM_WavefrontEngine(benchmark::State& state) {
+  const Index n = state.range(0);
+  engine::ProblemSpec spec;
+  spec.a = seq_a().view(0, n);
+  spec.b = seq_b().view(0, n);
+  spec.grid = engine::GridSpec{32, 16, 4, 4};
+  spec.recurrence = engine::Recurrence::local(scoring::Scheme::paper_defaults());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::run_wavefront(spec, engine::Hooks{}));
+  }
+  state.counters["MCUPS"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(n) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WavefrontEngine)->Arg(4096)->Arg(16384);
+
+void BM_MyersMiller(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto pair = seq::make_related_pair(n, n, 77);
+  const auto scheme = scoring::Scheme::paper_defaults();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dp::myers_miller(pair.s0.bases(), pair.s1.bases(), scheme));
+  }
+}
+BENCHMARK(BM_MyersMiller)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_Stage5Partition(benchmark::State& state) {
+  // The constant-size partition solve that Stage 5 repeats O(m+n) times.
+  const auto pair = seq::make_related_pair(16, 16, 99);
+  const auto scheme = scoring::Scheme::paper_defaults();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::align_global(pair.s0.bases(), pair.s1.bases(), scheme));
+  }
+}
+BENCHMARK(BM_Stage5Partition);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Table III — best score, end/start positions, alignment length and gap count
+// for every roster pair, plus the Stage-1 cell count (and Table II's roster
+// description as the header).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cudalign;
+  using namespace cudalign::bench;
+
+  print_header("Table II/III", "roster details and per-pair alignment results");
+  std::printf("%-12s | %-44s\n", "Comparison", "stands in for");
+  for (const auto& e : roster()) {
+    std::printf("%-12s | %-44s\n", label(e).c_str(), e.paper_label);
+  }
+  std::printf("\n%-12s %-10s %-9s %-20s %-20s %-9s %-8s\n", "Comparison", "Cells", "Score",
+              "End Position", "Start Position", "Length", "Gaps");
+
+  for (const auto& e : roster()) {
+    const auto pair = make_pair(e);
+    const auto result = core::align_pipeline(pair.s0, pair.s1, bench_options());
+    const auto stats =
+        result.empty ? alignment::Stats{}
+                     : alignment::compute_stats(result.alignment, pair.s0.bases(),
+                                                pair.s1.bases(), scoring::Scheme::paper_defaults());
+    const WideScore gaps = stats.gap_openings + stats.gap_extensions;
+    char end_pos[48], start_pos[48];
+    std::snprintf(end_pos, sizeof end_pos, "(%lld, %lld)",
+                  static_cast<long long>(result.end_point.i),
+                  static_cast<long long>(result.end_point.j));
+    std::snprintf(start_pos, sizeof start_pos, "(%lld, %lld)",
+                  static_cast<long long>(result.start_point.i),
+                  static_cast<long long>(result.start_point.j));
+    std::printf("%-12s %-10s %-9lld %-20s %-20s %-9lld %-8lld\n", label(e).c_str(),
+                format_sci(static_cast<double>(result.stages[0].cells)).c_str(),
+                static_cast<long long>(result.best_score), end_pos, start_pos,
+                static_cast<long long>(result.alignment.length()),
+                static_cast<long long>(gaps));
+  }
+  std::printf("\nShape check vs the paper: unrelated pairs give tiny scores/lengths\n"
+              "(herpesvirus-style rows); related pairs align nearly end-to-end with\n"
+              "scores of the same order as the sequence length.\n");
+  return 0;
+}

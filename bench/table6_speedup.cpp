@@ -1,0 +1,45 @@
+// Table VI — CUDAlign vs the Z-align stand-in: measured 1-worker time,
+// simulated 64-worker time (list-scheduled wavefront; see
+// baseline/zalign_sim.hpp for the substitution), and the speedups.
+#include "baseline/zalign_sim.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cudalign;
+  using namespace cudalign::bench;
+
+  print_header("Table VI", "speedup vs the Z-align baseline (simulated cluster)");
+  std::printf("%-12s | %10s %10s | %10s | %9s %9s\n", "Size", "Z 1core", "Z 64core*",
+              "CUDAlign", "vs 1core", "vs 64core");
+
+  // The paper's Table VI covers 150K..46M; we run the scaled roster up to the
+  // Corynebacterium pair to keep the baseline affordable.
+  auto entries = roster(false);
+  for (const auto& e : entries) {
+    const auto pair = make_pair(e);
+
+    baseline::ZAlignOptions zopt;
+    zopt.scheme = scoring::Scheme::paper_defaults();
+    zopt.processors = 64;
+    zopt.block_size = 512;
+    const auto z = baseline::zalign_align(pair.s0.bases(), pair.s1.bases(), zopt);
+
+    const auto result = core::align_pipeline(pair.s0, pair.s1, bench_options());
+    const double cud = result.total_seconds();
+    if (z.alignment.score != 0 && result.best_score != z.alignment.score) {
+      std::printf("!! score mismatch on %s\n", label(e).c_str());
+      return 1;
+    }
+    std::printf("%-12s | %10s %10s | %10s | %8.2fx %8.2fx\n", label(e).c_str(),
+                format_seconds(z.measured_seconds).c_str(),
+                format_seconds(z.simulated_seconds).c_str(), format_seconds(cud).c_str(),
+                z.measured_seconds / cud, z.simulated_seconds / cud);
+  }
+  std::printf("\n* simulated: list-scheduled wavefront makespan on 64 workers (this host\n"
+              "  has one core). What reproduces here is the RELATIVE structure: the\n"
+              "  exact baseline re-computes ~2.2x the matrix with a generic kernel, so\n"
+              "  CUDAlign wins per core; the paper's absolute 620-702x (vs 1 core) and\n"
+              "  12-20x (vs 64 cores) additionally include the GTX 285's ~100x raw\n"
+              "  throughput advantage over one CPU core, which one core cannot emulate.\n");
+  return 0;
+}

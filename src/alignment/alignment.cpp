@@ -1,0 +1,107 @@
+#include "alignment/alignment.hpp"
+
+namespace cudalign::alignment {
+
+Score score_transcript(seq::SequenceView s0, seq::SequenceView s1, const Transcript& transcript,
+                       Index i0, Index j0, const scoring::Scheme& scheme, dp::CellState start) {
+  WideScore total = 0;
+  Index i = i0;
+  Index j = j0;
+  // Tracks whether we are continuing a gap run of each direction across run
+  // boundaries (runs of the same op may be split across partition seams; the
+  // RLE coalesces within a transcript, but the *leading* run may continue an
+  // upstream gap, signalled by `start`).
+  bool in_e = start == dp::CellState::kE;
+  bool in_f = start == dp::CellState::kF;
+  for (const auto& run : transcript.runs()) {
+    switch (run.op) {
+      case Op::kDiagonal:
+        for (Index k = 0; k < run.len; ++k) {
+          total += scheme.pair(s0[static_cast<std::size_t>(i + k)],
+                               s1[static_cast<std::size_t>(j + k)]);
+        }
+        i += run.len;
+        j += run.len;
+        in_e = in_f = false;
+        break;
+      case Op::kGapS0:
+        total -= static_cast<WideScore>(in_e ? scheme.gap_ext : scheme.gap_first);
+        total -= static_cast<WideScore>(run.len - 1) * scheme.gap_ext;
+        j += run.len;
+        in_e = true;
+        in_f = false;
+        break;
+      case Op::kGapS1:
+        total -= static_cast<WideScore>(in_f ? scheme.gap_ext : scheme.gap_first);
+        total -= static_cast<WideScore>(run.len - 1) * scheme.gap_ext;
+        i += run.len;
+        in_f = true;
+        in_e = false;
+        break;
+    }
+  }
+  CUDALIGN_CHECK(total >= kNegInf && total <= -static_cast<WideScore>(kNegInf),
+                 "transcript score overflows Score");
+  return static_cast<Score>(total);
+}
+
+void validate(const Alignment& alignment, seq::SequenceView s0, seq::SequenceView s1,
+              const scoring::Scheme& scheme) {
+  CUDALIGN_CHECK(alignment.i0 >= 0 && alignment.j0 >= 0, "alignment start out of range");
+  CUDALIGN_CHECK(alignment.i1 <= static_cast<Index>(s0.size()) &&
+                     alignment.j1 <= static_cast<Index>(s1.size()),
+                 "alignment end out of range");
+  CUDALIGN_CHECK(alignment.i0 <= alignment.i1 && alignment.j0 <= alignment.j1,
+                 "alignment coordinates not monotone");
+  CUDALIGN_CHECK(alignment.transcript.rows_consumed() == alignment.rows(),
+                 "transcript consumes a different number of S0 bases than the coordinates span");
+  CUDALIGN_CHECK(alignment.transcript.cols_consumed() == alignment.cols(),
+                 "transcript consumes a different number of S1 bases than the coordinates span");
+  const Score recomputed =
+      score_transcript(s0, s1, alignment.transcript, alignment.i0, alignment.j0, scheme);
+  CUDALIGN_CHECK(recomputed == alignment.score,
+                 "recomputed score " + std::to_string(recomputed) + " != reported score " +
+                     std::to_string(alignment.score));
+}
+
+Stats compute_stats(const Alignment& alignment, seq::SequenceView s0, seq::SequenceView s1,
+                    const scoring::Scheme& scheme) {
+  Stats stats;
+  Index i = alignment.i0;
+  Index j = alignment.j0;
+  for (const auto& run : alignment.transcript.runs()) {
+    stats.columns += run.len;
+    switch (run.op) {
+      case Op::kDiagonal:
+        for (Index k = 0; k < run.len; ++k) {
+          const auto a = s0[static_cast<std::size_t>(i + k)];
+          const auto b = s1[static_cast<std::size_t>(j + k)];
+          if (scheme.pair(a, b) == scheme.match && a == b) {
+            ++stats.matches;
+          } else {
+            ++stats.mismatches;
+          }
+        }
+        i += run.len;
+        j += run.len;
+        break;
+      case Op::kGapS0:
+      case Op::kGapS1:
+        stats.gap_openings += 1;
+        stats.gap_extensions += run.len - 1;
+        if (run.op == Op::kGapS0) {
+          j += run.len;
+        } else {
+          i += run.len;
+        }
+        break;
+    }
+  }
+  stats.match_score = stats.matches * scheme.match;
+  stats.mismatch_score = stats.mismatches * scheme.mismatch;
+  stats.gap_open_score = -stats.gap_openings * scheme.gap_first;
+  stats.gap_ext_score = -stats.gap_extensions * scheme.gap_ext;
+  return stats;
+}
+
+}  // namespace cudalign::alignment

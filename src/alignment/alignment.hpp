@@ -1,0 +1,66 @@
+// Alignment value type, validation and Table-X statistics.
+#pragma once
+
+#include <string>
+
+#include "alignment/ops.hpp"
+#include "dp/dp_common.hpp"
+#include "scoring/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace cudalign::alignment {
+
+/// A (local or global) pairwise alignment anchored at DP vertices: the path
+/// runs from vertex (i0, j0) to (i1, j1); transcript columns consume
+/// S0[i0..i1) and S1[j0..j1).
+struct Alignment {
+  Index i0 = 0, j0 = 0;
+  Index i1 = 0, j1 = 0;
+  Score score = 0;
+  Transcript transcript;
+
+  [[nodiscard]] Index rows() const noexcept { return i1 - i0; }
+  [[nodiscard]] Index cols() const noexcept { return j1 - j0; }
+  /// Alignment length in columns (the paper's "Length", Table III).
+  [[nodiscard]] Index length() const noexcept { return transcript.columns(); }
+};
+
+/// Recomputes the score of a transcript applied at (i0, j0) against the full
+/// sequences; `start` grants the leading-gap continuation discount (§IV-A).
+[[nodiscard]] Score score_transcript(seq::SequenceView s0, seq::SequenceView s1,
+                                     const Transcript& transcript, Index i0, Index j0,
+                                     const scoring::Scheme& scheme,
+                                     dp::CellState start = dp::CellState::kH);
+
+/// Throws cudalign::Error unless the alignment is internally consistent
+/// (geometry matches the transcript; the recomputed score equals `score`;
+/// coordinates are inside the sequences).
+void validate(const Alignment& alignment, seq::SequenceView s0, seq::SequenceView s1,
+              const scoring::Scheme& scheme);
+
+/// The composition table the paper reports for the human-chimpanzee
+/// alignment (Table X).
+struct Stats {
+  WideScore matches = 0;
+  WideScore mismatches = 0;
+  WideScore gap_openings = 0;    ///< Number of gap runs (each charged G_first).
+  WideScore gap_extensions = 0;  ///< Remaining gap symbols (charged G_ext).
+  WideScore columns = 0;
+
+  WideScore match_score = 0;
+  WideScore mismatch_score = 0;
+  WideScore gap_open_score = 0;
+  WideScore gap_ext_score = 0;
+  [[nodiscard]] WideScore total_score() const noexcept {
+    return match_score + mismatch_score + gap_open_score + gap_ext_score;
+  }
+  /// Fraction of columns that are matches.
+  [[nodiscard]] double identity() const noexcept {
+    return columns == 0 ? 0.0 : static_cast<double>(matches) / static_cast<double>(columns);
+  }
+};
+
+[[nodiscard]] Stats compute_stats(const Alignment& alignment, seq::SequenceView s0,
+                                  seq::SequenceView s1, const scoring::Scheme& scheme);
+
+}  // namespace cudalign::alignment

@@ -1,0 +1,107 @@
+#include "alignment/cigar.hpp"
+
+#include <cctype>
+
+namespace cudalign::alignment {
+
+namespace {
+
+char classic_code(Op op) {
+  switch (op) {
+    case Op::kGapS0: return 'I';
+    case Op::kGapS1: return 'D';
+    case Op::kDiagonal:
+    default: return 'M';
+  }
+}
+
+}  // namespace
+
+std::string to_cigar(const Transcript& transcript) {
+  std::string out;
+  for (const auto& run : transcript.runs()) {
+    out += std::to_string(run.len);
+    out += classic_code(run.op);
+  }
+  return out;
+}
+
+std::string to_cigar_extended(const Alignment& alignment, seq::SequenceView s0,
+                              seq::SequenceView s1) {
+  std::string out;
+  Index i = alignment.i0;
+  Index j = alignment.j0;
+  auto emit = [&](Index len, char code) {
+    if (len == 0) return;
+    out += std::to_string(len);
+    out += code;
+  };
+  for (const auto& run : alignment.transcript.runs()) {
+    switch (run.op) {
+      case Op::kDiagonal: {
+        // Split the diagonal run into maximal =/X segments.
+        Index seg_start = 0;
+        bool seg_match = false;
+        for (Index k = 0; k < run.len; ++k) {
+          const auto a = s0[static_cast<std::size_t>(i + k)];
+          const auto b = s1[static_cast<std::size_t>(j + k)];
+          const bool match = a == b && a != seq::kN;
+          if (k == 0) {
+            seg_match = match;
+          } else if (match != seg_match) {
+            emit(k - seg_start, seg_match ? '=' : 'X');
+            seg_start = k;
+            seg_match = match;
+          }
+        }
+        emit(run.len - seg_start, seg_match ? '=' : 'X');
+        i += run.len;
+        j += run.len;
+        break;
+      }
+      case Op::kGapS0:
+        emit(run.len, 'I');
+        j += run.len;
+        break;
+      case Op::kGapS1:
+        emit(run.len, 'D');
+        i += run.len;
+        break;
+    }
+  }
+  return out;
+}
+
+Transcript from_cigar(const std::string& cigar) {
+  Transcript out;
+  std::size_t pos = 0;
+  while (pos < cigar.size()) {
+    CUDALIGN_CHECK(std::isdigit(static_cast<unsigned char>(cigar[pos])),
+                   "CIGAR: expected a length at position " + std::to_string(pos));
+    Index len = 0;
+    while (pos < cigar.size() && std::isdigit(static_cast<unsigned char>(cigar[pos]))) {
+      len = len * 10 + (cigar[pos] - '0');
+      CUDALIGN_CHECK(len < (Index{1} << 48), "CIGAR: absurd run length");
+      ++pos;
+    }
+    CUDALIGN_CHECK(pos < cigar.size(), "CIGAR: trailing length without an op");
+    CUDALIGN_CHECK(len > 0, "CIGAR: zero-length run");
+    const char code = cigar[pos++];
+    switch (code) {
+      case 'M': case '=': case 'X':
+        out.append(Op::kDiagonal, len);
+        break;
+      case 'I':
+        out.append(Op::kGapS0, len);
+        break;
+      case 'D':
+        out.append(Op::kGapS1, len);
+        break;
+      default:
+        CUDALIGN_CHECK(false, std::string("CIGAR: unsupported op '") + code + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace cudalign::alignment

@@ -1,0 +1,29 @@
+// CIGAR interop: the run-length transcript maps 1:1 onto SAM-style CIGAR
+// strings, which is how downstream genomics tooling consumes alignments.
+//
+// Mapping (extended CIGAR, match/mismatch distinguished):
+//   kDiagonal  -> '=' (match) / 'X' (mismatch), or 'M' in classic mode
+//   kGapS0     -> 'I' (insertion relative to S0: consumes S1)
+//   kGapS1     -> 'D' (deletion relative to S0: consumes S0)
+#pragma once
+
+#include <string>
+
+#include "alignment/alignment.hpp"
+
+namespace cudalign::alignment {
+
+/// Renders the transcript as classic CIGAR ("M/I/D"). Never needs sequences.
+[[nodiscard]] std::string to_cigar(const Transcript& transcript);
+
+/// Renders extended CIGAR ("=/X/I/D"); needs the sequences to split diagonal
+/// runs into match and mismatch segments.
+[[nodiscard]] std::string to_cigar_extended(const Alignment& alignment, seq::SequenceView s0,
+                                            seq::SequenceView s1);
+
+/// Parses classic or extended CIGAR back into a transcript ('M', '=' and 'X'
+/// all become kDiagonal). Throws on malformed input or unsupported ops
+/// (clips/skips are not meaningful for pairwise DP alignments).
+[[nodiscard]] Transcript from_cigar(const std::string& cigar);
+
+}  // namespace cudalign::alignment

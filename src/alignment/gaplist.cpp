@@ -1,0 +1,205 @@
+#include "alignment/gaplist.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/io_util.hpp"
+
+namespace cudalign::alignment {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43414C32;  // "CAL2"
+constexpr std::uint32_t kVersion = 1;
+
+void write_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    const char byte = static_cast<char>((v & 0x7F) | 0x80);
+    os.put(byte);
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+  CUDALIGN_CHECK(os.good(), "varint write failed");
+}
+
+[[nodiscard]] std::uint64_t read_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    CUDALIGN_CHECK(c != EOF, "truncated varint");
+    v |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) return v;
+    shift += 7;
+    CUDALIGN_CHECK(shift < 64, "varint too long");
+  }
+}
+
+/// Gap starts are strictly increasing along the path, so coordinates are
+/// delta-coded against the previous entry of the same list.
+void write_gap_list(std::ostream& os, const std::vector<GapEntry>& gaps) {
+  write_varint(os, gaps.size());
+  Index prev_i = 0, prev_j = 0;
+  for (const auto& gap : gaps) {
+    CUDALIGN_CHECK(gap.i >= prev_i && gap.j >= prev_j && gap.length > 0,
+                   "gap list not in path order");
+    write_varint(os, static_cast<std::uint64_t>(gap.i - prev_i));
+    write_varint(os, static_cast<std::uint64_t>(gap.j - prev_j));
+    write_varint(os, static_cast<std::uint64_t>(gap.length));
+    prev_i = gap.i;
+    prev_j = gap.j;
+  }
+}
+
+[[nodiscard]] std::vector<GapEntry> read_gap_list(std::istream& is) {
+  const auto count = read_varint(is);
+  std::vector<GapEntry> gaps;
+  gaps.reserve(count);
+  Index prev_i = 0, prev_j = 0;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    GapEntry gap;
+    gap.i = prev_i + static_cast<Index>(read_varint(is));
+    gap.j = prev_j + static_cast<Index>(read_varint(is));
+    gap.length = static_cast<Index>(read_varint(is));
+    prev_i = gap.i;
+    prev_j = gap.j;
+    gaps.push_back(gap);
+  }
+  return gaps;
+}
+
+}  // namespace
+
+BinaryAlignment to_binary(const Alignment& alignment) {
+  BinaryAlignment out;
+  out.i0 = alignment.i0;
+  out.j0 = alignment.j0;
+  out.i1 = alignment.i1;
+  out.j1 = alignment.j1;
+  out.score = alignment.score;
+  Index i = alignment.i0;
+  Index j = alignment.j0;
+  for (const auto& run : alignment.transcript.runs()) {
+    switch (run.op) {
+      case Op::kDiagonal:
+        i += run.len;
+        j += run.len;
+        break;
+      case Op::kGapS0:
+        out.gaps_s0.push_back(GapEntry{i, j, run.len});
+        j += run.len;
+        break;
+      case Op::kGapS1:
+        out.gaps_s1.push_back(GapEntry{i, j, run.len});
+        i += run.len;
+        break;
+    }
+  }
+  CUDALIGN_CHECK(i == alignment.i1 && j == alignment.j1,
+                 "transcript does not reach the alignment end position");
+  return out;
+}
+
+Alignment from_binary(const BinaryAlignment& binary) {
+  Alignment out;
+  out.i0 = binary.i0;
+  out.j0 = binary.j0;
+  out.i1 = binary.i1;
+  out.j1 = binary.j1;
+  CUDALIGN_CHECK(binary.score >= kNegInf && binary.score <= -static_cast<WideScore>(kNegInf),
+                 "binary alignment score out of range");
+  out.score = static_cast<Score>(binary.score);
+
+  Index i = binary.i0;
+  Index j = binary.j0;
+  std::size_t p0 = 0, p1 = 0;
+  // Merge the two lists in path order. Gap-run starts are unique vertices and
+  // lexicographic (i, j) order equals path order for a monotone path.
+  while (p0 < binary.gaps_s0.size() || p1 < binary.gaps_s1.size()) {
+    const GapEntry* next = nullptr;
+    bool is_s0 = false;
+    if (p0 < binary.gaps_s0.size()) {
+      next = &binary.gaps_s0[p0];
+      is_s0 = true;
+    }
+    if (p1 < binary.gaps_s1.size()) {
+      const GapEntry& cand = binary.gaps_s1[p1];
+      if (next == nullptr || cand.i < next->i || (cand.i == next->i && cand.j < next->j)) {
+        next = &cand;
+        is_s0 = false;
+      }
+    }
+    const Index diag = next->i - i;
+    CUDALIGN_CHECK(diag >= 0 && next->j - j == diag,
+                   "gap list is inconsistent: gap start not reachable diagonally");
+    out.transcript.append(Op::kDiagonal, diag);
+    i += diag;
+    j += diag;
+    if (is_s0) {
+      out.transcript.append(Op::kGapS0, next->length);
+      j += next->length;
+      ++p0;
+    } else {
+      out.transcript.append(Op::kGapS1, next->length);
+      i += next->length;
+      ++p1;
+    }
+  }
+  const Index diag = binary.i1 - i;
+  CUDALIGN_CHECK(diag >= 0 && binary.j1 - j == diag,
+                 "gap list is inconsistent: end position not reachable diagonally");
+  out.transcript.append(Op::kDiagonal, diag);
+  return out;
+}
+
+void write_binary(std::ostream& os, const BinaryAlignment& binary) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_varint(os, static_cast<std::uint64_t>(binary.i0));
+  write_varint(os, static_cast<std::uint64_t>(binary.j0));
+  write_varint(os, static_cast<std::uint64_t>(binary.i1));
+  write_varint(os, static_cast<std::uint64_t>(binary.j1));
+  // Scores may be negative in principle; zig-zag encode.
+  const auto zigzag = (static_cast<std::uint64_t>(binary.score) << 1) ^
+                      static_cast<std::uint64_t>(binary.score >> 63);
+  write_varint(os, zigzag);
+  write_gap_list(os, binary.gaps_s0);
+  write_gap_list(os, binary.gaps_s1);
+}
+
+BinaryAlignment read_binary(std::istream& is) {
+  CUDALIGN_CHECK(read_pod<std::uint32_t>(is) == kMagic, "not a CUDAlign binary alignment file");
+  CUDALIGN_CHECK(read_pod<std::uint32_t>(is) == kVersion,
+                 "unsupported binary alignment version");
+  BinaryAlignment out;
+  out.i0 = static_cast<Index>(read_varint(is));
+  out.j0 = static_cast<Index>(read_varint(is));
+  out.i1 = static_cast<Index>(read_varint(is));
+  out.j1 = static_cast<Index>(read_varint(is));
+  const auto zigzag = read_varint(is);
+  out.score = static_cast<WideScore>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+  out.gaps_s0 = read_gap_list(is);
+  out.gaps_s1 = read_gap_list(is);
+  return out;
+}
+
+void write_binary_file(const std::filesystem::path& path, const BinaryAlignment& binary) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  CUDALIGN_CHECK(os.good(), "cannot open binary alignment file for writing: " + path.string());
+  write_binary(os, binary);
+  CUDALIGN_CHECK(os.good(), "error writing binary alignment file: " + path.string());
+}
+
+BinaryAlignment read_binary_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  CUDALIGN_CHECK(is.good(), "cannot open binary alignment file: " + path.string());
+  return read_binary(is);
+}
+
+std::size_t encoded_size(const BinaryAlignment& binary) {
+  std::ostringstream os(std::ios::binary);
+  write_binary(os, binary);
+  return os.str().size();
+}
+
+}  // namespace cudalign::alignment

@@ -1,0 +1,141 @@
+#include "alignment/render.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace cudalign::alignment {
+
+namespace {
+
+/// Expands the transcript into per-column callbacks without materializing the
+/// whole expansion: fn(op, i, j) is called once per alignment column with the
+/// DP vertex *before* the column is consumed.
+template <typename Fn>
+void for_each_column(const Alignment& alignment, Fn&& fn) {
+  Index i = alignment.i0;
+  Index j = alignment.j0;
+  for (const auto& run : alignment.transcript.runs()) {
+    for (Index k = 0; k < run.len; ++k) {
+      fn(run.op, i, j);
+      switch (run.op) {
+        case Op::kDiagonal: ++i; ++j; break;
+        case Op::kGapS0: ++j; break;
+        case Op::kGapS1: ++i; break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void render_text(std::ostream& os, const Alignment& alignment, seq::SequenceView s0,
+                 seq::SequenceView s1, const RenderOptions& options) {
+  CUDALIGN_CHECK(options.width > 0, "render width must be positive");
+  std::string line0, bars, line1;
+  Index block_i = alignment.i0;
+  Index block_j = alignment.j0;
+  Index cur_i = alignment.i0;
+  Index cur_j = alignment.j0;
+
+  auto flush = [&] {
+    if (line0.empty()) return;
+    if (options.show_coords) {
+      os << "S0 " << (block_i + 1) << '\t' << line0 << '\n';
+      os << "   " << '\t' << bars << '\n';
+      os << "S1 " << (block_j + 1) << '\t' << line1 << '\n';
+    } else {
+      os << line0 << '\n' << bars << '\n' << line1 << '\n';
+    }
+    os << '\n';
+    line0.clear();
+    bars.clear();
+    line1.clear();
+    block_i = cur_i;
+    block_j = cur_j;
+  };
+
+  for_each_column(alignment, [&](Op op, Index i, Index j) {
+    switch (op) {
+      case Op::kDiagonal: {
+        const auto a = s0[static_cast<std::size_t>(i)];
+        const auto b = s1[static_cast<std::size_t>(j)];
+        line0.push_back(seq::base_to_char(a));
+        line1.push_back(seq::base_to_char(b));
+        bars.push_back((a == b && a != seq::kN) ? '|' : ' ');
+        cur_i = i + 1;
+        cur_j = j + 1;
+        break;
+      }
+      case Op::kGapS0:
+        line0.push_back('-');
+        line1.push_back(seq::base_to_char(s1[static_cast<std::size_t>(j)]));
+        bars.push_back(' ');
+        cur_j = j + 1;
+        break;
+      case Op::kGapS1:
+        line0.push_back(seq::base_to_char(s0[static_cast<std::size_t>(i)]));
+        line1.push_back('-');
+        bars.push_back(' ');
+        cur_i = i + 1;
+        break;
+    }
+    if (static_cast<int>(line0.size()) >= options.width) flush();
+  });
+  flush();
+}
+
+std::string render_text(const Alignment& alignment, seq::SequenceView s0, seq::SequenceView s1,
+                        const RenderOptions& options) {
+  std::ostringstream os;
+  render_text(os, alignment, s0, s1, options);
+  return os.str();
+}
+
+std::vector<PathPoint> sample_path(const Alignment& alignment, Index max_points) {
+  CUDALIGN_CHECK(max_points >= 2, "need at least two sample points");
+  const Index total = alignment.length();
+  std::vector<PathPoint> points;
+  if (total == 0) {
+    points.push_back({alignment.i0, alignment.j0});
+    points.push_back({alignment.i1, alignment.j1});
+    return points;
+  }
+  const Index stride = std::max<Index>(1, total / (max_points - 1));
+  Index column = 0;
+  points.push_back({alignment.i0, alignment.j0});
+  for_each_column(alignment, [&](Op, Index i, Index j) {
+    ++column;
+    if (column % stride == 0 && column < total) points.push_back({i, j});
+  });
+  points.push_back({alignment.i1, alignment.j1});
+  return points;
+}
+
+void write_path_tsv(std::ostream& os, const std::vector<PathPoint>& points) {
+  os << "i\tj\n";
+  for (const auto& p : points) os << p.i << '\t' << p.j << '\n';
+}
+
+std::string ascii_dotplot(const Alignment& alignment, Index m, Index n, int rows, int cols) {
+  CUDALIGN_CHECK(rows > 0 && cols > 0, "dot plot raster must be positive");
+  CUDALIGN_CHECK(m > 0 && n > 0, "dot plot needs positive matrix extents");
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), '.'));
+  auto plot = [&](Index i, Index j) {
+    const int r = static_cast<int>(std::min<Index>(rows - 1, i * rows / std::max<Index>(1, m)));
+    const int c = static_cast<int>(std::min<Index>(cols - 1, j * cols / std::max<Index>(1, n)));
+    grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '*';
+  };
+  plot(alignment.i0, alignment.j0);
+  for_each_column(alignment, [&](Op, Index i, Index j) { plot(i, j); });
+  plot(alignment.i1, alignment.j1);
+  std::string out;
+  for (const auto& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cudalign::alignment

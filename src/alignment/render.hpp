@@ -1,0 +1,52 @@
+// Stage-6 visualization (paper §IV-G, Figure 12).
+//
+// Two outputs, like the paper's: a textual rendering of the alignment (the
+// "142 MB text file" for the chromosome pair — here produced on demand for
+// any window), and a dot-plot of the alignment path (the Figure 12 panel),
+// emitted both as TSV coordinates for external plotting and as an ASCII
+// raster for the terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "alignment/alignment.hpp"
+
+namespace cudalign::alignment {
+
+struct RenderOptions {
+  int width = 60;          ///< Columns per text block.
+  bool show_coords = true; ///< Prefix each line with 1-based coordinates.
+};
+
+/// Streams the classic three-line textual rendering (sequence 0, match bars,
+/// sequence 1). For huge alignments this writes O(length) output; callers can
+/// render windows by slicing the transcript first.
+void render_text(std::ostream& os, const Alignment& alignment, seq::SequenceView s0,
+                 seq::SequenceView s1, const RenderOptions& options = {});
+
+/// Convenience: render to a string (tests, small alignments).
+[[nodiscard]] std::string render_text(const Alignment& alignment, seq::SequenceView s0,
+                                      seq::SequenceView s1, const RenderOptions& options = {});
+
+/// One sampled point of the alignment path.
+struct PathPoint {
+  Index i = 0;
+  Index j = 0;
+};
+
+/// Samples at most `max_points` evenly spaced (by alignment column) points of
+/// the path, always including both endpoints. This is the Figure 12 data set.
+[[nodiscard]] std::vector<PathPoint> sample_path(const Alignment& alignment,
+                                                 Index max_points = 2048);
+
+/// Writes sampled points as TSV ("i\tj" rows) for external plotting.
+void write_path_tsv(std::ostream& os, const std::vector<PathPoint>& points);
+
+/// ASCII dot-plot raster of the path over the full DP matrix extent
+/// (rows x cols characters), for terminal inspection à la Figure 12.
+[[nodiscard]] std::string ascii_dotplot(const Alignment& alignment, Index m, Index n,
+                                        int rows = 24, int cols = 64);
+
+}  // namespace cudalign::alignment

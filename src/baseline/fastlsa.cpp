@@ -1,0 +1,326 @@
+#include "baseline/fastlsa.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dp/gotoh.hpp"
+#include "dp/linear.hpp"
+
+namespace cudalign::baseline {
+
+namespace {
+
+using alignment::Op;
+using alignment::Transcript;
+using dp::CellState;
+using dp::sat_add;
+
+struct HF {
+  Score h = kNegInf;
+  Score f = kNegInf;
+};
+struct HE {
+  Score h = kNegInf;
+  Score e = kNegInf;
+};
+
+/// Boundary of a rectangle: the vertex row above it and the vertex column to
+/// its left (exactly the information a row/column crossing carries).
+struct Boundary {
+  std::vector<HF> top;   ///< Size rw + 1 (columns c0..c1 of the parent frame).
+  std::vector<HE> left;  ///< Size rh + 1 (rows r0..r1).
+};
+
+/// Where a traceback left a rectangle: a vertex on its local row 0 or column
+/// 0, plus the path state at that vertex.
+struct Exit {
+  Index i = 0, j = 0;
+  CellState state = CellState::kH;
+};
+
+struct Tracer {
+  seq::SequenceView a, b;  ///< Full-problem sequences.
+  const scoring::Scheme& scheme;
+  const FastLsaOptions& opt;
+  FastLsaStats& stats;
+  std::size_t cache_bytes = 0;
+
+  void cache_add(std::size_t bytes) {
+    cache_bytes += bytes;
+    stats.peak_cache_bytes = std::max(stats.peak_cache_bytes, cache_bytes);
+  }
+
+  /// Traces the optimal path inside rows (r0, r0+rh] x cols (c0, c0+rw] of
+  /// the full problem, from local vertex (end_i, end_j) in `end_state`, back
+  /// to the rectangle's local row 0 or column 0. Ops are appended to
+  /// `rev_ops` back-to-front.
+  Exit trace_rect(Index r0, Index c0, Index rh, Index rw, const Boundary& bnd, Index end_i,
+                  Index end_j, CellState end_state, Transcript& rev_ops, Index level) {
+    CUDALIGN_ASSERT(rh >= 1 && rw >= 1);
+    CUDALIGN_ASSERT(static_cast<Index>(bnd.top.size()) == rw + 1);
+    CUDALIGN_ASSERT(static_cast<Index>(bnd.left.size()) == rh + 1);
+    stats.deepest_level = std::max(stats.deepest_level, level);
+    if ((rh + 1) * (rw + 1) <= opt.base_cells || (rh <= 2 && rw <= 2)) {
+      return trace_base(r0, c0, rh, rw, bnd, end_i, end_j, end_state, rev_ops);
+    }
+    return trace_grid(r0, c0, rh, rw, bnd, end_i, end_j, end_state, rev_ops, level);
+  }
+
+  /// Base case: quadratic DP over the rectangle from its boundary, then
+  /// traceback by value inspection.
+  Exit trace_base(Index r0, Index c0, Index rh, Index rw, const Boundary& bnd, Index end_i,
+                  Index end_j, CellState end_state, Transcript& rev_ops) {
+    const Index stride = rw + 1;
+    std::vector<dp::CellHEF> m(static_cast<std::size_t>((rh + 1) * stride));
+    auto at = [&](Index i, Index j) -> dp::CellHEF& {
+      return m[static_cast<std::size_t>(i * stride + j)];
+    };
+    for (Index j = 0; j <= rw; ++j) at(0, j) = dp::CellHEF{bnd.top[static_cast<std::size_t>(j)].h, kNegInf, bnd.top[static_cast<std::size_t>(j)].f};
+    for (Index i = 1; i <= rh; ++i) at(i, 0) = dp::CellHEF{bnd.left[static_cast<std::size_t>(i)].h, bnd.left[static_cast<std::size_t>(i)].e, kNegInf};
+
+    for (Index i = 1; i <= rh; ++i) {
+      const seq::Base ai = a[static_cast<std::size_t>(r0 + i - 1)];
+      for (Index j = 1; j <= rw; ++j) {
+        const auto& up = at(i - 1, j);
+        const auto& lf = at(i, j - 1);
+        auto& cell = at(i, j);
+        cell.f = std::max(sat_add(up.f, -scheme.gap_ext), sat_add(up.h, -scheme.gap_first));
+        cell.e = std::max(sat_add(lf.e, -scheme.gap_ext), sat_add(lf.h, -scheme.gap_first));
+        cell.h = std::max(std::max(cell.e, cell.f),
+                          sat_add(at(i - 1, j - 1).h,
+                                  scheme.pair(ai, b[static_cast<std::size_t>(c0 + j - 1)])));
+      }
+    }
+    stats.cells += static_cast<WideScore>(rh) * rw;
+
+    Index i = end_i, j = end_j;
+    CellState state = end_state;
+    for (;;) {
+      const auto& cell = at(i, j);
+      if (state == CellState::kE) {
+        if (i == 0 || j == 0) return Exit{i, j, state};
+        CUDALIGN_ASSERT(!is_neg_inf(cell.e));
+        rev_ops.append(Op::kGapS0, 1);
+        if (cell.e == sat_add(at(i, j - 1).e, -scheme.gap_ext)) {
+          j -= 1;
+        } else {
+          CUDALIGN_ASSERT(cell.e == sat_add(at(i, j - 1).h, -scheme.gap_first));
+          j -= 1;
+          state = CellState::kH;
+        }
+        continue;
+      }
+      if (state == CellState::kF) {
+        if (i == 0 || j == 0) return Exit{i, j, state};
+        CUDALIGN_ASSERT(!is_neg_inf(cell.f));
+        rev_ops.append(Op::kGapS1, 1);
+        if (cell.f == sat_add(at(i - 1, j).f, -scheme.gap_ext)) {
+          i -= 1;
+        } else {
+          CUDALIGN_ASSERT(cell.f == sat_add(at(i - 1, j).h, -scheme.gap_first));
+          i -= 1;
+          state = CellState::kH;
+        }
+        continue;
+      }
+      // state == kH.
+      if (i == 0 || j == 0) return Exit{i, j, state};
+      const Score diag = sat_add(at(i - 1, j - 1).h,
+                                 scheme.pair(a[static_cast<std::size_t>(r0 + i - 1)],
+                                             b[static_cast<std::size_t>(c0 + j - 1)]));
+      if (cell.h == diag) {
+        rev_ops.append(Op::kDiagonal, 1);
+        i -= 1;
+        j -= 1;
+        continue;
+      }
+      if (cell.h == cell.e) {
+        state = CellState::kE;
+        continue;
+      }
+      CUDALIGN_ASSERT(cell.h == cell.f);
+      state = CellState::kF;
+    }
+  }
+
+  /// Grid case: one forward sweep caching k x k boundary lines, then walk the
+  /// grid cells the path crosses, solving each recursively.
+  Exit trace_grid(Index r0, Index c0, Index rh, Index rw, const Boundary& bnd, Index end_i,
+                  Index end_j, CellState end_state, Transcript& rev_ops, Index level) {
+    // Grid lines (local coordinates, strictly interior, deduplicated).
+    auto make_lines = [&](Index extent) {
+      std::vector<Index> lines{0};
+      for (Index t = 1; t < opt.grid; ++t) {
+        const Index pos = extent * t / opt.grid;
+        if (pos > lines.back() && pos < extent) lines.push_back(pos);
+      }
+      lines.push_back(extent);
+      return lines;
+    };
+    const std::vector<Index> rows = make_lines(rh);
+    const std::vector<Index> cols = make_lines(rw);
+
+    // Cached lines: interior row lines store (H, F) across all columns;
+    // interior column lines store (H, E) for every row.
+    std::vector<std::vector<HF>> row_cache(rows.size() - 2);
+    std::vector<std::vector<HE>> col_cache(cols.size() - 2,
+                                           std::vector<HE>(static_cast<std::size_t>(rh) + 1));
+    std::size_t added = col_cache.size() * (static_cast<std::size_t>(rh) + 1) * sizeof(HE) +
+                        row_cache.size() * (static_cast<std::size_t>(rw) + 1) * sizeof(HF);
+    cache_add(added);
+
+    // Forward sweep with rolling rows.
+    {
+      std::vector<Score> h(static_cast<std::size_t>(rw) + 1);
+      std::vector<Score> e(static_cast<std::size_t>(rw) + 1);
+      std::vector<Score> f(static_cast<std::size_t>(rw) + 1);
+      for (Index j = 0; j <= rw; ++j) {
+        h[static_cast<std::size_t>(j)] = bnd.top[static_cast<std::size_t>(j)].h;
+        f[static_cast<std::size_t>(j)] = bnd.top[static_cast<std::size_t>(j)].f;
+        e[static_cast<std::size_t>(j)] = kNegInf;  // Never consumed downward.
+      }
+      auto capture_cols = [&](Index i) {
+        for (std::size_t t = 0; t + 2 < cols.size(); ++t) {
+          const auto cj = static_cast<std::size_t>(cols[t + 1]);
+          col_cache[t][static_cast<std::size_t>(i)] = HE{h[cj], e[cj]};
+        }
+      };
+      capture_cols(0);
+      for (Index i = 1; i <= rh; ++i) {
+        const seq::Base ai = a[static_cast<std::size_t>(r0 + i - 1)];
+        Score diag = h[0];
+        h[0] = bnd.left[static_cast<std::size_t>(i)].h;
+        e[0] = bnd.left[static_cast<std::size_t>(i)].e;
+        f[0] = kNegInf;
+        Score e_run = e[0];
+        for (Index j = 1; j <= rw; ++j) {
+          const std::size_t sj = static_cast<std::size_t>(j);
+          const Score up_h = h[sj];
+          const Score nf = std::max(sat_add(f[sj], -scheme.gap_ext),
+                                    sat_add(up_h, -scheme.gap_first));
+          const Score ne = std::max(sat_add(e_run, -scheme.gap_ext),
+                                    sat_add(h[sj - 1], -scheme.gap_first));
+          const Score nh =
+              std::max(std::max(ne, nf),
+                       sat_add(diag, scheme.pair(ai, b[static_cast<std::size_t>(c0 + j - 1)])));
+          diag = up_h;
+          h[sj] = nh;
+          e[sj] = ne;
+          f[sj] = nf;
+          e_run = ne;
+        }
+        capture_cols(i);
+        for (std::size_t t = 0; t + 2 < rows.size(); ++t) {
+          if (rows[t + 1] == i) {
+            auto& line = row_cache[t];
+            line.resize(static_cast<std::size_t>(rw) + 1);
+            for (Index j = 0; j <= rw; ++j) {
+              line[static_cast<std::size_t>(j)] =
+                  HF{h[static_cast<std::size_t>(j)], f[static_cast<std::size_t>(j)]};
+            }
+          }
+        }
+      }
+      stats.cells += static_cast<WideScore>(rh) * rw;
+    }
+
+    // Walk the grid cells along the path, bottom-right to top-left.
+    Index i = end_i, j = end_j;
+    CellState state = end_state;
+    while (i != 0 && j != 0) {
+      // Uniform rule: a vertex exactly on a line belongs to the cell
+      // above/left of it (the DP cell carrying its incoming edge).
+      const auto row_hi = std::lower_bound(rows.begin(), rows.end(), i);  // First >= i.
+      const auto col_hi = std::lower_bound(cols.begin(), cols.end(), j);
+      const std::size_t p = static_cast<std::size_t>(row_hi - rows.begin()) - 1;
+      const std::size_t q = static_cast<std::size_t>(col_hi - cols.begin()) - 1;
+      const Index cr0 = rows[p], cr1 = rows[p + 1];
+      const Index cc0 = cols[q], cc1 = cols[q + 1];
+
+      Boundary cell_bnd;
+      cell_bnd.top.resize(static_cast<std::size_t>(cc1 - cc0) + 1);
+      for (Index t = 0; t <= cc1 - cc0; ++t) {
+        cell_bnd.top[static_cast<std::size_t>(t)] =
+            p == 0 ? bnd.top[static_cast<std::size_t>(cc0 + t)]
+                   : row_cache[p - 1][static_cast<std::size_t>(cc0 + t)];
+      }
+      cell_bnd.left.resize(static_cast<std::size_t>(cr1 - cr0) + 1);
+      for (Index t = 0; t <= cr1 - cr0; ++t) {
+        cell_bnd.left[static_cast<std::size_t>(t)] =
+            q == 0 ? bnd.left[static_cast<std::size_t>(cr0 + t)]
+                   : col_cache[q - 1][static_cast<std::size_t>(cr0 + t)];
+      }
+
+      const Exit exit = trace_rect(r0 + cr0, c0 + cc0, cr1 - cr0, cc1 - cc0, cell_bnd, i - cr0,
+                                   j - cc0, state, rev_ops, level + 1);
+      i = cr0 + exit.i;
+      j = cc0 + exit.j;
+      state = exit.state;
+    }
+    cache_bytes -= added;
+    return Exit{i, j, state};
+  }
+};
+
+}  // namespace
+
+FastLsaResult fastlsa_align(seq::SequenceView a, seq::SequenceView b,
+                            const scoring::Scheme& scheme, CellState start, CellState end,
+                            const FastLsaOptions& options) {
+  scheme.validate();
+  CUDALIGN_CHECK(options.grid >= 2, "FastLSA needs at least a 2x2 grid");
+  CUDALIGN_CHECK(options.base_cells >= 16, "FastLSA base case too small");
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+
+  FastLsaResult result;
+
+  // The score comes from one linear-space sweep (as in Myers-Miller).
+  {
+    const auto vectors = dp::sweep_rows(a, b, scheme, dp::AlignMode::kGlobal, start);
+    const Score score = dp::value_in_state(
+        dp::CellHEF{vectors.h.back(), vectors.e.back(), vectors.f.back()}, end);
+    CUDALIGN_CHECK(!is_neg_inf(score), "requested end state is unreachable");
+    result.score = score;
+  }
+
+  if (m == 0 || n == 0) {
+    if (n > 0) result.transcript.append(Op::kGapS0, n);
+    if (m > 0) result.transcript.append(Op::kGapS1, m);
+    return result;
+  }
+
+  // Top-level boundary from the start-corner closed forms.
+  const dp::CellHEF corner = dp::start_corner(start);
+  Boundary bnd;
+  bnd.top.resize(static_cast<std::size_t>(n) + 1);
+  bnd.left.resize(static_cast<std::size_t>(m) + 1);
+  bnd.top[0] = HF{corner.h, corner.f};
+  bnd.left[0] = HE{corner.h, corner.e};
+  for (Index j = 1; j <= n; ++j) {
+    const Score run = std::max(sat_add(corner.e, static_cast<Score>(-j * scheme.gap_ext)),
+                               sat_add(corner.h, static_cast<Score>(-scheme.gap_first -
+                                                                    (j - 1) * scheme.gap_ext)));
+    bnd.top[static_cast<std::size_t>(j)] = HF{run, kNegInf};
+  }
+  for (Index i = 1; i <= m; ++i) {
+    const Score run = std::max(sat_add(corner.f, static_cast<Score>(-i * scheme.gap_ext)),
+                               sat_add(corner.h, static_cast<Score>(-scheme.gap_first -
+                                                                    (i - 1) * scheme.gap_ext)));
+    bnd.left[static_cast<std::size_t>(i)] = HE{run, kNegInf};
+  }
+
+  Tracer tracer{a, b, scheme, options, result.stats, 0};
+  Transcript rev_ops;
+  const Exit exit = tracer.trace_rect(0, 0, m, n, bnd, m, n, end, rev_ops, 0);
+
+  // Remaining edge run from the exit vertex back to the origin.
+  if (exit.j > 0) rev_ops.append(Op::kGapS0, exit.j);
+  if (exit.i > 0) rev_ops.append(Op::kGapS1, exit.i);
+  rev_ops.reverse();
+  result.transcript = std::move(rev_ops);
+  return result;
+}
+
+}  // namespace cudalign::baseline

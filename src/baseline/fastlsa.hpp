@@ -1,0 +1,49 @@
+// FastLSA (Driga et al., ICPP 2003) — related work [18] in the paper.
+//
+// A linear-space exact global aligner built on caching instead of
+// Myers-Miller's recomputation: if the sub-problem fits a fixed buffer, solve
+// it with the quadratic DP; otherwise sweep it once, caching a k x k grid of
+// boundary rows (H, F) and columns (H, E), then trace the optimal path
+// backwards visiting only the grid cells the path crosses — each solved
+// recursively from its cached boundary. Relative to Myers-Miller this trades
+// O(k * (m + n)) cache for re-computing roughly mn * (1 + 2/k) cells instead
+// of ~2mn; the paper's §III-A cites exactly this tradeoff ("faster runtimes
+// than MM, with some memory tradeoff").
+//
+// In this repository FastLSA serves as a second independent linear-space
+// aligner (tests cross-check it against Gotoh and Myers-Miller) and as the
+// related-work baseline for the ablation benchmark.
+#pragma once
+
+#include "alignment/ops.hpp"
+#include "dp/dp_common.hpp"
+#include "seq/sequence.hpp"
+
+namespace cudalign::baseline {
+
+struct FastLsaOptions {
+  Index grid = 8;                ///< k: grid lines per dimension and level.
+  WideScore base_cells = 1 << 16;  ///< Solve directly below this many cells.
+};
+
+struct FastLsaStats {
+  WideScore cells = 0;            ///< DP cells computed across all levels.
+  std::size_t peak_cache_bytes = 0;  ///< High-water mark of cached lines.
+  Index deepest_level = 0;
+};
+
+struct FastLsaResult {
+  Score score = 0;
+  alignment::Transcript transcript;
+  FastLsaStats stats;
+};
+
+/// Optimal global alignment in linear space, with the usual sub-problem
+/// start/end state semantics (dp_common.hpp).
+[[nodiscard]] FastLsaResult fastlsa_align(seq::SequenceView a, seq::SequenceView b,
+                                          const scoring::Scheme& scheme,
+                                          dp::CellState start = dp::CellState::kH,
+                                          dp::CellState end = dp::CellState::kH,
+                                          const FastLsaOptions& options = {});
+
+}  // namespace cudalign::baseline

@@ -1,0 +1,28 @@
+#include "baseline/full_matrix.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace cudalign::baseline {
+
+FullMatrixResult align_full_matrix(seq::SequenceView s0, seq::SequenceView s1,
+                                   const scoring::Scheme& scheme, WideScore max_cells) {
+  const auto m = static_cast<WideScore>(s0.size());
+  const auto n = static_cast<WideScore>(s1.size());
+  CUDALIGN_CHECK((m + 1) * (n + 1) <= max_cells,
+                 "full-matrix baseline: problem exceeds the quadratic memory cap");
+  Timer timer;
+  FullMatrixResult result;
+  const dp::LocalResult local = dp::align_local(s0, s1, scheme);
+  result.alignment.i0 = local.i0;
+  result.alignment.j0 = local.j0;
+  result.alignment.i1 = local.i1;
+  result.alignment.j1 = local.j1;
+  result.alignment.score = local.score;
+  result.alignment.transcript = local.transcript;
+  result.cells = (m + 1) * (n + 1);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace cudalign::baseline

@@ -1,0 +1,24 @@
+// Quadratic-memory baseline aligner: the straightforward "compute the whole
+// matrix, then traceback" implementation every fast system is compared
+// against. Only usable while (m+1)*(n+1) cells fit in memory — which is the
+// paper's point (two 30 MBP sequences would need petabytes, §I).
+#pragma once
+
+#include "alignment/alignment.hpp"
+#include "dp/gotoh.hpp"
+
+namespace cudalign::baseline {
+
+struct FullMatrixResult {
+  alignment::Alignment alignment;
+  WideScore cells = 0;
+  double seconds = 0;
+};
+
+/// Best local alignment via the full quadratic DP. Throws if the matrix would
+/// exceed `max_cells` (default 2^28 cells ~ 3 GB of CellHEF).
+[[nodiscard]] FullMatrixResult align_full_matrix(seq::SequenceView s0, seq::SequenceView s1,
+                                                 const scoring::Scheme& scheme,
+                                                 WideScore max_cells = WideScore{1} << 28);
+
+}  // namespace cudalign::baseline

@@ -1,0 +1,148 @@
+#include "baseline/zalign_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "dp/dp_common.hpp"
+#include "dp/myers_miller.hpp"
+
+namespace cudalign::baseline {
+
+namespace {
+
+using dp::sat_add;
+
+/// Deliberately portable per-cell kernel state: one (H, E, F) row kept in a
+/// struct-of-vectors, no alpha-blocking, no bus specialization — the shape of
+/// a straightforward cluster-node implementation.
+struct PlainSweep {
+  std::vector<Score> h, e, f;
+
+  void init(Index n) {
+    h.assign(static_cast<std::size_t>(n) + 1, 0);
+    e.assign(static_cast<std::size_t>(n) + 1, kNegInf);
+    f.assign(static_cast<std::size_t>(n) + 1, kNegInf);
+  }
+};
+
+struct SweepBest {
+  Score score = 0;
+  Index i = 0, j = 0;
+};
+
+/// One full local-mode pass; per-strip timings feed the cluster simulation.
+/// Returns the best cell; accumulates measured and simulated seconds.
+SweepBest timed_local_pass(seq::SequenceView a, seq::SequenceView b,
+                           const scoring::Scheme& scheme, Index processors, Index block,
+                           WideScore& cells, double& measured, double& simulated) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  PlainSweep sweep;
+  sweep.init(n);
+  SweepBest best;
+  Timer total;
+
+  // Z-align distributes column blocks over processors; a row strip's wall
+  // clock on p processors is its single-thread time divided by the effective
+  // parallelism of the wavefront at that strip (blocks available vs p),
+  // which we accumulate per strip below.
+  const Index col_blocks = std::max<Index>(1, (n + block - 1) / block);
+  const Index row_strips = std::max<Index>(1, (m + block - 1) / block);
+  // Wavefront efficiency: with D = row_strips + col_blocks - 1 diagonals and
+  // W = row_strips * col_blocks tiles, p workers need sum over diagonals of
+  // ceil(k_d / p) tile-slots instead of W/p.
+  WideScore slots = 0;
+  for (Index d = 0; d < row_strips + col_blocks - 1; ++d) {
+    const Index lo = std::max<Index>(0, d - col_blocks + 1);
+    const Index hi = std::min(row_strips - 1, d);
+    const Index k = hi - lo + 1;
+    slots += (k + processors - 1) / processors;
+  }
+  const double efficiency =
+      static_cast<double>(row_strips) * col_blocks / (static_cast<double>(slots) * processors);
+
+  for (Index i = 1; i <= m; ++i) {
+    const seq::Base ai = a[static_cast<std::size_t>(i - 1)];
+    Score diag = sweep.h[0];
+    Score e_run = kNegInf;
+    for (Index j = 1; j <= n; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      const Score up = sweep.h[sj];
+      const Score nf = std::max(sat_add(sweep.f[sj], -scheme.gap_ext),
+                                sat_add(up, -scheme.gap_first));
+      const Score ne = std::max(sat_add(e_run, -scheme.gap_ext),
+                                sat_add(sweep.h[sj - 1], -scheme.gap_first));
+      Score nh = std::max({ne, nf, sat_add(diag, scheme.pair(ai, b[sj - 1])), Score{0}});
+      diag = up;
+      sweep.h[sj] = nh;
+      sweep.f[sj] = nf;
+      sweep.e[sj] = ne;
+      e_run = ne;
+      if (nh > best.score) {
+        best.score = nh;
+        best.i = i;
+        best.j = j;
+      }
+    }
+  }
+  cells += static_cast<WideScore>(m) * n;
+  const double elapsed = total.seconds();
+  measured += elapsed;
+  simulated += elapsed / (processors * efficiency);
+  return best;
+}
+
+}  // namespace
+
+ZAlignResult zalign_align(seq::SequenceView s0, seq::SequenceView s1,
+                          const ZAlignOptions& options) {
+  options.scheme.validate();
+  CUDALIGN_CHECK(options.processors >= 1, "need at least one simulated processor");
+  CUDALIGN_CHECK(options.block_size >= 1, "block size must be positive");
+  ZAlignResult result;
+
+  // Phase 1 (forward): best score and end point.
+  const SweepBest end = timed_local_pass(s0, s1, options.scheme, options.processors,
+                                         options.block_size, result.cells,
+                                         result.measured_seconds, result.simulated_seconds);
+  if (end.score == 0) return result;  // Empty alignment.
+
+  // Phase 2 (reverse): start point = end point of the reversed prefix pair.
+  std::vector<seq::Base> r0(s0.rbegin() + static_cast<std::ptrdiff_t>(s0.size() - end.i),
+                            s0.rend());
+  std::vector<seq::Base> r1(s1.rbegin() + static_cast<std::ptrdiff_t>(s1.size() - end.j),
+                            s1.rend());
+  const SweepBest rev = timed_local_pass(r0, r1, options.scheme, options.processors,
+                                         options.block_size, result.cells,
+                                         result.measured_seconds, result.simulated_seconds);
+  CUDALIGN_CHECK(rev.score == end.score,
+                 "z-align baseline: reverse pass disagrees on the best score");
+  const Index i0 = end.i - rev.i;
+  const Index j0 = end.j - rev.j;
+
+  // Phase 3 (alignment matching): linear-space global alignment of the
+  // bounded region, Myers-Miller style. Z-align parallelizes this phase over
+  // its special-column partitions; simulate ideal scaling for it (generous
+  // to the baseline).
+  Timer mm_timer;
+  const auto sub0 = s0.subspan(static_cast<std::size_t>(i0), static_cast<std::size_t>(end.i - i0));
+  const auto sub1 = s1.subspan(static_cast<std::size_t>(j0), static_cast<std::size_t>(end.j - j0));
+  dp::GlobalResult mm = dp::myers_miller(sub0, sub1, options.scheme);
+  CUDALIGN_CHECK(mm.score == end.score, "z-align baseline: traceback score mismatch");
+  const double mm_elapsed = mm_timer.seconds();
+  result.measured_seconds += mm_elapsed;
+  result.simulated_seconds += mm_elapsed / static_cast<double>(options.processors);
+  result.cells += 2 * static_cast<WideScore>(end.i - i0) * (end.j - j0);
+
+  result.alignment.i0 = i0;
+  result.alignment.j0 = j0;
+  result.alignment.i1 = end.i;
+  result.alignment.j1 = end.j;
+  result.alignment.score = end.score;
+  result.alignment.transcript = std::move(mm.transcript);
+  return result;
+}
+
+}  // namespace cudalign::baseline

@@ -1,0 +1,37 @@
+// Z-align stand-in (paper §V-A, Table VI).
+//
+// Z-align [19] is an MPI cluster system that produces exact pairwise
+// alignments of megabase sequences: a block-wavefront forward pass over p
+// processors, a reverse pass to locate the alignment start, and a
+// linear-space traceback. This host has one CPU core and no cluster, so the
+// baseline (a) *executes* the full Z-align work profile single-threaded — a
+// deliberately portable, non-unrolled kernel, the kind of code a generic
+// cluster node runs — and (b) *simulates* the p-processor wall clock by list
+// scheduling the measured per-diagonal tile times onto p workers (wavefront
+// fill/drain included). The simulated number is labelled as such everywhere
+// it is reported; the substitution is documented in DESIGN.md.
+#pragma once
+
+#include "alignment/alignment.hpp"
+#include "scoring/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace cudalign::baseline {
+
+struct ZAlignOptions {
+  scoring::Scheme scheme;
+  Index processors = 1;    ///< Simulated cluster width (paper: 1 and 64).
+  Index block_size = 1024; ///< Wavefront tile edge.
+};
+
+struct ZAlignResult {
+  alignment::Alignment alignment;
+  WideScore cells = 0;
+  double measured_seconds = 0;   ///< Actual single-thread wall clock.
+  double simulated_seconds = 0;  ///< List-scheduled makespan on `processors`.
+};
+
+[[nodiscard]] ZAlignResult zalign_align(seq::SequenceView s0, seq::SequenceView s1,
+                                        const ZAlignOptions& options);
+
+}  // namespace cudalign::baseline

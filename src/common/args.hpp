@@ -1,0 +1,79 @@
+// Minimal dependency-free command-line flag parser (used by the cudalign CLI).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cudalign::common {
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int k = first; k < argc; ++k) {
+      std::string arg = argv[k];
+      if (arg.rfind("--", 0) == 0) {
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+          flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else if (k + 1 < argc && std::string(argv[k + 1]).rfind("--", 0) != 0) {
+          flags_[arg.substr(2)] = argv[++k];
+        } else {
+          flags_[arg.substr(2)] = "";
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  [[nodiscard]] bool has(const std::string& name) const { return flags_.contains(name); }
+
+  [[nodiscard]] std::string str(const std::string& name, const std::string& fallback = "") const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::int64_t num(const std::string& name, std::int64_t fallback) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    try {
+      // Accept size suffixes: K, M, G.
+      const std::string& v = it->second;
+      std::size_t pos = 0;
+      std::int64_t value = std::stoll(v, &pos);
+      if (pos < v.size()) {
+        switch (v[pos]) {
+          case 'k': case 'K': value <<= 10; break;
+          case 'm': case 'M': value <<= 20; break;
+          case 'g': case 'G': value <<= 30; break;
+          default:
+            throw Error("bad numeric suffix in --" + name + "=" + v);
+        }
+      }
+      return value;
+    } catch (const std::exception&) {
+      throw Error("flag --" + name + " expects a number, got '" + it->second + "'");
+    }
+  }
+
+  /// Throws if any flag was not consumed by `known` (typo protection).
+  void check_known(const std::vector<std::string>& known) const {
+    for (const auto& [name, value] : flags_) {
+      bool ok = false;
+      for (const auto& k : known) ok = ok || k == name;
+      CUDALIGN_CHECK(ok, "unknown flag --" + name);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cudalign::common

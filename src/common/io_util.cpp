@@ -1,0 +1,50 @@
+#include "common/io_util.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+
+namespace cudalign {
+
+namespace {
+std::atomic<std::uint64_t> g_tempdir_counter{0};
+}  // namespace
+
+TempDir::TempDir(const std::string& prefix) {
+  const auto base = std::filesystem::temp_directory_path();
+  const auto stamp = std::chrono::steady_clock::now().time_since_epoch().count();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::ostringstream name;
+    name << prefix << '-' << stamp << '-' << g_tempdir_counter.fetch_add(1) << '-' << attempt;
+    const auto candidate = base / name.str();
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec) && !ec) {
+      path_ = candidate;
+      return;
+    }
+  }
+  throw Error("TempDir: could not create a unique temporary directory under " + base.string());
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // Best effort; never throw in a destructor.
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  CUDALIGN_CHECK(in.good(), "cannot open file for reading: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  CUDALIGN_CHECK(!in.bad(), "error while reading file: " + path.string());
+  return buffer.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CUDALIGN_CHECK(out.good(), "cannot open file for writing: " + path.string());
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  CUDALIGN_CHECK(out.good(), "error while writing file: " + path.string());
+}
+
+}  // namespace cudalign

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// Benchmarks and tests must be reproducible across runs and platforms, so we
+// carry our own small generators instead of std::mt19937 (whose distributions
+// are not portable across standard libraries).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace cudalign {
+
+/// SplitMix64: used to seed Xoshiro and for cheap one-off hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept {
+    for (auto& word : s_) word = splitmix64(seed);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    CUDALIGN_CHECK(bound > 0, "Rng::below requires a positive bound");
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Geometric length >= 1 with continuation probability p in [0, 1).
+  [[nodiscard]] std::uint64_t geometric(double p) noexcept {
+    std::uint64_t len = 1;
+    while (uniform() < p) ++len;
+    return len;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace cudalign

@@ -1,0 +1,108 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace cudalign {
+
+namespace {
+/// Set while a pool worker runs a task: nested parallel_for calls from inside
+/// a task run inline (the classic nested-fork deadlock: every worker blocked
+/// in an outer wait while the inner bodies sit unqueued behind them).
+thread_local bool tl_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    tl_inside_pool_worker = true;
+    task.fn();
+    tl_inside_pool_worker = false;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || threads_.size() == 1 || tl_inside_pool_worker) {
+    // Run inline: with one worker (this host) the queue round-trip is pure
+    // overhead and inline execution keeps stack traces readable.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Shared state lives on the caller's stack; the caller blocks until every
+  // participating body has fully exited, so no worker can touch a dangling
+  // reference.
+  const std::size_t fanout = std::min(threads_.size(), count);
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t bodies_finished = 0;
+
+  auto body = [&] {
+    std::exception_ptr local_error;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        if (!local_error) local_error = std::current_exception();
+      }
+    }
+    std::lock_guard lock(done_mutex);
+    if (local_error && !first_error) first_error = local_error;
+    ++bodies_finished;
+    done_cv.notify_all();
+  };
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i + 1 < fanout; ++i) tasks_.push(Task{body});
+  }
+  cv_.notify_all();
+  body();  // The caller participates too.
+
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return bodies_finished >= fanout; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace cudalign

@@ -1,0 +1,52 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// This is the CPU stand-in for the CUDA block scheduler: the wavefront
+// executor submits one task per block of an external diagonal and joins the
+// diagonal before advancing (exactly the inter-diagonal synchronization the
+// GPU grid provides). The pool is deliberately simple — per-diagonal fan-out
+// with a barrier — because that is the dependency structure being modelled.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cudalign {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// iterations finish. Iterations must not throw; exceptions are rethrown on
+  /// the caller thread after the barrier (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed, sized to the hardware).
+  static ThreadPool& shared();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<Task> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace cudalign

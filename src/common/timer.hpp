@@ -1,0 +1,40 @@
+// Wall-clock timing utilities used by the pipeline stage statistics and the
+// benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace cudalign {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on scope exit; used to attribute
+/// time to pipeline stages without littering call sites.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) noexcept : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace cudalign

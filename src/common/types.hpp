@@ -1,0 +1,31 @@
+// Core scalar types shared by every cudalign subsystem.
+//
+// Scores are signed 64-bit internally at API boundaries (a 47 MBP optimal
+// alignment score exceeds 2^24 but fits easily in 32 bits; we still use
+// int64_t in aggregate statistics) while DP inner loops use int32_t with a
+// saturating "minus infinity" sentinel chosen so that adding any single
+// penalty cannot underflow.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cudalign {
+
+/// Score of an alignment or DP cell.
+using Score = std::int32_t;
+/// Wide accumulator for scores/statistics.
+using WideScore = std::int64_t;
+/// Index into a sequence or DP matrix (0-based unless noted).
+using Index = std::int64_t;
+
+/// Sentinel for "no path reaches this DP state". Chosen at one quarter of the
+/// int32 range so that `kNegInf + penalty + penalty` still compares smaller
+/// than any reachable score without wrapping.
+inline constexpr Score kNegInf = std::numeric_limits<Score>::min() / 4;
+
+/// True if `s` represents an unreachable DP state (any value that could only
+/// arise from sentinel arithmetic).
+[[nodiscard]] constexpr bool is_neg_inf(Score s) noexcept { return s <= kNegInf / 2; }
+
+}  // namespace cudalign

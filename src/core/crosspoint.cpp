@@ -1,0 +1,63 @@
+#include "core/crosspoint.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "dp/gotoh.hpp"
+
+namespace cudalign::core {
+
+std::vector<Partition> partitions_of(const CrosspointList& list) {
+  CUDALIGN_CHECK(list.size() >= 2, "a crosspoint chain needs at least start and end points");
+  std::vector<Partition> parts;
+  parts.reserve(list.size() - 1);
+  for (std::size_t k = 0; k + 1 < list.size(); ++k) {
+    parts.push_back(Partition{list[k], list[k + 1]});
+  }
+  return parts;
+}
+
+void validate_chain(const CrosspointList& list, Index m, Index n, Score best) {
+  CUDALIGN_CHECK(list.size() >= 2, "crosspoint chain too short");
+  const Crosspoint& first = list.front();
+  const Crosspoint& last = list.back();
+  CUDALIGN_CHECK(first.type == dp::CellState::kH && first.score == 0,
+                 "start point must have type 0 and score 0");
+  CUDALIGN_CHECK(last.type == dp::CellState::kH && last.score == best,
+                 "end point must have type 0 and the best score");
+  for (const Crosspoint& c : list) {
+    CUDALIGN_CHECK(0 <= c.i && c.i <= m && 0 <= c.j && c.j <= n,
+                   "crosspoint outside the DP matrix");
+  }
+  for (std::size_t k = 0; k + 1 < list.size(); ++k) {
+    const Crosspoint& a = list[k];
+    const Crosspoint& b = list[k + 1];
+    CUDALIGN_CHECK(a.i <= b.i && a.j <= b.j, "crosspoints not monotone");
+    CUDALIGN_CHECK(a.i < b.i || a.j < b.j, "duplicate crosspoint in chain");
+    const Partition p{a, b};
+    if (b.type == dp::CellState::kE) {
+      CUDALIGN_CHECK(p.width() >= 1, "an E-type crosspoint needs a horizontal edge before it");
+    }
+    if (b.type == dp::CellState::kF) {
+      CUDALIGN_CHECK(p.height() >= 1, "an F-type crosspoint needs a vertical edge before it");
+    }
+  }
+}
+
+void validate_chain_scores(const CrosspointList& list, seq::SequenceView s0,
+                           seq::SequenceView s1, const scoring::Scheme& scheme) {
+  validate_chain(list, static_cast<Index>(s0.size()), static_cast<Index>(s1.size()),
+                 list.back().score);
+  for (const Partition& p : partitions_of(list)) {
+    const auto sub0 = s0.subspan(static_cast<std::size_t>(p.start.i),
+                                 static_cast<std::size_t>(p.height()));
+    const auto sub1 = s1.subspan(static_cast<std::size_t>(p.start.j),
+                                 static_cast<std::size_t>(p.width()));
+    const auto result = dp::align_global(sub0, sub1, scheme, p.start.type, p.end.type);
+    CUDALIGN_CHECK(result.score == p.score(),
+                   "partition score " + std::to_string(result.score) +
+                       " does not telescope: expected " + std::to_string(p.score()));
+  }
+}
+
+}  // namespace cudalign::core

@@ -1,0 +1,70 @@
+// Crosspoints and partitions (paper §IV-A).
+//
+// A crosspoint (i, j, score, type) is a DP vertex the optimal alignment
+// passes through: `score` is the prefix score of the optimal alignment at
+// that vertex and `type` is the path state there (0 = match/mismatch edge,
+// 1 = gap in S0 / state E, 2 = gap in S1 / state F). Two successive
+// crosspoints delimit a partition — an independent global sub-alignment of
+// S0[i_s..i_e) x S1[j_s..j_e) entering in state type_s (with the gap-open
+// discount) and leaving in state type_e, whose optimal score is
+// score_e - score_s.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "dp/dp_common.hpp"
+#include "scoring/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace cudalign::core {
+
+struct Crosspoint {
+  Index i = 0;
+  Index j = 0;
+  Score score = 0;
+  dp::CellState type = dp::CellState::kH;
+
+  friend bool operator==(const Crosspoint&, const Crosspoint&) = default;
+};
+
+/// L_k: crosspoints ordered from the alignment start point (score 0, type 0)
+/// to the end point (score = best, type 0).
+using CrosspointList = std::vector<Crosspoint>;
+
+struct Partition {
+  Crosspoint start;
+  Crosspoint end;
+
+  [[nodiscard]] Index height() const noexcept { return end.i - start.i; }
+  [[nodiscard]] Index width() const noexcept { return end.j - start.j; }
+  /// The paper's partition size metric for Stage 4's maximum partition size.
+  [[nodiscard]] Index size() const noexcept { return std::max(height(), width()); }
+  [[nodiscard]] Score score() const noexcept { return end.score - start.score; }
+};
+
+/// The E<->F swap under matrix transposition (S0 and S1 exchanged).
+[[nodiscard]] constexpr dp::CellState transpose_state(dp::CellState s) noexcept {
+  switch (s) {
+    case dp::CellState::kE: return dp::CellState::kF;
+    case dp::CellState::kF: return dp::CellState::kE;
+    case dp::CellState::kH:
+    default: return dp::CellState::kH;
+  }
+}
+
+/// Consecutive pairs of a crosspoint list as partitions.
+[[nodiscard]] std::vector<Partition> partitions_of(const CrosspointList& list);
+
+/// Structural validation of a crosspoint chain: endpoints have type 0, the
+/// start scores 0 and the end scores `best`, coordinates are monotone and
+/// strictly advancing, and every partition's geometry is consistent with its
+/// edge types (an E edge needs width, an F edge height). Throws on violation.
+void validate_chain(const CrosspointList& list, Index m, Index n, Score best);
+
+/// Deep validation (tests): additionally recomputes every partition's optimal
+/// score by quadratic DP and checks it telescopes (score_e - score_s).
+void validate_chain_scores(const CrosspointList& list, seq::SequenceView s0,
+                           seq::SequenceView s1, const scoring::Scheme& scheme);
+
+}  // namespace cudalign::core

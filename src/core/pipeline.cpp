@@ -1,0 +1,129 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/io_util.hpp"
+
+namespace cudalign::core {
+
+PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
+                              const PipelineOptions& options) {
+  options.scheme.validate();
+  PipelineResult result;
+  const seq::SequenceView v0 = s0.bases();
+  const seq::SequenceView v1 = s1.bases();
+
+  // SRA setup. A temp dir keeps benchmark/test runs self-cleaning; an
+  // explicit workdir lets users keep the special rows for inspection.
+  std::optional<TempDir> temp;
+  std::filesystem::path dir = options.workdir;
+  if (dir.empty()) {
+    temp.emplace("cudalign-sra");
+    dir = temp->path();
+  }
+  sra::SpecialRowsArea rows_area(dir / "rows", options.sra_rows_budget);
+  sra::SpecialRowsArea cols_area(dir / "cols", options.sra_cols_budget);
+  // A reused working directory starts fresh; crash-recovery workflows use
+  // the stage-level API with the persisted manifest instead.
+  rows_area.drop_all();
+  cols_area.drop_all();
+
+  // Stage 1 — best score, end point, special rows.
+  Stage1Config c1;
+  c1.scheme = options.scheme;
+  c1.grid = options.grid_stage1;
+  c1.rows_area = options.flush_special_rows ? &rows_area : nullptr;
+  c1.block_pruning = options.block_pruning;
+  if (options.progress) {
+    c1.progress = [&](double fraction) { options.progress(1, fraction); };
+  }
+  c1.pool = options.pool;
+  const Stage1Result st1 = run_stage1(v0, v1, c1);
+  if (options.progress) options.progress(1, 1.0);
+  result.stages[0] = st1.stats;
+  result.end_point = st1.end_point;
+  result.best_score = st1.end_point.score;
+  result.special_rows_saved = st1.special_rows_saved;
+  result.stage1_pruned_cells = st1.pruned_cells;
+  result.flush_interval = st1.flush_interval;
+  result.crosspoint_counts[0] = 1;
+
+  if (result.best_score == 0) {
+    // Empty optimal alignment: nothing to trace back.
+    result.empty = true;
+    result.start_point = result.end_point;
+    result.alignment.score = 0;
+    result.binary = alignment::to_binary(result.alignment);
+    return result;
+  }
+  CUDALIGN_CHECK(options.flush_special_rows,
+                 "retrieving the alignment requires special rows (enable flush_special_rows "
+                 "or use stage 1 alone for score-only runs)");
+
+  // Stage 2 — crosspoints on special rows + start point; special columns.
+  Stage2Config c2;
+  c2.scheme = options.scheme;
+  c2.grid = options.grid_stage23;
+  c2.rows_area = &rows_area;
+  c2.cols_area = options.save_special_columns ? &cols_area : nullptr;
+  c2.pool = options.pool;
+  const Stage2Result st2 = run_stage2(v0, v1, st1.end_point, c2);
+  if (options.progress) options.progress(2, 1.0);
+  result.stages[1] = st2.stats;
+  result.start_point = st2.crosspoints.front();
+  result.special_cols_saved = st2.special_cols_saved;
+  result.crosspoint_counts[1] = static_cast<Index>(st2.crosspoints.size());
+
+  // Stage 3 — more crosspoints over the special columns.
+  CrosspointList l3 = st2.crosspoints;
+  if (options.save_special_columns && st2.special_cols_saved > 0) {
+    Stage3Config c3;
+    c3.scheme = options.scheme;
+    c3.grid = options.grid_stage23;
+    c3.cols_area = &cols_area;
+    c3.pool = options.pool;
+    Stage3Result st3 = run_stage3(v0, v1, st2.crosspoints, c3);
+    if (options.progress) options.progress(3, 1.0);
+    result.stages[2] = st3.stats;
+    l3 = std::move(st3.crosspoints);
+  }
+  result.crosspoint_counts[2] = static_cast<Index>(l3.size());
+  for (const Partition& p : partitions_of(l3)) {
+    result.h_max_after_stage3 = std::max(result.h_max_after_stage3, p.height());
+    result.w_max_after_stage3 = std::max(result.w_max_after_stage3, p.width());
+  }
+  result.sra_peak_bytes = rows_area.peak_bytes() + cols_area.peak_bytes();
+
+  // Stage 4 — balanced splitting down to the maximum partition size.
+  Stage4Config c4;
+  c4.scheme = options.scheme;
+  c4.max_partition_size = options.max_partition_size;
+  c4.balanced_splitting = options.balanced_splitting;
+  c4.orthogonal = options.orthogonal_stage4;
+  c4.pool = options.pool;
+  Stage4Result st4 = run_stage4(v0, v1, l3, c4);
+  if (options.progress) options.progress(4, 1.0);
+  result.stages[3] = st4.stats;
+  result.stage4_iterations = std::move(st4.iterations);
+  result.crosspoint_counts[3] = static_cast<Index>(st4.crosspoints.size());
+
+  // Stage 5 — full alignment + binary representation.
+  Stage5Config c5;
+  c5.scheme = options.scheme;
+  c5.pool = options.pool;
+  Stage5Result st5 = run_stage5(v0, v1, st4.crosspoints, c5);
+  if (options.progress) options.progress(5, 1.0);
+  result.stages[4] = st5.stats;
+  result.alignment = std::move(st5.alignment);
+  result.binary = std::move(st5.binary);
+
+  // Stage 6 — visualization (optional, like the paper's).
+  if (options.run_stage6) {
+    Stage6Result st6 = run_stage6(v0, v1, result.binary, options.scheme);
+    result.stages[5] = st6.stats;
+    result.visualization = std::move(st6);
+  }
+  return result;
+}
+
+}  // namespace cudalign::core

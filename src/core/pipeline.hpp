@@ -1,0 +1,87 @@
+// The CUDAlign 2.0 pipeline driver (paper §IV): chains the six stages,
+// manages the SRA, and collects the statistics behind Tables IV-IX.
+#pragma once
+
+#include <array>
+#include <filesystem>
+#include <memory>
+#include <optional>
+
+#include "core/stages.hpp"
+
+namespace cudalign::core {
+
+struct PipelineOptions {
+  scoring::Scheme scheme = scoring::Scheme::paper_defaults();
+
+  /// SRA budget in bytes for special rows, and separately for special
+  /// columns. The paper's chromosome run uses 10-50 GB for rows; scaled-down
+  /// problems use proportionally smaller budgets.
+  std::int64_t sra_rows_budget = 64 << 20;
+  std::int64_t sra_cols_budget = 64 << 20;
+
+  /// Working directory for SRA files; empty = a fresh temp dir per run.
+  std::filesystem::path workdir;
+
+  engine::GridSpec grid_stage1 = engine::GridSpec::stage1_defaults();
+  engine::GridSpec grid_stage23 = engine::GridSpec::stage23_defaults();
+
+  Index max_partition_size = 16;
+
+  bool flush_special_rows = true;   ///< Off = score-only (Table IV "No Flush").
+  bool block_pruning = false;       ///< Stage-1 block pruning (engine/executor.hpp).
+  bool save_special_columns = true; ///< Off = skip Stage 3 (Stage 4 absorbs it).
+  bool balanced_splitting = true;   ///< Stage 4 ablation (Figure 10).
+  bool orthogonal_stage4 = true;    ///< Stage 4 ablation (Table IX).
+  bool run_stage6 = true;
+
+  /// Progress callback: stage (1-6) and completed fraction of that stage's
+  /// cells. Invoked from the driver thread between engine diagonals of Stage
+  /// 1 and between stages otherwise — chromosome-scale runs take hours
+  /// (18.5 h in the paper) and need liveness reporting.
+  std::function<void(int stage, double fraction)> progress;
+
+  ThreadPool* pool = nullptr;
+};
+
+struct PipelineResult {
+  /// Empty optimal alignment (best score 0) short-circuits after Stage 1.
+  bool empty = false;
+
+  Crosspoint end_point;
+  Crosspoint start_point;
+  Score best_score = 0;
+
+  alignment::Alignment alignment;
+  alignment::BinaryAlignment binary;
+  std::optional<Stage6Result> visualization;
+
+  /// Per-stage statistics, index 0 = Stage 1 ... index 5 = Stage 6.
+  std::array<StageStats, 6> stages{};
+  std::vector<Stage4Iteration> stage4_iterations;
+
+  /// |L_k| after stages 1..4 (Table VIII).
+  std::array<Index, 4> crosspoint_counts{};
+  /// Largest partition dimensions after Stage 3 (Table VIII's Hmax/Wmax).
+  Index h_max_after_stage3 = 0;
+  Index w_max_after_stage3 = 0;
+
+  WideScore stage1_pruned_cells = 0;
+  Index special_rows_saved = 0;
+  Index special_cols_saved = 0;
+  Index flush_interval = 0;
+  std::int64_t sra_peak_bytes = 0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    double total = 0;
+    for (const auto& s : stages) total += s.seconds;
+    return total;
+  }
+};
+
+/// Runs all stages. S0 is the vertical sequence (rows, size m), S1 horizontal
+/// (columns, size n) — the paper's convention.
+[[nodiscard]] PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
+                                            const PipelineOptions& options = {});
+
+}  // namespace cudalign::core

@@ -1,0 +1,52 @@
+// Stage 1 (paper §IV-B): CUDAlign 1.0's wavefront Smith-Waterman with one
+// modification — special rows are flushed from the horizontal bus to the SRA
+// at the flush interval derived from the SRA budget.
+#include "core/stages.hpp"
+
+#include "common/timer.hpp"
+
+namespace cudalign::core {
+
+Stage1Result run_stage1(seq::SequenceView s0, seq::SequenceView s1, const Stage1Config& config) {
+  config.scheme.validate();
+  Timer timer;
+  Stage1Result result;
+
+  const Index m = static_cast<Index>(s0.size());
+  const Index n = static_cast<Index>(s1.size());
+
+  engine::ProblemSpec spec;
+  spec.a = s0;
+  spec.b = s1;
+  spec.recurrence = engine::Recurrence::local(config.scheme);
+  spec.grid = config.grid;
+  spec.block_pruning = config.block_pruning;
+
+  engine::Hooks hooks;
+  if (config.progress) {
+    hooks.on_progress = [&](Index done, Index total) {
+      config.progress(static_cast<double>(done) / static_cast<double>(total));
+    };
+  }
+  if (config.rows_area != nullptr && m > 0 && n > 0) {
+    result.flush_interval = sra::flush_interval_for_budget(
+        m, n, config.grid.strip_rows(), config.rows_area->budget_bytes());
+    hooks.special_row_interval = result.flush_interval;
+    hooks.on_special_row = [&](Index row, std::span<const engine::BusCell> cells) {
+      config.rows_area->put(sra::RowKey{row, 0, n, config.group}, cells);
+      ++result.special_rows_saved;
+    };
+  }
+
+  const engine::RunResult run = engine::run_wavefront(spec, hooks, config.pool);
+  result.end_point = Crosspoint{run.best.i, run.best.j, run.best.score, dp::CellState::kH};
+  result.pruned_cells = run.stats.pruned_cells;
+  result.stats.cells = run.stats.cells;
+  result.stats.blocks_used = run.stats.blocks_used;
+  result.stats.ram_bytes = run.stats.bus_bytes;
+  result.stats.crosspoints = 1;  // L_1 = {*, C_1}.
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace cudalign::core

@@ -1,0 +1,156 @@
+// Stage 3 (paper §IV-D): splitting partitions.
+//
+// Each stage-2 partition is recomputed *forward* (threads horizontal, like
+// Stage 1, orthogonal to Stage 2's execution — Figure 9) with the global
+// recurrence and the start-type-adjusted initialization. Whenever the
+// computation passes one of the special columns saved by Stage 2, the forward
+// (H, E) values are matched against the stored reverse values with the
+// goal-based procedure; once every special column of the partition has its
+// crosspoint — the paper's "last special column intercepted" — the partition's
+// run stops early.
+//
+// Partitions are processed in parallel ("the order of execution of the
+// partitions is irrelevant, so they can be processed in parallel" — and the
+// paper's §VI lists partition-parallel Stage 3 as future work; this CPU
+// implementation delivers it via the thread pool, with the per-partition
+// engine runs degrading to inline execution inside pool workers).
+#include <algorithm>
+#include <map>
+
+#include "common/timer.hpp"
+#include "core/stages.hpp"
+
+namespace cudalign::core {
+
+namespace {
+
+/// A stored special column ready for matching.
+struct ReverseColumn {
+  Index column = 0;      ///< Original column vertex.
+  Index row_begin = 0;   ///< First original row covered.
+  std::vector<engine::BusCell> cells;  ///< (H, E) of the reverse DP, by row.
+};
+
+struct PartitionOutcome {
+  std::vector<Crosspoint> crosspoints;  ///< New crosspoints, ascending column.
+  WideScore cells = 0;
+  Index blocks_used = 0;
+  std::size_t ram_bytes = 0;
+};
+
+PartitionOutcome split_partition(seq::SequenceView s0, seq::SequenceView s1,
+                                 const Partition& part, std::vector<ReverseColumn> columns,
+                                 const Stage3Config& config) {
+  PartitionOutcome outcome;
+  if (columns.empty()) return outcome;
+  std::sort(columns.begin(), columns.end(),
+            [](const ReverseColumn& a, const ReverseColumn& b) { return a.column < b.column; });
+
+  const Index m_p = part.height();
+  const Index n_p = part.width();
+  const Score goal = part.score();
+
+  engine::ProblemSpec spec;
+  spec.a = s0.subspan(static_cast<std::size_t>(part.start.i), static_cast<std::size_t>(m_p));
+  spec.b = s1.subspan(static_cast<std::size_t>(part.start.j), static_cast<std::size_t>(n_p));
+  spec.recurrence = engine::Recurrence::global_start(part.start.type, config.scheme);
+  spec.grid = config.grid;
+
+  engine::Hooks hooks;
+  std::map<Index, Crosspoint> found;  // Keyed by column, ordered.
+  hooks.tap_columns.reserve(columns.size());
+  for (const auto& col : columns) hooks.tap_columns.push_back(col.column - part.start.j);
+
+  hooks.on_tap = [&](Index col_local, Index first_row,
+                     std::span<const engine::BusCell> entries) {
+    const Index col = col_local + part.start.j;
+    if (found.contains(col)) {
+      return found.size() == columns.size() ? engine::HookAction::kStop
+                                            : engine::HookAction::kContinue;
+    }
+    const auto it = std::find_if(columns.begin(), columns.end(),
+                                 [&](const ReverseColumn& c) { return c.column == col; });
+    CUDALIGN_ASSERT(it != columns.end());
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      const Index i = part.start.i + first_row + static_cast<Index>(k);
+      if (i < it->row_begin) continue;
+      const engine::BusCell& rev = it->cells[static_cast<std::size_t>(i - it->row_begin)];
+      const engine::BusCell& fwd = entries[k];
+      // Clean junction through H.
+      if (!is_neg_inf(fwd.h) && !is_neg_inf(rev.h) && fwd.h + rev.h == goal) {
+        found.emplace(col, Crosspoint{i, col, static_cast<Score>(part.start.score + fwd.h),
+                                      dp::CellState::kH});
+        break;
+      }
+      // Horizontal gap run crossing the column: Ef + Er + G_open == goal.
+      if (!is_neg_inf(fwd.gap) && !is_neg_inf(rev.gap) &&
+          fwd.gap + rev.gap + config.scheme.gap_open() == goal) {
+        found.emplace(col, Crosspoint{i, col, static_cast<Score>(part.start.score + fwd.gap),
+                                      dp::CellState::kE});
+        break;
+      }
+    }
+    return found.size() == columns.size() ? engine::HookAction::kStop
+                                          : engine::HookAction::kContinue;
+  };
+
+  const engine::RunResult run = engine::run_wavefront(spec, hooks, config.pool);
+  outcome.cells = run.stats.cells;
+  outcome.blocks_used = run.stats.blocks_used;
+  outcome.ram_bytes = run.stats.bus_bytes;
+  CUDALIGN_CHECK(found.size() == columns.size(),
+                 "stage 3 failed to intercept every special column of a partition");
+  for (const auto& [col, cp] : found) outcome.crosspoints.push_back(cp);
+  return outcome;
+}
+
+}  // namespace
+
+Stage3Result run_stage3(seq::SequenceView s0, seq::SequenceView s1, const CrosspointList& l2,
+                        const Stage3Config& config) {
+  config.scheme.validate();
+  CUDALIGN_CHECK(config.cols_area != nullptr, "stage 3 requires the stage-2 special columns");
+  Timer timer;
+  Stage3Result result;
+
+  const std::vector<Partition> parts = partitions_of(l2);
+  const auto part_count = static_cast<std::int64_t>(parts.size());
+
+  // Gather each partition's stored columns up front (SRA access is not
+  // thread-safe by design; the DP work below is the expensive part).
+  std::vector<std::vector<ReverseColumn>> per_partition(parts.size());
+  for (std::int64_t p = 0; p < part_count; ++p) {
+    const Partition& part = parts[static_cast<std::size_t>(p)];
+    // Stage 2 iterated from the end point backwards: partition p (from the
+    // start) was produced by iteration part_count - 1 - p.
+    const std::int64_t group = config.cols_group_base + (part_count - 1 - p);
+    for (std::size_t id : config.cols_area->group_members(group)) {
+      const sra::RowKey& key = config.cols_area->key(id);
+      // Only columns strictly inside the partition can carry a crosspoint.
+      if (key.position <= part.start.j || key.position >= part.end.j) continue;
+      per_partition[static_cast<std::size_t>(p)].push_back(
+          ReverseColumn{key.position, key.begin, config.cols_area->get(id)});
+    }
+  }
+
+  std::vector<PartitionOutcome> outcomes(parts.size());
+  ThreadPool& pool = config.pool ? *config.pool : ThreadPool::shared();
+  pool.parallel_for(parts.size(), [&](std::size_t p) {
+    outcomes[p] = split_partition(s0, s1, parts[p], std::move(per_partition[p]), config);
+  });
+
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    result.crosspoints.push_back(parts[p].start);
+    for (const Crosspoint& cp : outcomes[p].crosspoints) result.crosspoints.push_back(cp);
+    result.stats.cells += outcomes[p].cells;
+    result.stats.blocks_used = std::max(result.stats.blocks_used, outcomes[p].blocks_used);
+    result.stats.ram_bytes = std::max(result.stats.ram_bytes, outcomes[p].ram_bytes);
+  }
+  result.crosspoints.push_back(l2.back());
+
+  result.stats.crosspoints = static_cast<Index>(result.crosspoints.size());
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace cudalign::core

@@ -1,0 +1,212 @@
+// Stage 4 (paper §IV-E): Myers-Miller with balanced splitting and orthogonal
+// execution, iterated on the CPU until every partition's largest dimension is
+// at most the maximum partition size.
+//
+//  * Balanced splitting (Figure 10): a partition is halved across its largest
+//    dimension — by the middle row when height >= width, otherwise by the
+//    middle column (implemented by transposing the sub-problem) — so narrow
+//    partitions cannot keep a disproportional dimension across iterations.
+//
+//  * Orthogonal execution (the paper's 25% expectation): the forward pass
+//    computes the top half fully (CC, DD at the middle row); the reverse pass
+//    runs column-major from the right edge and stops at the first column
+//    whose junction reaches the goal score — on average half of the bottom
+//    half is skipped.
+//
+// The implementation is iterative (a worklist, not recursion), which the
+// paper notes is the GPU-friendly formulation.
+#include <algorithm>
+#include <deque>
+
+#include "common/timer.hpp"
+#include "core/stages.hpp"
+#include "dp/linear.hpp"
+
+namespace cudalign::core {
+
+namespace {
+
+struct SplitOutcome {
+  Crosspoint mid;
+  WideScore cells = 0;
+};
+
+/// Splits `part` (already oriented so height >= width is NOT assumed; the
+/// caller passes `by_row`) at the middle row of (sub0 x sub1). Sequences are
+/// the partition's sub-views in the orientation chosen by the caller.
+SplitOutcome split_by_row(seq::SequenceView sub0, seq::SequenceView sub1, const Partition& part,
+                          const scoring::Scheme& scheme, bool orthogonal) {
+  const Index m = static_cast<Index>(sub0.size());
+  const Index n = static_cast<Index>(sub1.size());
+  const Index mid = m / 2;
+  CUDALIGN_ASSERT(mid >= 1 && mid < m);
+
+  SplitOutcome out;
+  const dp::MiddleRow fwd = dp::forward_to_row(sub0, sub1, mid, scheme, part.start.type);
+  out.cells += static_cast<WideScore>(mid) * n;
+
+  if (!orthogonal) {
+    const dp::MiddleRow rev = dp::reverse_to_row(sub0, sub1, mid, scheme, part.end.type);
+    out.cells += static_cast<WideScore>(m - mid) * n;
+    const dp::RowMatch match = dp::match_row(fwd.cc, fwd.dd, rev.cc, rev.dd, scheme);
+    out.mid = Crosspoint{mid, match.j, static_cast<Score>(part.start.score +
+                                                          dp::value_in_state(
+                                                              dp::CellHEF{fwd.cc[static_cast<std::size_t>(match.j)],
+                                                                          kNegInf,
+                                                                          fwd.dd[static_cast<std::size_t>(match.j)]},
+                                                              match.state)),
+                         match.state};
+    return out;
+  }
+
+  // Orthogonal reverse pass: sweep original columns right-to-left. This is a
+  // forward row sweep over the transposed+reversed suffix problem: its row r
+  // is original column n - r, and the entry at its column (m - mid) is the
+  // original vertex (mid, n - r) — H gives RR, E gives SS (the transposition
+  // maps the original vertical-gap state F to E).
+  const Score goal = part.score();
+  std::vector<seq::Base> a_t(sub1.rbegin(), sub1.rend());
+  std::vector<seq::Base> b_t(sub0.rbegin(), sub0.rbegin() + static_cast<std::ptrdiff_t>(m - mid));
+  dp::RowSweeper sweeper(a_t, b_t, scheme,
+                         dp::end_corner(transpose_state(part.end.type), scheme));
+  const auto q_star = static_cast<std::size_t>(m - mid);
+
+  auto try_match = [&](Index r_t) -> std::optional<Crosspoint> {
+    const Index j = n - r_t;
+    const Score rr = sweeper.h()[q_star];
+    const Score ss = sweeper.e()[q_star];
+    const Score cc = fwd.cc[static_cast<std::size_t>(j)];
+    const Score dd = fwd.dd[static_cast<std::size_t>(j)];
+    if (!is_neg_inf(cc) && !is_neg_inf(rr) && cc + rr == goal) {
+      return Crosspoint{mid, j, static_cast<Score>(part.start.score + cc), dp::CellState::kH};
+    }
+    if (!is_neg_inf(dd) && !is_neg_inf(ss) && dd + ss + scheme.gap_open() == goal) {
+      return Crosspoint{mid, j, static_cast<Score>(part.start.score + dd), dp::CellState::kF};
+    }
+    return std::nullopt;
+  };
+
+  if (auto cp = try_match(0)) {  // Column n (the partition's right edge).
+    out.mid = *cp;
+    return out;
+  }
+  for (Index r_t = 1; r_t <= n; ++r_t) {
+    sweeper.advance(r_t);
+    out.cells += m - mid;
+    if (auto cp = try_match(r_t)) {
+      out.mid = *cp;
+      return out;
+    }
+  }
+  CUDALIGN_CHECK(false, "stage 4 orthogonal matching exhausted all columns without reaching "
+                        "the goal score (partition " + std::to_string(m) + "x" +
+                        std::to_string(n) + " start type " +
+                        std::to_string(static_cast<int>(part.start.type)) + " end type " +
+                        std::to_string(static_cast<int>(part.end.type)) + " goal " +
+                        std::to_string(goal) + ")");
+}
+
+/// Transposes a partition into (S1 x S0) coordinates.
+Partition transpose_partition(const Partition& p) {
+  return Partition{Crosspoint{p.start.j, p.start.i, p.start.score, transpose_state(p.start.type)},
+                   Crosspoint{p.end.j, p.end.i, p.end.score, transpose_state(p.end.type)}};
+}
+
+}  // namespace
+
+Stage4Result run_stage4(seq::SequenceView s0, seq::SequenceView s1, const CrosspointList& l3,
+                        const Stage4Config& config) {
+  config.scheme.validate();
+  CUDALIGN_CHECK(config.max_partition_size >= 2, "maximum partition size must be at least 2");
+  Timer timer;
+  Stage4Result result;
+
+  std::deque<Partition> work;
+  for (const Partition& p : partitions_of(l3)) work.push_back(p);
+  std::vector<Crosspoint> collected{l3.begin(), l3.end()};
+
+  Index iteration = 0;
+  for (;;) {
+    Index h_max = 0, w_max = 0;
+    bool any_oversized = false;
+    for (const Partition& p : work) {
+      h_max = std::max(h_max, p.height());
+      w_max = std::max(w_max, p.width());
+      if (p.size() > config.max_partition_size) any_oversized = true;
+    }
+    if (!any_oversized) break;
+
+    Stage4Iteration it;
+    it.iteration = ++iteration;
+    it.h_max = h_max;
+    it.w_max = w_max;
+    it.crosspoints = static_cast<Index>(collected.size());
+    Timer iter_timer;
+
+    // Partitions are independent (paper §IV-E: "they can be processed in
+    // parallel" — Stage 4 runs on the CPU "using multiple threads").
+    std::deque<Partition> next;
+    std::vector<Partition> oversized;
+    while (!work.empty()) {
+      Partition p = work.front();
+      work.pop_front();
+      if (p.size() <= config.max_partition_size) {
+        next.push_back(p);
+      } else {
+        oversized.push_back(p);
+      }
+    }
+
+    std::vector<SplitOutcome> outcomes(oversized.size());
+    std::vector<Crosspoint> mids(oversized.size());
+    ThreadPool& pool = config.pool ? *config.pool : ThreadPool::shared();
+    pool.parallel_for(oversized.size(), [&](std::size_t idx) {
+      const Partition& p = oversized[idx];
+      // Balanced splitting picks the largest dimension; the classic MM
+      // baseline always splits by row (when it can).
+      const bool by_row = config.balanced_splitting ? p.height() >= p.width() : p.height() >= 2;
+      if (by_row) {
+        const auto sub0 = s0.subspan(static_cast<std::size_t>(p.start.i),
+                                     static_cast<std::size_t>(p.height()));
+        const auto sub1 = s1.subspan(static_cast<std::size_t>(p.start.j),
+                                     static_cast<std::size_t>(p.width()));
+        outcomes[idx] = split_by_row(sub0, sub1, p, config.scheme, config.orthogonal);
+        const SplitOutcome& split = outcomes[idx];
+        mids[idx] = Crosspoint{p.start.i + split.mid.i, p.start.j + split.mid.j, split.mid.score,
+                               split.mid.type};
+      } else {
+        const Partition tp = transpose_partition(p);
+        const auto sub0 = s1.subspan(static_cast<std::size_t>(tp.start.i),
+                                     static_cast<std::size_t>(tp.height()));
+        const auto sub1 = s0.subspan(static_cast<std::size_t>(tp.start.j),
+                                     static_cast<std::size_t>(tp.width()));
+        outcomes[idx] = split_by_row(sub0, sub1, tp, config.scheme, config.orthogonal);
+        const SplitOutcome& split = outcomes[idx];
+        mids[idx] = Crosspoint{p.start.i + split.mid.j, p.start.j + split.mid.i, split.mid.score,
+                               transpose_state(split.mid.type)};
+      }
+    });
+    for (std::size_t idx = 0; idx < oversized.size(); ++idx) {
+      it.cells += outcomes[idx].cells;
+      collected.push_back(mids[idx]);
+      next.push_back(Partition{oversized[idx].start, mids[idx]});
+      next.push_back(Partition{mids[idx], oversized[idx].end});
+    }
+    work = std::move(next);
+    it.seconds = iter_timer.seconds();
+    result.stats.cells += it.cells;
+    result.iterations.push_back(it);
+  }
+
+  std::sort(collected.begin(), collected.end(), [](const Crosspoint& a, const Crosspoint& b) {
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+  collected.erase(std::unique(collected.begin(), collected.end()), collected.end());
+  result.crosspoints = std::move(collected);
+  result.stats.crosspoints = static_cast<Index>(result.crosspoints.size());
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace cudalign::core

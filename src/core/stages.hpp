@@ -1,0 +1,174 @@
+// The six CUDAlign 2.0 stages (paper §IV). Each stage is independently
+// callable (tests exercise them in isolation); the pipeline driver
+// (pipeline.hpp) chains them with shared statistics.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "alignment/alignment.hpp"
+#include "alignment/gaplist.hpp"
+#include "alignment/render.hpp"
+#include "core/crosspoint.hpp"
+#include "engine/executor.hpp"
+#include "sra/sra.hpp"
+
+namespace cudalign::core {
+
+/// Per-stage accounting feeding Tables IV, V, VII and VIII.
+struct StageStats {
+  double seconds = 0;
+  WideScore cells = 0;       ///< DP cells processed (the paper's Cells_k).
+  Index crosspoints = 0;     ///< |L_k| after the stage.
+  Index blocks_used = 0;     ///< Max B_k actually used (after min-size fits).
+  std::size_t ram_bytes = 0; ///< Peak engine bus memory ("VRAM_k").
+};
+
+// ---------------------------------------------------------------------------
+// Stage 1 — obtain the best score (paper §IV-B).
+// ---------------------------------------------------------------------------
+
+struct Stage1Config {
+  scoring::Scheme scheme;
+  engine::GridSpec grid = engine::GridSpec::stage1_defaults();
+  /// Block pruning (post-paper CUDAlign optimization; engine/executor.hpp).
+  bool block_pruning = false;
+  /// Flush special rows to `rows_area` (nullptr disables; Table IV's
+  /// "No Flush" column).
+  sra::SpecialRowsArea* rows_area = nullptr;
+  /// SRA group tag for stage-1 rows.
+  std::int64_t group = 1;
+  /// Liveness: fraction of Stage-1 cells completed (long chromosome runs).
+  std::function<void(double fraction)> progress;
+  ThreadPool* pool = nullptr;
+};
+
+struct Stage1Result {
+  Crosspoint end_point;          ///< Best score and its position (type 0).
+  WideScore pruned_cells = 0;    ///< Cells skipped by block pruning.
+  Index special_rows_saved = 0;
+  Index flush_interval = 0;      ///< Strips between flushes (0 = no flushing).
+  StageStats stats;
+};
+
+[[nodiscard]] Stage1Result run_stage1(seq::SequenceView s0, seq::SequenceView s1,
+                                      const Stage1Config& config);
+
+// ---------------------------------------------------------------------------
+// Stage 2 — partial traceback (paper §IV-C): reverse semi-global execution
+// with goal-based matching and orthogonal execution; finds the crosspoints on
+// the stage-1 special rows and the alignment start point, saving special
+// columns for Stage 3.
+// ---------------------------------------------------------------------------
+
+struct Stage2Config {
+  scoring::Scheme scheme;
+  engine::GridSpec grid = engine::GridSpec::stage23_defaults();
+  sra::SpecialRowsArea* rows_area = nullptr;  ///< Stage-1 rows (required).
+  std::int64_t rows_group = 1;
+  sra::SpecialRowsArea* cols_area = nullptr;  ///< Sink for special columns (optional).
+  /// Special-column groups are `cols_group_base + partition_index`.
+  std::int64_t cols_group_base = 1000;
+  ThreadPool* pool = nullptr;
+};
+
+struct Stage2Result {
+  CrosspointList crosspoints;  ///< L_2: start point ... end point.
+  Index special_cols_saved = 0;
+  StageStats stats;
+};
+
+[[nodiscard]] Stage2Result run_stage2(seq::SequenceView s0, seq::SequenceView s1,
+                                      const Crosspoint& end_point, const Stage2Config& config);
+
+// ---------------------------------------------------------------------------
+// Stage 3 — splitting partitions (paper §IV-D): forward execution inside each
+// partition, matching the stage-2 special columns.
+// ---------------------------------------------------------------------------
+
+struct Stage3Config {
+  scoring::Scheme scheme;
+  engine::GridSpec grid = engine::GridSpec::stage23_defaults();
+  sra::SpecialRowsArea* cols_area = nullptr;  ///< Stage-2 columns (required).
+  std::int64_t cols_group_base = 1000;
+  ThreadPool* pool = nullptr;
+};
+
+struct Stage3Result {
+  CrosspointList crosspoints;  ///< L_3.
+  StageStats stats;
+};
+
+[[nodiscard]] Stage3Result run_stage3(seq::SequenceView s0, seq::SequenceView s1,
+                                      const CrosspointList& l2, const Stage3Config& config);
+
+// ---------------------------------------------------------------------------
+// Stage 4 — Myers-Miller with balanced splitting and orthogonal execution
+// (paper §IV-E), iterated until every partition fits the maximum partition
+// size.
+// ---------------------------------------------------------------------------
+
+struct Stage4Config {
+  scoring::Scheme scheme;
+  Index max_partition_size = 16;  ///< The paper's chromosome run uses 16.
+  bool balanced_splitting = true; ///< Off = classic middle-row MM (Figure 10a).
+  bool orthogonal = true;         ///< Off = full reverse pass (Table IX Time_1).
+  ThreadPool* pool = nullptr;
+};
+
+/// One Table-IX row.
+struct Stage4Iteration {
+  Index iteration = 0;
+  Index h_max = 0;        ///< Largest partition height at iteration start.
+  Index w_max = 0;
+  Index crosspoints = 0;  ///< |L| at iteration start.
+  double seconds = 0;
+  WideScore cells = 0;
+};
+
+struct Stage4Result {
+  CrosspointList crosspoints;  ///< L_4.
+  std::vector<Stage4Iteration> iterations;
+  StageStats stats;
+};
+
+[[nodiscard]] Stage4Result run_stage4(seq::SequenceView s0, seq::SequenceView s1,
+                                      const CrosspointList& l3, const Stage4Config& config);
+
+// ---------------------------------------------------------------------------
+// Stage 5 — obtaining the full alignment (paper §IV-F): exact alignment of
+// every (constant-size) partition, concatenation, binary gap-list output.
+// ---------------------------------------------------------------------------
+
+struct Stage5Config {
+  scoring::Scheme scheme;
+  ThreadPool* pool = nullptr;
+};
+
+struct Stage5Result {
+  alignment::Alignment alignment;
+  alignment::BinaryAlignment binary;
+  StageStats stats;
+};
+
+[[nodiscard]] Stage5Result run_stage5(seq::SequenceView s0, seq::SequenceView s1,
+                                      const CrosspointList& l4, const Stage5Config& config);
+
+// ---------------------------------------------------------------------------
+// Stage 6 — visualization (paper §IV-G): reconstruct the alignment from its
+// binary representation; render text, statistics and the Figure-12 path dump.
+// ---------------------------------------------------------------------------
+
+struct Stage6Result {
+  alignment::Alignment alignment;       ///< Reconstructed from the binary form.
+  alignment::Stats composition;         ///< Table X.
+  std::vector<alignment::PathPoint> path;  ///< Figure 12 samples.
+  StageStats stats;
+};
+
+[[nodiscard]] Stage6Result run_stage6(seq::SequenceView s0, seq::SequenceView s1,
+                                      const alignment::BinaryAlignment& binary,
+                                      const scoring::Scheme& scheme, Index path_samples = 2048);
+
+}  // namespace cudalign::core

@@ -1,0 +1,28 @@
+#include "core/strand.hpp"
+
+namespace cudalign::core {
+
+StrandedResult align_both_strands(const seq::Sequence& s0, const seq::Sequence& s1,
+                                  const PipelineOptions& options) {
+  options.scheme.validate();
+  StrandedResult out;
+  seq::Sequence reverse = s1.reverse_complement();
+
+  // Score-only passes (block pruning is free extra speed here: no traceback
+  // data is needed from the losing strand).
+  Stage1Config score_pass;
+  score_pass.scheme = options.scheme;
+  score_pass.grid = options.grid_stage1;
+  score_pass.block_pruning = true;
+  score_pass.pool = options.pool;
+  out.forward_score = run_stage1(s0.bases(), s1.bases(), score_pass).end_point.score;
+  out.reverse_score = run_stage1(s0.bases(), reverse.bases(), score_pass).end_point.score;
+
+  // Ties prefer the forward strand (deterministic and least surprising).
+  out.reverse_strand = out.reverse_score > out.forward_score;
+  out.strand_s1 = out.reverse_strand ? std::move(reverse) : s1;
+  out.result = align_pipeline(s0, out.strand_s1, options);
+  return out;
+}
+
+}  // namespace cudalign::core

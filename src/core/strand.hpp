@@ -1,0 +1,32 @@
+// Dual-strand search: real chromosome comparisons must consider both
+// orientations of one sequence — the optimal local alignment may lie on the
+// reverse-complement strand (inversions, opposite assembly orientations).
+// The paper aligns pre-oriented chromosomes; this is the natural extension a
+// production aligner needs.
+//
+// Strategy: run Stage 1 (score only) on both strands, then the full pipeline
+// on the winning strand only — the score pass is the cheap part of deciding,
+// and Stage 1 dominates the pipeline anyway (paper Table V).
+#pragma once
+
+#include "core/pipeline.hpp"
+
+namespace cudalign::core {
+
+struct StrandedResult {
+  PipelineResult result;       ///< Full pipeline result on the winning strand.
+  bool reverse_strand = false; ///< True if s1 was reverse-complemented.
+  Score forward_score = 0;     ///< Stage-1 best on the forward strand.
+  Score reverse_score = 0;     ///< Stage-1 best on the reverse strand.
+  /// The S1 orientation actually aligned (render/Stage-6 inputs must use it).
+  seq::Sequence strand_s1;
+};
+
+/// Aligns s0 against the better-scoring orientation of s1. Coordinates in
+/// `result` refer to `strand_s1`; map a reverse-strand column j back to the
+/// original via `s1.size() - j`.
+[[nodiscard]] StrandedResult align_both_strands(const seq::Sequence& s0,
+                                                const seq::Sequence& s1,
+                                                const PipelineOptions& options = {});
+
+}  // namespace cudalign::core

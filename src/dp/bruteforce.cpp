@@ -1,0 +1,134 @@
+#include "dp/bruteforce.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace cudalign::dp {
+
+namespace {
+
+/// Preceding-op state: what the last consumed column was.
+enum class Prev : int { kFresh = 0, kInE = 1, kInF = 2 };
+
+constexpr Prev to_prev(CellState s) {
+  switch (s) {
+    case CellState::kE: return Prev::kInE;
+    case CellState::kF: return Prev::kInF;
+    case CellState::kH:
+    default: return Prev::kFresh;
+  }
+}
+
+struct GlobalSearch {
+  seq::SequenceView a, b;
+  const scoring::Scheme& scheme;
+  CellState end;
+  bool memoize;
+  // memo[(i * (n+1) + j) * 3 + prev]; nullopt = not computed.
+  std::vector<std::optional<Score>> memo;
+
+  [[nodiscard]] bool accepts(Prev s) const {
+    switch (end) {
+      case CellState::kE: return s == Prev::kInE;
+      case CellState::kF: return s == Prev::kInF;
+      case CellState::kH:
+      default: return true;  // H = max over all endings: unconstrained.
+    }
+  }
+
+  Score search(Index i, Index j, Prev s) {
+    const Index m = static_cast<Index>(a.size());
+    const Index n = static_cast<Index>(b.size());
+    const std::size_t key =
+        (static_cast<std::size_t>(i) * static_cast<std::size_t>(n + 1) +
+         static_cast<std::size_t>(j)) * 3 + static_cast<std::size_t>(s);
+    if (memoize && memo[key]) return *memo[key];
+
+    Score best = kNegInf;
+    if (i == m && j == n) {
+      best = accepts(s) ? 0 : kNegInf;
+    } else {
+      if (i < m && j < n) {
+        const Score tail = search(i + 1, j + 1, Prev::kFresh);
+        if (!is_neg_inf(tail)) {
+          best = std::max(best,
+                          static_cast<Score>(tail + scheme.pair(a[static_cast<std::size_t>(i)],
+                                                                b[static_cast<std::size_t>(j)])));
+        }
+      }
+      if (j < n) {
+        const Score charge = (s == Prev::kInE) ? scheme.gap_ext : scheme.gap_first;
+        const Score tail = search(i, j + 1, Prev::kInE);
+        if (!is_neg_inf(tail)) best = std::max(best, static_cast<Score>(tail - charge));
+      }
+      if (i < m) {
+        const Score charge = (s == Prev::kInF) ? scheme.gap_ext : scheme.gap_first;
+        const Score tail = search(i + 1, j, Prev::kInF);
+        if (!is_neg_inf(tail)) best = std::max(best, static_cast<Score>(tail - charge));
+      }
+    }
+    if (memoize) memo[key] = best;
+    return best;
+  }
+};
+
+}  // namespace
+
+Score brute_force_global_score(seq::SequenceView a, seq::SequenceView b,
+                               const scoring::Scheme& scheme, CellState start, CellState end,
+                               bool memoize) {
+  scheme.validate();
+  GlobalSearch search{a, b, scheme, end, memoize, {}};
+  if (memoize) {
+    search.memo.assign((a.size() + 1) * (b.size() + 1) * 3, std::nullopt);
+  }
+  return search.search(0, 0, to_prev(start));
+}
+
+Score brute_force_local_score(seq::SequenceView a, seq::SequenceView b,
+                              const scoring::Scheme& scheme) {
+  scheme.validate();
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  // L(i, j, s) = best score achievable starting at vertex (i, j) in
+  // preceding-op state s, allowed to stop at any time (score floor 0 at the
+  // stop decision, not per step).
+  std::vector<Score> memo(static_cast<std::size_t>((m + 1) * (n + 1) * 3), kNegInf);
+  std::vector<bool> seen(memo.size(), false);
+
+  auto search = [&](auto&& self, Index i, Index j, Prev s) -> Score {
+    const std::size_t key =
+        (static_cast<std::size_t>(i) * static_cast<std::size_t>(n + 1) +
+         static_cast<std::size_t>(j)) * 3 + static_cast<std::size_t>(s);
+    if (seen[key]) return memo[key];
+    Score best = 0;  // Stopping here is always allowed for a local alignment.
+    if (i < m && j < n) {
+      best = std::max(best, static_cast<Score>(
+                                self(self, i + 1, j + 1, Prev::kFresh) +
+                                scheme.pair(a[static_cast<std::size_t>(i)],
+                                            b[static_cast<std::size_t>(j)])));
+    }
+    if (j < n) {
+      const Score charge = (s == Prev::kInE) ? scheme.gap_ext : scheme.gap_first;
+      best = std::max(best, static_cast<Score>(self(self, i, j + 1, Prev::kInE) - charge));
+    }
+    if (i < m) {
+      const Score charge = (s == Prev::kInF) ? scheme.gap_ext : scheme.gap_first;
+      best = std::max(best, static_cast<Score>(self(self, i + 1, j, Prev::kInF) - charge));
+    }
+    seen[key] = true;
+    memo[key] = best;
+    return best;
+  };
+
+  Score best = 0;
+  for (Index i = 0; i <= m; ++i) {
+    for (Index j = 0; j <= n; ++j) {
+      best = std::max(best, search(search, i, j, Prev::kFresh));
+    }
+  }
+  return best;
+}
+
+}  // namespace cudalign::dp

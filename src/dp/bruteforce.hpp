@@ -1,0 +1,28 @@
+// Independent exhaustive reference for tiny inputs.
+//
+// A top-down, op-centric formulation (the state is "which op preceded this
+// vertex", with gap runs charged G_first on their first symbol) that shares
+// no code or matrix layout with the bottom-up Gotoh implementations. Property
+// tests compare every other aligner in this repository against it on small
+// random inputs; a systematic recurrence error in the main code would have to
+// be reproduced here independently to go unnoticed.
+#pragma once
+
+#include "dp/dp_common.hpp"
+#include "seq/sequence.hpp"
+
+namespace cudalign::dp {
+
+/// Optimal global alignment score with start/end state constraints.
+/// `memoize = false` runs the fully exponential enumeration (inputs of a few
+/// bases only); `true` memoizes on (i, j, preceding-op).
+[[nodiscard]] Score brute_force_global_score(seq::SequenceView a, seq::SequenceView b,
+                                             const scoring::Scheme& scheme,
+                                             CellState start = CellState::kH,
+                                             CellState end = CellState::kH, bool memoize = true);
+
+/// Optimal local alignment score (>= 0; 0 means the empty alignment wins).
+[[nodiscard]] Score brute_force_local_score(seq::SequenceView a, seq::SequenceView b,
+                                            const scoring::Scheme& scheme);
+
+}  // namespace cudalign::dp

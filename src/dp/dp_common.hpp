@@ -1,0 +1,103 @@
+// Shared dynamic-programming vocabulary (paper §II and §IV-A).
+//
+// DP matrices are indexed by *vertices* (i, j), 0 <= i <= m, 0 <= j <= n:
+// H(i,j) is the best score of an alignment of S0[0..i) with S1[0..j);
+// E(i,j) requires the alignment to end with a horizontal move (gap in S0,
+// consuming S1[j-1]); F(i,j) with a vertical move (gap in S1, consuming
+// S0[i-1]). These are exactly the paper's H/E/F (Equations 1-3), rewritten
+// with signed scores (penalties enter negatively).
+//
+// A path state is H, E or F; the paper's crosspoint `type` field is the state
+// in which the optimal path crosses a cell: 0 = H (diagonal edge), 1 = E
+// (gap in S0), 2 = F (gap in S1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "scoring/scoring.hpp"
+
+namespace cudalign::dp {
+
+enum class AlignMode : std::uint8_t {
+  kLocal,   ///< Smith-Waterman: H floors at 0, best cell anywhere.
+  kGlobal,  ///< Needleman-Wunsch/Gotoh: path anchored at both corners.
+};
+
+/// Path state at a DP vertex; numeric values match the paper's `type`.
+enum class CellState : std::uint8_t {
+  kH = 0,  ///< Crossed by a diagonal edge (match/mismatch).
+  kE = 1,  ///< Crossed inside a horizontal gap run (gap in S0).
+  kF = 2,  ///< Crossed inside a vertical gap run (gap in S1).
+};
+
+/// One DP vertex's three values.
+struct CellHEF {
+  Score h = kNegInf;
+  Score e = kNegInf;
+  Score f = kNegInf;
+};
+
+/// Initial corner values for a (sub-)problem whose path enters in `start`.
+///
+/// Entering in state E means the leading horizontal gap run of the
+/// sub-problem continues a gap already opened by the previous partition, so
+/// its first gap symbol is charged G_ext instead of G_first (paper §IV-A:
+/// "the algorithm must be adjusted in such a way that it will not compute the
+/// gap opening penalty twice"). Mechanically: seeding E(0,0) = 0 makes
+/// E(0,1) = max(E(0,0) - G_ext, H(0,0) - G_first) = -G_ext. A path that
+/// instead starts with a *vertical* gap or a diagonal is a new run and pays
+/// normally through H(0,0) = 0.
+[[nodiscard]] constexpr CellHEF start_corner(CellState start) noexcept {
+  CellHEF c;
+  c.h = 0;
+  if (start == CellState::kE) c.e = 0;
+  if (start == CellState::kF) c.f = 0;
+  return c;
+}
+
+/// Initial corner for a *reverse* sweep whose original problem must END in
+/// state `end` — i.e. the path must arrive at the end vertex via the given
+/// edge kind, with the arrival run charged in full.
+///
+/// In the reversed frame the original end is the origin and "ends with a gap
+/// edge" becomes "starts with a gap edge": kE/kF forbid every other first
+/// move (h = -inf) and seed the gap state with -gap_open so the run's first
+/// reversed edge costs G_ext + G_open = G_first — the full charge. kH is the
+/// unconstrained end (H = max over all endings) and reduces to a plain fresh
+/// corner. Using start_corner() here instead would *discount* the arrival
+/// run, admitting paths better than the true end-constrained optimum — the
+/// goal-based matchers would then overshoot their goals.
+[[nodiscard]] constexpr CellHEF end_corner(CellState end, const scoring::Scheme& scheme) noexcept {
+  CellHEF c;
+  switch (end) {
+    case CellState::kE:
+      c.e = -scheme.gap_open();
+      break;
+    case CellState::kF:
+      c.f = -scheme.gap_open();
+      break;
+    case CellState::kH:
+    default:
+      c.h = 0;
+      break;
+  }
+  return c;
+}
+
+/// Reads the value matching an end-state constraint out of a cell.
+[[nodiscard]] constexpr Score value_in_state(const CellHEF& c, CellState state) noexcept {
+  switch (state) {
+    case CellState::kE: return c.e;
+    case CellState::kF: return c.f;
+    case CellState::kH:
+    default: return c.h;
+  }
+}
+
+/// Saturating add that keeps -infinity absorbing.
+[[nodiscard]] constexpr Score sat_add(Score a, Score b) noexcept {
+  return is_neg_inf(a) ? a : static_cast<Score>(a + b);
+}
+
+}  // namespace cudalign::dp

@@ -1,0 +1,186 @@
+#include "dp/gotoh.hpp"
+
+#include <algorithm>
+
+namespace cudalign::dp {
+
+namespace {
+
+using alignment::Op;
+using alignment::Transcript;
+
+/// Traceback by value inspection: from (i, j) in `state`, walk predecessors
+/// until the stop condition, emitting ops back-to-front.
+///
+/// kGlobal stops at vertex (0,0); kLocal stops at the first vertex whose H is
+/// zero while in state kH. Ties prefer gap continuation inside E/F (keeps gap
+/// runs maximal) and the diagonal inside H (matches the paper's Figure 2
+/// arrows convention).
+struct TracebackResult {
+  Index i0 = 0, j0 = 0;
+  Transcript transcript;
+};
+
+TracebackResult traceback(const FullMatrices& dp, const scoring::Scheme& scheme, AlignMode mode,
+                          seq::SequenceView a, seq::SequenceView b, Index i, Index j,
+                          CellState state) {
+  Transcript rev;
+  for (;;) {
+    const CellHEF& cell = dp.at(i, j);
+    if (state == CellState::kE) {
+      CUDALIGN_ASSERT(!is_neg_inf(cell.e));
+      if (j == 0) {
+        // Only reachable through the start-corner seed E(0,0) = 0.
+        CUDALIGN_ASSERT(i == 0 && cell.e == 0);
+        break;
+      }
+      const CellHEF& left = dp.at(i, j - 1);
+      rev.append(Op::kGapS0, 1);
+      if (cell.e == sat_add(left.e, -scheme.gap_ext)) {
+        j -= 1;  // Continue the run.
+      } else {
+        CUDALIGN_ASSERT(cell.e == sat_add(left.h, -scheme.gap_first));
+        j -= 1;
+        state = CellState::kH;
+      }
+      continue;
+    }
+    if (state == CellState::kF) {
+      CUDALIGN_ASSERT(!is_neg_inf(cell.f));
+      if (i == 0) {
+        CUDALIGN_ASSERT(j == 0 && cell.f == 0);
+        break;
+      }
+      const CellHEF& up = dp.at(i - 1, j);
+      rev.append(Op::kGapS1, 1);
+      if (cell.f == sat_add(up.f, -scheme.gap_ext)) {
+        i -= 1;
+      } else {
+        CUDALIGN_ASSERT(cell.f == sat_add(up.h, -scheme.gap_first));
+        i -= 1;
+        state = CellState::kH;
+      }
+      continue;
+    }
+    // state == kH.
+    if (mode == AlignMode::kLocal && cell.h == 0) break;
+    if (mode == AlignMode::kGlobal && i == 0 && j == 0) break;
+    if (i > 0 && j > 0) {
+      const Score diag = sat_add(dp.at(i - 1, j - 1).h, scheme.pair(a[static_cast<std::size_t>(i - 1)],
+                                                                    b[static_cast<std::size_t>(j - 1)]));
+      if (cell.h == diag) {
+        rev.append(Op::kDiagonal, 1);
+        i -= 1;
+        j -= 1;
+        continue;
+      }
+    }
+    if (cell.h == cell.e) {
+      state = CellState::kE;
+      continue;
+    }
+    CUDALIGN_ASSERT(cell.h == cell.f);
+    state = CellState::kF;
+  }
+  TracebackResult result;
+  result.i0 = i;
+  result.j0 = j;
+  rev.reverse();
+  result.transcript = std::move(rev);
+  return result;
+}
+
+}  // namespace
+
+FullMatrices compute_full(seq::SequenceView a, seq::SequenceView b, const scoring::Scheme& scheme,
+                          AlignMode mode, CellState start) {
+  scheme.validate();
+  CUDALIGN_CHECK(mode == AlignMode::kGlobal || start == CellState::kH,
+                 "local alignment has no start-state constraint");
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  FullMatrices dp(m, n);
+
+  dp.at(0, 0) = start_corner(start);
+  if (mode == AlignMode::kLocal) dp.at(0, 0) = CellHEF{0, kNegInf, kNegInf};
+
+  for (Index j = 1; j <= n; ++j) {
+    CellHEF& cell = dp.at(0, j);
+    const CellHEF& left = dp.at(0, j - 1);
+    cell.e = std::max(sat_add(left.e, -scheme.gap_ext), sat_add(left.h, -scheme.gap_first));
+    cell.f = kNegInf;
+    cell.h = (mode == AlignMode::kLocal) ? std::max<Score>(0, cell.e) : cell.e;
+  }
+  for (Index i = 1; i <= m; ++i) {
+    CellHEF& cell = dp.at(i, 0);
+    const CellHEF& up = dp.at(i - 1, 0);
+    cell.f = std::max(sat_add(up.f, -scheme.gap_ext), sat_add(up.h, -scheme.gap_first));
+    cell.e = kNegInf;
+    cell.h = (mode == AlignMode::kLocal) ? std::max<Score>(0, cell.f) : cell.f;
+  }
+
+  for (Index i = 1; i <= m; ++i) {
+    const seq::Base ai = a[static_cast<std::size_t>(i - 1)];
+    for (Index j = 1; j <= n; ++j) {
+      const CellHEF& up = dp.at(i - 1, j);
+      const CellHEF& left = dp.at(i, j - 1);
+      const CellHEF& diag = dp.at(i - 1, j - 1);
+      CellHEF& cell = dp.at(i, j);
+      cell.e = std::max(sat_add(left.e, -scheme.gap_ext), sat_add(left.h, -scheme.gap_first));
+      cell.f = std::max(sat_add(up.f, -scheme.gap_ext), sat_add(up.h, -scheme.gap_first));
+      Score h = std::max(cell.e, cell.f);
+      h = std::max(h, sat_add(diag.h, scheme.pair(ai, b[static_cast<std::size_t>(j - 1)])));
+      if (mode == AlignMode::kLocal) h = std::max<Score>(h, 0);
+      cell.h = h;
+    }
+  }
+  return dp;
+}
+
+LocalBest find_local_best(const FullMatrices& dp) {
+  LocalBest best;
+  for (Index i = 0; i <= dp.m(); ++i) {
+    for (Index j = 0; j <= dp.n(); ++j) {
+      if (dp.at(i, j).h > best.score) {
+        best.score = dp.at(i, j).h;
+        best.i = i;
+        best.j = j;
+      }
+    }
+  }
+  return best;
+}
+
+GlobalResult align_global(seq::SequenceView a, seq::SequenceView b, const scoring::Scheme& scheme,
+                          CellState start, CellState end) {
+  const FullMatrices dp = compute_full(a, b, scheme, AlignMode::kGlobal, start);
+  const Index m = dp.m();
+  const Index n = dp.n();
+  const Score score = value_in_state(dp.at(m, n), end);
+  CUDALIGN_CHECK(!is_neg_inf(score), "requested end state is unreachable");
+  auto tb = traceback(dp, scheme, AlignMode::kGlobal, a, b, m, n, end);
+  CUDALIGN_ASSERT(tb.i0 == 0 && tb.j0 == 0);
+  return GlobalResult{score, std::move(tb.transcript)};
+}
+
+LocalResult align_local(seq::SequenceView a, seq::SequenceView b, const scoring::Scheme& scheme) {
+  const FullMatrices dp = compute_full(a, b, scheme, AlignMode::kLocal);
+  const LocalBest best = find_local_best(dp);
+  LocalResult result;
+  result.score = best.score;
+  result.i1 = best.i;
+  result.j1 = best.j;
+  if (best.score == 0) {
+    // Empty optimal alignment (e.g. all-mismatch inputs): by convention the
+    // alignment is the empty transcript at vertex (0, 0).
+    result.i0 = result.j0 = result.i1 = result.j1 = 0;
+    return result;
+  }
+  auto tb = traceback(dp, scheme, AlignMode::kLocal, a, b, best.i, best.j, CellState::kH);
+  result.i0 = tb.i0;
+  result.j0 = tb.j0;
+  result.transcript = std::move(tb.transcript);
+  return result;
+}
+
+}  // namespace cudalign::dp

@@ -1,0 +1,177 @@
+#include "dp/linear.hpp"
+
+#include <algorithm>
+
+namespace cudalign::dp {
+
+RowSweeper::RowSweeper(seq::SequenceView a, seq::SequenceView b, const scoring::Scheme& scheme,
+                       AlignMode mode, CellState start)
+    : a_(a), b_(b), scheme_(scheme), mode_(mode) {
+  scheme_.validate();
+  CUDALIGN_CHECK(mode == AlignMode::kGlobal || start == CellState::kH,
+                 "local alignment has no start-state constraint");
+  const CellHEF corner =
+      (mode == AlignMode::kLocal) ? CellHEF{0, kNegInf, kNegInf} : start_corner(start);
+  init_boundary(corner);
+}
+
+RowSweeper::RowSweeper(seq::SequenceView a, seq::SequenceView b, const scoring::Scheme& scheme,
+                       CellHEF corner)
+    : a_(a), b_(b), scheme_(scheme), mode_(AlignMode::kGlobal) {
+  scheme_.validate();
+  init_boundary(corner);
+}
+
+void RowSweeper::init_boundary(CellHEF corner) {
+  const std::size_t width = b_.size() + 1;
+  h_.assign(width, kNegInf);
+  e_.assign(width, kNegInf);
+  f_.assign(width, kNegInf);
+  h_[0] = corner.h;
+  e_[0] = corner.e;
+  f_[0] = corner.f;
+  for (std::size_t j = 1; j < width; ++j) {
+    e_[j] = std::max(sat_add(e_[j - 1], -scheme_.gap_ext),
+                     sat_add(h_[j - 1], -scheme_.gap_first));
+    f_[j] = kNegInf;
+    h_[j] = (mode_ == AlignMode::kLocal) ? std::max<Score>(0, e_[j]) : e_[j];
+  }
+}
+
+void RowSweeper::advance(Index i) {
+  CUDALIGN_CHECK(i == row_ + 1 && i <= static_cast<Index>(a_.size()),
+                 "RowSweeper rows must advance strictly sequentially");
+  row_ = i;
+  const seq::Base ai = a_[static_cast<std::size_t>(i - 1)];
+  const bool local = mode_ == AlignMode::kLocal;
+  // Column-0 boundary.
+  Score diag_h = h_[0];  // H(i-1, 0) before overwrite.
+  f_[0] = std::max(sat_add(f_[0], -scheme_.gap_ext), sat_add(h_[0], -scheme_.gap_first));
+  e_[0] = kNegInf;
+  h_[0] = local ? std::max<Score>(0, f_[0]) : f_[0];
+  Score e_run = kNegInf;
+  const std::size_t n = b_.size();
+  for (std::size_t j = 1; j <= n; ++j) {
+    const Score up_h = h_[j];  // H(i-1, j).
+    const Score new_f =
+        std::max(sat_add(f_[j], -scheme_.gap_ext), sat_add(up_h, -scheme_.gap_first));
+    const Score new_e =
+        std::max(sat_add(e_run, -scheme_.gap_ext), sat_add(h_[j - 1], -scheme_.gap_first));
+    Score new_h = std::max(new_e, new_f);
+    new_h = std::max(new_h, sat_add(diag_h, scheme_.pair(ai, b_[j - 1])));
+    if (local) new_h = std::max<Score>(new_h, 0);
+    diag_h = up_h;
+    h_[j] = new_h;
+    f_[j] = new_f;
+    e_[j] = new_e;
+    e_run = new_e;
+  }
+}
+
+namespace {
+RowVectors drive_sweeper(RowSweeper& sweeper, Index m, const RowVisitor& visit) {
+  auto view = [&] {
+    return RowView{sweeper.current_row(), sweeper.h(), sweeper.e(), sweeper.f()};
+  };
+  if (visit) visit(view());
+  for (Index i = 1; i <= m; ++i) {
+    sweeper.advance(i);
+    if (visit) visit(view());
+  }
+  return RowVectors{std::vector<Score>(sweeper.h().begin(), sweeper.h().end()),
+                    std::vector<Score>(sweeper.e().begin(), sweeper.e().end()),
+                    std::vector<Score>(sweeper.f().begin(), sweeper.f().end())};
+}
+}  // namespace
+
+RowVectors sweep_rows(seq::SequenceView a, seq::SequenceView b, const scoring::Scheme& scheme,
+                      AlignMode mode, CellState start, const RowVisitor& visit) {
+  RowSweeper sweeper(a, b, scheme, mode, start);
+  return drive_sweeper(sweeper, static_cast<Index>(a.size()), visit);
+}
+
+RowVectors sweep_rows_from(seq::SequenceView a, seq::SequenceView b,
+                           const scoring::Scheme& scheme, CellHEF corner,
+                           const RowVisitor& visit) {
+  RowSweeper sweeper(a, b, scheme, corner);
+  return drive_sweeper(sweeper, static_cast<Index>(a.size()), visit);
+}
+
+LocalBest linear_local_best(seq::SequenceView a, seq::SequenceView b,
+                            const scoring::Scheme& scheme) {
+  LocalBest best;
+  (void)sweep_rows(a, b, scheme, AlignMode::kLocal, CellState::kH, [&](const RowView& row) {
+    for (std::size_t j = 0; j < row.h.size(); ++j) {
+      if (row.h[j] > best.score) {
+        best.score = row.h[j];
+        best.i = row.i;
+        best.j = static_cast<Index>(j);
+      }
+    }
+  });
+  return best;
+}
+
+MiddleRow forward_to_row(seq::SequenceView a, seq::SequenceView b, Index mid,
+                         const scoring::Scheme& scheme, CellState start) {
+  CUDALIGN_CHECK(0 <= mid && mid <= static_cast<Index>(a.size()), "mid row out of range");
+  MiddleRow out;
+  const auto prefix = a.subspan(0, static_cast<std::size_t>(mid));
+  auto vectors = sweep_rows(prefix, b, scheme, AlignMode::kGlobal, start);
+  out.cc = std::move(vectors.h);
+  out.dd = std::move(vectors.f);
+  return out;
+}
+
+MiddleRow reverse_to_row(seq::SequenceView a, seq::SequenceView b, Index mid,
+                         const scoring::Scheme& scheme, CellState end) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  CUDALIGN_CHECK(0 <= mid && mid <= m, "mid row out of range");
+  // Reverse suffixes: a' = reverse(a[mid..m)), b' = reverse(b). The reverse
+  // problem's start corner is the original end vertex (m, n); its start state
+  // is the original end-state constraint.
+  std::vector<seq::Base> ar(a.rbegin(), a.rbegin() + static_cast<std::ptrdiff_t>(m - mid));
+  std::vector<seq::Base> br(b.rbegin(), b.rend());
+  auto vectors = sweep_rows_from(ar, br, scheme, end_corner(end, scheme));
+  // vectors.h[q] = best path from vertex (mid, n - q) to (m, n); re-index so
+  // rr[j] corresponds to original column j.
+  MiddleRow out;
+  out.cc.resize(static_cast<std::size_t>(n + 1));
+  out.dd.resize(static_cast<std::size_t>(n + 1));
+  for (Index j = 0; j <= n; ++j) {
+    out.cc[static_cast<std::size_t>(j)] = vectors.h[static_cast<std::size_t>(n - j)];
+    out.dd[static_cast<std::size_t>(j)] = vectors.f[static_cast<std::size_t>(n - j)];
+  }
+  return out;
+}
+
+RowMatch match_row(std::span<const Score> cc, std::span<const Score> dd,
+                   std::span<const Score> rr, std::span<const Score> ss,
+                   const scoring::Scheme& scheme) {
+  CUDALIGN_CHECK(cc.size() == rr.size() && dd.size() == ss.size() && cc.size() == dd.size(),
+                 "row matching requires equal-length vectors");
+  RowMatch best;
+  for (std::size_t j = 0; j < cc.size(); ++j) {
+    const Score via_h = (is_neg_inf(cc[j]) || is_neg_inf(rr[j]))
+                            ? kNegInf
+                            : static_cast<Score>(cc[j] + rr[j]);
+    if (via_h > best.score) {
+      best.score = via_h;
+      best.j = static_cast<Index>(j);
+      best.state = CellState::kH;
+    }
+    const Score via_f = (is_neg_inf(dd[j]) || is_neg_inf(ss[j]))
+                            ? kNegInf
+                            : static_cast<Score>(dd[j] + ss[j] + scheme.gap_open());
+    if (via_f > best.score) {
+      best.score = via_f;
+      best.j = static_cast<Index>(j);
+      best.state = CellState::kF;
+    }
+  }
+  CUDALIGN_CHECK(!is_neg_inf(best.score), "row matching found no finite junction");
+  return best;
+}
+
+}  // namespace cudalign::dp

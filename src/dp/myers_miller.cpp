@@ -1,0 +1,73 @@
+#include "dp/myers_miller.hpp"
+
+#include <algorithm>
+
+namespace cudalign::dp {
+
+namespace {
+
+struct Recursion {
+  seq::SequenceView a, b;
+  const scoring::Scheme& scheme;
+  const MyersMillerOptions& options;
+  MyersMillerStats* stats;
+
+  void count_cells(Index m, Index n) {
+    if (stats) stats->cells += static_cast<WideScore>(m + 1) * (n + 1);
+  }
+
+  alignment::Transcript solve(Index i0, Index j0, Index i1, Index j1, CellState start,
+                              CellState end, Index depth) {
+    const Index m = i1 - i0;
+    const Index n = j1 - j0;
+    if (stats) stats->max_depth = std::max(stats->max_depth, depth);
+    const auto sub_a = a.subspan(static_cast<std::size_t>(i0), static_cast<std::size_t>(m));
+    const auto sub_b = b.subspan(static_cast<std::size_t>(j0), static_cast<std::size_t>(n));
+
+    if (m <= 1 || n <= 1 || (m + 1) * (n + 1) <= options.base_case_cells) {
+      count_cells(m, n);
+      return align_global(sub_a, sub_b, scheme, start, end).transcript;
+    }
+
+    const Index mid = m / 2;
+    if (stats) {
+      ++stats->splits;
+      // Forward pass over rows [0, mid], reverse over [mid, m].
+      stats->cells += static_cast<WideScore>(mid + 1) * (n + 1);
+      stats->cells += static_cast<WideScore>(m - mid + 1) * (n + 1);
+    }
+    const MiddleRow fwd = forward_to_row(sub_a, sub_b, mid, scheme, start);
+    const MiddleRow rev = reverse_to_row(sub_a, sub_b, mid, scheme, end);
+    const RowMatch match = match_row(fwd.cc, fwd.dd, rev.cc, rev.dd, scheme);
+
+    alignment::Transcript left =
+        solve(i0, j0, i0 + mid, j0 + match.j, start, match.state, depth + 1);
+    const alignment::Transcript right =
+        solve(i0 + mid, j0 + match.j, i1, j1, match.state, end, depth + 1);
+    left.append(right);
+    return left;
+  }
+};
+
+}  // namespace
+
+GlobalResult myers_miller(seq::SequenceView a, seq::SequenceView b, const scoring::Scheme& scheme,
+                          CellState start, CellState end, const MyersMillerOptions& options,
+                          MyersMillerStats* stats) {
+  scheme.validate();
+  CUDALIGN_CHECK(options.base_case_cells >= 4, "base case must cover at least a 1x1 problem");
+  Recursion rec{a, b, scheme, options, stats};
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  alignment::Transcript transcript = rec.solve(0, 0, m, n, start, end, 0);
+
+  // The score is recovered by one linear-space sweep (the recursion never
+  // needs it globally, but callers do).
+  const RowVectors final_row = sweep_rows(a, b, scheme, AlignMode::kGlobal, start);
+  const Score score = value_in_state(
+      CellHEF{final_row.h.back(), final_row.e.back(), final_row.f.back()}, end);
+  CUDALIGN_CHECK(!is_neg_inf(score), "requested end state is unreachable");
+  return GlobalResult{score, std::move(transcript)};
+}
+
+}  // namespace cudalign::dp

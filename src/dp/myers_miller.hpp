@@ -1,0 +1,40 @@
+// Classic Myers-Miller linear-space global alignment (paper §II-B).
+//
+// Recursive divide and conquer: compute forward (CC, DD) and reverse (RR, SS)
+// vectors at the middle row, match them (Formula 4), recurse on both halves.
+// Always splits at the middle *row* — the balanced splitting and orthogonal
+// execution of Stage 4 are the paper's improvements over this algorithm and
+// live in core/stage4; this implementation is the baseline they are measured
+// against (Table IX, Time_1) and the reference the engine is tested with.
+#pragma once
+
+#include "dp/gotoh.hpp"
+#include "dp/linear.hpp"
+
+namespace cudalign::dp {
+
+struct MyersMillerOptions {
+  /// Sub-problems with at most this many DP cells are solved by the
+  /// quadratic-space reference (the "trivial problems" of Figure 3).
+  Index base_case_cells = 4096;
+};
+
+/// Statistics a caller may collect (cells processed feeds the Table IX-style
+/// accounting in benchmarks).
+struct MyersMillerStats {
+  WideScore cells = 0;        ///< DP cells computed, both passes and base cases.
+  Index splits = 0;           ///< Number of matching procedures executed.
+  Index max_depth = 0;        ///< Deepest recursion level reached.
+};
+
+/// Optimal global alignment of a x b in linear space, entering in state
+/// `start` and leaving in state `end` (see dp_common.hpp for the gap-open
+/// discount semantics).
+[[nodiscard]] GlobalResult myers_miller(seq::SequenceView a, seq::SequenceView b,
+                                        const scoring::Scheme& scheme,
+                                        CellState start = CellState::kH,
+                                        CellState end = CellState::kH,
+                                        const MyersMillerOptions& options = {},
+                                        MyersMillerStats* stats = nullptr);
+
+}  // namespace cudalign::dp

@@ -1,0 +1,337 @@
+#include "engine/executor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/timer.hpp"
+#include "dp/linear.hpp"
+
+namespace cudalign::engine {
+
+namespace {
+
+using dp::AlignMode;
+
+/// Merge rule shared with the reference: higher score wins; ties break toward
+/// the lexicographically smallest vertex (row-major first occurrence).
+void merge_best(dp::LocalBest& best, const dp::LocalBest& cand) {
+  if (cand.score > best.score ||
+      (cand.score == best.score && cand.score > 0 &&
+       (cand.i < best.i || (cand.i == best.i && cand.j < best.j)))) {
+    best = cand;
+  }
+}
+
+/// Assembles one pending special row from per-chunk segments.
+struct PendingRow {
+  std::vector<BusCell> cells;
+  Index chunks_done = 0;
+};
+
+}  // namespace
+
+RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool* pool) {
+  spec.recurrence.scheme.validate();
+  CUDALIGN_CHECK(hooks.special_row_interval == 0 || hooks.on_special_row,
+                 "special-row flushing requires an on_special_row sink");
+  CUDALIGN_CHECK(hooks.tap_columns.empty() || hooks.on_tap,
+                 "tap columns require an on_tap hook");
+  CUDALIGN_CHECK(std::is_sorted(hooks.tap_columns.begin(), hooks.tap_columns.end()),
+                 "tap columns must be ascending");
+  if (spec.block_pruning) {
+    CUDALIGN_CHECK(spec.recurrence.mode == AlignMode::kLocal,
+                   "block pruning requires local mode (a global run has no best bound)");
+    CUDALIGN_CHECK(hooks.tap_columns.empty() && !hooks.find_value,
+                   "block pruning cannot be combined with taps or value probes");
+  }
+  if (pool == nullptr) pool = &ThreadPool::shared();
+
+  const Index m = static_cast<Index>(spec.a.size());
+  const Index n = static_cast<Index>(spec.b.size());
+  for (std::size_t t = 0; t < hooks.tap_columns.size(); ++t) {
+    const Index c = hooks.tap_columns[t];
+    CUDALIGN_CHECK(c >= 1 && c <= n, "tap columns must be in [1, n]");
+    CUDALIGN_CHECK(t == 0 || hooks.tap_columns[t - 1] < c, "tap columns must be unique");
+  }
+
+  Timer timer;
+  RunResult result;
+  const GridSpec grid = fit_to_width(spec.grid, n);
+  const Index strip_rows = grid.strip_rows();
+  const Index strips = (m + strip_rows - 1) / strip_rows;
+  const Index blocks = std::max<Index>(1, std::min(grid.blocks, n));
+  result.stats.blocks_used = blocks;
+  result.stats.threads_used = grid.threads;
+
+  const Recurrence& rec = spec.recurrence;
+
+  // Row-0 tap delivery (boundary vertices, before any strip).
+  for (std::size_t t = 0; t < hooks.tap_columns.size(); ++t) {
+    const Index col = hooks.tap_columns[t];
+    const BusCell entry{rec.top_boundary(col).h, rec.top_boundary_e(col)};
+    if (hooks.on_tap(col, 0, std::span<const BusCell>(&entry, 1)) == HookAction::kStop) {
+      result.stopped_early = true;
+      result.stats.seconds = timer.seconds();
+      return result;
+    }
+  }
+  if (m == 0 || n == 0) {
+    result.stats.seconds = timer.seconds();
+    return result;
+  }
+
+  // Chunk boundaries: blocks near-equal column spans.
+  std::vector<Index> cuts(static_cast<std::size_t>(blocks) + 1);
+  for (Index b = 0; b <= blocks; ++b) {
+    cuts[static_cast<std::size_t>(b)] = n * b / blocks;
+  }
+
+  // Horizontal bus: (H, F) per column vertex, initialized to row 0.
+  std::vector<BusCell> hbus(static_cast<std::size_t>(n) + 1);
+  for (Index j = 0; j <= n; ++j) hbus[static_cast<std::size_t>(j)] = rec.top_boundary(j);
+
+  // Vertical buses: (H, E) per row vertex of the current strip, one buffer
+  // per chunk boundary, double-buffered by strip parity (same-diagonal
+  // hazard; see executor.hpp).
+  const std::size_t vbus_len = static_cast<std::size_t>(strip_rows) + 1;
+  std::vector<std::vector<BusCell>> vbus(static_cast<std::size_t>(blocks + 1) * 2);
+  for (auto& buf : vbus) buf.resize(vbus_len);
+  auto vbus_at = [&](Index boundary, Index strip) -> std::vector<BusCell>& {
+    return vbus[static_cast<std::size_t>(boundary * 2 + (strip & 1))];
+  };
+
+  result.stats.bus_bytes = hbus.size() * sizeof(BusCell) + vbus.size() * vbus_len * sizeof(BusCell);
+
+  // Special-row assembly state.
+  std::map<Index, PendingRow> pending_rows;
+  auto strip_is_special = [&](Index s) {
+    if (hooks.special_row_interval == 0) return false;
+    const Index r1 = (s + 1) * strip_rows;
+    return (s + 1) % hooks.special_row_interval == 0 && r1 < m;
+  };
+
+  std::vector<TileResult> tile_results(static_cast<std::size_t>(blocks));
+  std::vector<std::vector<Index>> tile_taps(static_cast<std::size_t>(blocks));
+  std::vector<bool> tile_pruned(static_cast<std::size_t>(blocks));
+
+  const Index total_diagonals = strips + blocks - 1;
+  for (Index d = 0; d < total_diagonals && !result.stopped_early; ++d) {
+    const Index s_lo = std::max<Index>(0, d - blocks + 1);
+    const Index s_hi = std::min<Index>(strips - 1, d);
+
+    // Fill the column-0 vertical bus for the strip entering the wavefront.
+    if (d < strips) {
+      const Index s = d;
+      const Index r0 = s * strip_rows;
+      const Index r1 = std::min(m, r0 + strip_rows);
+      auto& buf = vbus_at(0, s);
+      for (Index i = r0; i <= r1; ++i) {
+        buf[static_cast<std::size_t>(i - r0)] = rec.left_boundary(i);
+      }
+    }
+
+    // Launch the diagonal.
+    struct Slot {
+      Index s, b;
+    };
+    std::vector<Slot> slots;
+    for (Index s = s_hi; s >= s_lo; --s) slots.push_back(Slot{s, d - s});
+
+    pool->parallel_for(slots.size(), [&](std::size_t idx) {
+      const auto [s, b] = slots[idx];
+      const Index r0 = s * strip_rows;
+      const Index r1 = std::min(m, r0 + strip_rows);
+      const Index c0 = cuts[static_cast<std::size_t>(b)];
+      const Index c1 = cuts[static_cast<std::size_t>(b + 1)];
+
+      // Taps covered by this chunk.
+      auto& taps = tile_taps[static_cast<std::size_t>(b)];
+      taps.clear();
+      for (Index col : hooks.tap_columns) {
+        if (col > c0 && col <= c1) taps.push_back(col);
+      }
+
+      TileJob job;
+      job.r0 = r0;
+      job.r1 = r1;
+      job.c0 = c0;
+      job.c1 = c1;
+      job.a = spec.a;
+      job.b = spec.b;
+      job.recurrence = &rec;
+      job.hbus = std::span<BusCell>(hbus).subspan(static_cast<std::size_t>(c0),
+                                                  static_cast<std::size_t>(c1 - c0) + 1);
+      const Index rows = r1 - r0;
+      job.vbus_in = std::span<const BusCell>(vbus_at(b, s)).subspan(0,
+                                                                    static_cast<std::size_t>(rows) + 1);
+      job.vbus_out = std::span<BusCell>(vbus_at(b + 1, s)).subspan(0,
+                                                                   static_cast<std::size_t>(rows) + 1);
+      job.tap_cols = taps;
+      job.track_best = rec.mode == AlignMode::kLocal;
+      job.find_value = hooks.find_value;
+
+      tile_pruned[static_cast<std::size_t>(b)] = false;
+      if (spec.block_pruning && result.best.score > 0) {
+        // Best incoming H across the tile's boundary (the corner arrives via
+        // the vertical bus; hbus index 0 is the left neighbour's and stale).
+        Score max_in = 0;  // Local mode: a fresh alignment can start anywhere.
+        for (std::size_t k = 1; k < job.hbus.size(); ++k) {
+          max_in = std::max(max_in, job.hbus[k].h);
+        }
+        for (const BusCell& cell : job.vbus_in) max_in = std::max(max_in, cell.h);
+        const WideScore bound =
+            max_in + static_cast<WideScore>(rec.scheme.match) * std::min(m - r0, n - c0);
+        if (bound < result.best.score) {
+          // Publish safe lower bounds and skip the kernel.
+          for (std::size_t k = 1; k < job.hbus.size(); ++k) job.hbus[k] = BusCell{0, kNegInf};
+          for (auto& cell : job.vbus_out) cell = BusCell{0, kNegInf};
+          tile_results[static_cast<std::size_t>(b)] = TileResult{};
+          tile_pruned[static_cast<std::size_t>(b)] = true;
+          return;
+        }
+      }
+
+      // Scratch is reused across tiles of the same worker thread.
+      static thread_local TileScratch scratch;
+      tile_results[static_cast<std::size_t>(b)] = run_tile(job, scratch);
+    });
+
+    // Deterministic post-processing in ascending strip order.
+    for (Index s = s_lo; s <= s_hi && !result.stopped_early; ++s) {
+      const Index b = d - s;
+      TileResult& tr = tile_results[static_cast<std::size_t>(b)];
+      result.stats.cells += tr.cells;
+      ++result.stats.tiles;
+      if (tile_pruned[static_cast<std::size_t>(b)]) {
+        ++result.stats.pruned_tiles;
+        const Index pr0 = s * strip_rows;
+        result.stats.pruned_cells +=
+            static_cast<WideScore>(std::min(m, pr0 + strip_rows) - pr0) *
+            (cuts[static_cast<std::size_t>(b + 1)] - cuts[static_cast<std::size_t>(b)]);
+      }
+      const Index r0 = s * strip_rows;
+      const Index r1 = std::min(m, r0 + strip_rows);
+      const Index c0 = cuts[static_cast<std::size_t>(b)];
+      const Index c1 = cuts[static_cast<std::size_t>(b + 1)];
+
+      if (tr.best.score > 0) merge_best(result.best, tr.best);
+      if (tr.found && !result.found) {
+        result.found = true;
+        result.found_i = tr.found_i;
+        result.found_j = tr.found_j;
+        result.stopped_early = true;
+      }
+
+      // Tap deliveries for this tile's rows.
+      const auto& taps = tile_taps[static_cast<std::size_t>(b)];
+      for (std::size_t t = 0; t < taps.size() && !result.stopped_early; ++t) {
+        if (hooks.on_tap(taps[t], r0 + 1, tr.taps[t]) == HookAction::kStop) {
+          result.stopped_early = true;
+        }
+      }
+
+      if (b == blocks - 1) ++result.stats.strips;
+
+      // Special-row segment assembly.
+      if (strip_is_special(s) && !result.stopped_early) {
+        auto [it, inserted] = pending_rows.try_emplace(s);
+        PendingRow& row = it->second;
+        if (inserted) {
+          row.cells.resize(static_cast<std::size_t>(n) + 1);
+          row.cells[0] = BusCell{rec.left_boundary(r1).h, rec.left_boundary_f(r1)};
+        }
+        // The tile just published row r1 into hbus (c0..c1].
+        for (Index j = c0 + 1; j <= c1; ++j) {
+          row.cells[static_cast<std::size_t>(j)] = hbus[static_cast<std::size_t>(j)];
+        }
+        if (++row.chunks_done == blocks) {
+          hooks.on_special_row(r1, row.cells);
+          pending_rows.erase(it);
+        }
+      }
+    }
+    ++result.stats.diagonals;
+    if (hooks.on_progress) hooks.on_progress(d + 1, total_diagonals);
+  }
+
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+RunResult run_reference(const ProblemSpec& spec, const Hooks& hooks) {
+  spec.recurrence.scheme.validate();
+  if (hooks.find_value) {
+    CUDALIGN_CHECK(false, "run_reference does not implement the value probe");
+  }
+  RunResult result;
+  const Index m = static_cast<Index>(spec.a.size());
+  const Index n = static_cast<Index>(spec.b.size());
+  const GridSpec grid = fit_to_width(spec.grid, n);
+  const Index strip_rows = grid.strip_rows();
+
+  // Row-0 tap delivery, mirroring run_wavefront.
+  for (Index col : hooks.tap_columns) {
+    const BusCell entry{spec.recurrence.top_boundary(col).h, spec.recurrence.top_boundary_e(col)};
+    if (hooks.on_tap(col, 0, std::span<const BusCell>(&entry, 1)) == HookAction::kStop) {
+      result.stopped_early = true;
+      return result;
+    }
+  }
+  if (m == 0 || n == 0) return result;
+
+  // Accumulate tap entries per strip, then deliver at strip boundaries.
+  std::vector<std::vector<BusCell>> tap_accum(hooks.tap_columns.size());
+  Index strip_r0 = 0;
+  bool stop = false;
+
+  auto deliver_strip = [&](Index r1) {
+    for (std::size_t t = 0; t < hooks.tap_columns.size() && !stop; ++t) {
+      if (hooks.on_tap(hooks.tap_columns[t], strip_r0 + 1, tap_accum[t]) == HookAction::kStop) {
+        stop = true;
+      }
+      tap_accum[t].clear();
+    }
+    strip_r0 = r1;
+  };
+
+  const auto row_visitor = [&](const dp::RowView& row) {
+    if (stop) return;
+    result.stats.cells += row.i == 0 ? 0 : n;
+    if (row.i >= 1) {
+      for (std::size_t j = 0; j < row.h.size(); ++j) {
+        if (spec.recurrence.mode == AlignMode::kLocal && row.h[j] > result.best.score) {
+          result.best = dp::LocalBest{row.h[j], row.i, static_cast<Index>(j)};
+        }
+      }
+      for (std::size_t t = 0; t < hooks.tap_columns.size(); ++t) {
+        const auto col = static_cast<std::size_t>(hooks.tap_columns[t]);
+        tap_accum[t].push_back(BusCell{row.h[col], row.e[col]});
+      }
+    }
+    const bool strip_end = row.i > 0 && (row.i % strip_rows == 0 || row.i == m);
+    if (strip_end) {
+      const Index s = (row.i - 1) / strip_rows;
+      deliver_strip(row.i);
+      if (!stop && hooks.special_row_interval != 0 && (s + 1) % hooks.special_row_interval == 0 &&
+          (s + 1) * strip_rows < m && row.i == (s + 1) * strip_rows) {
+        std::vector<BusCell> cells(static_cast<std::size_t>(n) + 1);
+        for (Index j = 0; j <= n; ++j) {
+          cells[static_cast<std::size_t>(j)] = BusCell{row.h[static_cast<std::size_t>(j)],
+                                                       row.f[static_cast<std::size_t>(j)]};
+        }
+        hooks.on_special_row(row.i, cells);
+      }
+    }
+  };
+  if (spec.recurrence.mode == AlignMode::kLocal) {
+    (void)dp::sweep_rows(spec.a, spec.b, spec.recurrence.scheme, AlignMode::kLocal,
+                         dp::CellState::kH, row_visitor);
+  } else {
+    (void)dp::sweep_rows_from(spec.a, spec.b, spec.recurrence.scheme, spec.recurrence.corner,
+                              row_visitor);
+  }
+  result.stopped_early = stop;
+  return result;
+}
+
+}  // namespace cudalign::engine

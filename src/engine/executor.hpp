@@ -1,0 +1,110 @@
+// Wavefront executor: the CPU stand-in for the CUDA grid scheduler.
+//
+// The DP matrix is processed as strips (height alpha*T) x chunks (B column
+// chunks); tiles on the same external diagonal are independent and are
+// dispatched to a thread pool, with a barrier per diagonal — exactly the
+// synchronization the GPU grid provides between external diagonals. Hook
+// callbacks run on the caller thread, in deterministic (strip, chunk) order,
+// after each diagonal completes, so results are bit-identical for any worker
+// count.
+//
+// Memory is the buses only: O(n) horizontal + O(B * alpha * T) vertical
+// (double-buffered by strip parity to avoid the same-diagonal write/read
+// hazard the paper's minimum size requirement addresses) — the engine is
+// linear-space by construction.
+//
+// Cells delegation (paper §III-C) note: on the GPU, delegation skews block
+// shapes so the wavefront never drains between external diagonals. A CPU
+// thread pool gets the same effect for free — idle workers pick up any ready
+// tile — so the executor models delegation's *effect* (full parallelism,
+// identical cell counts) rather than its GPU-register mechanics; fill/drain
+// accounting is still reported in RunStats for the benchmarks.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "engine/grid.hpp"
+#include "engine/kernels.hpp"
+
+namespace cudalign::engine {
+
+struct ProblemSpec {
+  seq::SequenceView a;  ///< Rows (the problem's local orientation).
+  seq::SequenceView b;  ///< Columns.
+  Recurrence recurrence;
+  GridSpec grid;
+
+  /// Block pruning (the optimization the CUDAlign lineage added after this
+  /// paper): in local mode, skip a tile when even a perfect-match
+  /// continuation of its best incoming bus value cannot *strictly* beat the
+  /// best score found so far. Exact: a tile containing any cell of an
+  /// optimal alignment has bound >= best (the path itself gains best - prefix
+  /// with at most min(m - r0, n - c0) diagonal steps), so it is never
+  /// pruned, and pruned tiles publish valid lower bounds (H = 0) on their
+  /// buses. Only meaningful with kLocal; rejected with taps or probes.
+  bool block_pruning = false;
+};
+
+/// Hook verdict after observing a special row / tap segment.
+enum class HookAction {
+  kContinue,
+  kStop,  ///< Stop scheduling further diagonals (orthogonal early exit).
+};
+
+struct Hooks {
+  /// Flush every `special_row_interval` strips: on_special_row(row, cells)
+  /// receives the complete (H, F) row at vertex row `row` (a multiple of the
+  /// strip height, as in the paper). 0 disables flushing.
+  Index special_row_interval = 0;
+  std::function<void(Index row, std::span<const BusCell>)> on_special_row;
+
+  /// Column taps (ascending vertex columns in (0..n]): after each strip, the
+  /// hook receives the (H, E) values at the tap column; entry k of the span
+  /// is row first_row + k (inclusive). The row-0 boundary values are
+  /// delivered once up front as a single-entry span with first_row = 0.
+  std::vector<Index> tap_columns;
+  std::function<HookAction(Index col, Index first_row, std::span<const BusCell>)> on_tap;
+
+  /// Probe: report the first cell (row-major over diagonals) whose H equals
+  /// this value, then stop.
+  std::optional<Score> find_value;
+
+  /// Liveness reporting for long runs: called after each external diagonal
+  /// with (diagonals done, diagonals total), on the driver thread.
+  std::function<void(Index done, Index total)> on_progress;
+};
+
+struct RunStats {
+  WideScore cells = 0;        ///< DP cells actually computed.
+  WideScore pruned_cells = 0; ///< Cells skipped by block pruning.
+  Index pruned_tiles = 0;
+  Index tiles = 0;
+  Index diagonals = 0;        ///< External diagonals executed.
+  Index strips = 0;           ///< Strips fully completed.
+  Index blocks_used = 0;      ///< B after the minimum-size fit.
+  Index threads_used = 0;     ///< T (unchanged by the fit).
+  std::size_t bus_bytes = 0;  ///< Peak bus memory (the engine's "VRAM").
+  double seconds = 0;
+};
+
+struct RunResult {
+  dp::LocalBest best;          ///< kLocal mode: best H and its vertex.
+  bool found = false;          ///< find_value probe hit.
+  Index found_i = 0, found_j = 0;
+  bool stopped_early = false;  ///< A hook returned kStop (or probe hit).
+  RunStats stats;
+};
+
+/// Runs the wavefront over the whole problem. `pool` defaults to the shared
+/// pool. Deterministic for any worker count.
+[[nodiscard]] RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks,
+                                      ThreadPool* pool = nullptr);
+
+/// Reference single-sweep row visitor equivalent (test oracle): identical
+/// semantics to run_wavefront but via dp::sweep_rows; used in tests only.
+[[nodiscard]] RunResult run_reference(const ProblemSpec& spec, const Hooks& hooks);
+
+}  // namespace cudalign::engine

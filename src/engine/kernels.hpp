@@ -1,0 +1,109 @@
+// Tile kernels: the per-block DP computation of the wavefront engine.
+//
+// A tile covers DP cells rows (r0, r1] x cols (c0, c1]. Its inputs are the
+// buses: the horizontal bus holds (H, F) for the row-r0 vertices of its
+// columns (written by the tile above), the vertical bus holds (H, E) for the
+// column-c0 vertices of its rows (written by the tile to the left). It
+// updates the horizontal bus in place to the row-r1 values and emits a fresh
+// vertical-bus segment for column c1 — the paper's "rectified vertical bus"
+// (§IV-C2): the true last-column values, not a trailing internal diagonal.
+//
+// On top of the plain DP the kernel supports the probes the stages need:
+//   * local-best tracking (Stage 1),
+//   * column taps — (H, E) vectors at requested interior columns, feeding the
+//     goal-based matching procedures of Stages 2/3,
+//   * a value probe — report the first cell whose H equals a target (Stage
+//     2's start-point detection).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dp/dp_common.hpp"
+#include "dp/gotoh.hpp"
+#include "scoring/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace cudalign::engine {
+
+/// One bus entry. The horizontal bus stores gap = F (a row is crossed by
+/// diagonal or vertical edges); the vertical bus stores gap = E (a column is
+/// crossed by diagonal or horizontal edges). This is why the paper's special
+/// rows persist exactly "the elements of matrices H and F" (§IV-B).
+struct BusCell {
+  Score h = kNegInf;
+  Score gap = kNegInf;
+
+  friend bool operator==(const BusCell&, const BusCell&) = default;
+};
+
+/// Recurrence + boundary flavour shared by kernel and executor. The corner
+/// seed distinguishes forward sub-problems (start_corner: §IV-A gap-open
+/// discount) from reverse sweeps (end_corner: hard arrival-state constraint);
+/// see dp_common.hpp.
+struct Recurrence {
+  dp::AlignMode mode = dp::AlignMode::kLocal;
+  dp::CellHEF corner = dp::start_corner(dp::CellState::kH);  ///< kGlobal only.
+  scoring::Scheme scheme;
+
+  /// Stage-1 style local Smith-Waterman.
+  [[nodiscard]] static Recurrence local(const scoring::Scheme& scheme) {
+    return Recurrence{dp::AlignMode::kLocal, dp::CellHEF{0, kNegInf, kNegInf}, scheme};
+  }
+  /// Forward global sub-problem entering in `start` (discounted gap run).
+  [[nodiscard]] static Recurrence global_start(dp::CellState start,
+                                               const scoring::Scheme& scheme) {
+    return Recurrence{dp::AlignMode::kGlobal, dp::start_corner(start), scheme};
+  }
+  /// Reverse sweep whose original problem must end in `end` (hard).
+  [[nodiscard]] static Recurrence global_end(dp::CellState end, const scoring::Scheme& scheme) {
+    return Recurrence{dp::AlignMode::kGlobal, dp::end_corner(end, scheme), scheme};
+  }
+
+  /// Row-0 boundary vertex values at column j (H and F for the horizontal
+  /// bus; F is -inf on row 0, E is the gap-run closed form).
+  [[nodiscard]] BusCell top_boundary(Index j) const;
+  /// Column-0 boundary vertex values at row i (H and E for the vertical bus).
+  [[nodiscard]] BusCell left_boundary(Index i) const;
+  /// E value on the row-0 boundary (needed for tap entries at row 0).
+  [[nodiscard]] Score top_boundary_e(Index j) const;
+  /// F value on the column-0 boundary (needed for special-row entries at
+  /// column 0; the vertical bus itself carries E, not F).
+  [[nodiscard]] Score left_boundary_f(Index i) const;
+};
+
+struct TileJob {
+  Index r0 = 0, r1 = 0;  ///< Cell rows (r0, r1].
+  Index c0 = 0, c1 = 0;  ///< Cell cols (c0, c1].
+  seq::SequenceView a;   ///< Full problem sequences (tile slices internally).
+  seq::SequenceView b;
+  const Recurrence* recurrence = nullptr;
+
+  std::span<BusCell> hbus;            ///< Vertices [c0..c1]; in row r0, out row r1.
+  std::span<const BusCell> vbus_in;   ///< Vertices [r0..r1] at column c0.
+  std::span<BusCell> vbus_out;        ///< Vertices [r0..r1] at column c1.
+
+  std::span<const Index> tap_cols;    ///< Ascending, each within (c0..c1].
+  bool track_best = false;
+  std::optional<Score> find_value;
+};
+
+struct TileResult {
+  dp::LocalBest best;                            ///< Valid if track_best.
+  bool found = false;                            ///< find_value hit.
+  Index found_i = 0, found_j = 0;                ///< First hit in row-major order.
+  std::vector<std::vector<BusCell>> taps;        ///< Per tap col: rows (r0..r1].
+  WideScore cells = 0;
+};
+
+/// Reusable per-worker scratch (avoids per-tile allocation).
+struct TileScratch {
+  std::vector<Score> h;
+  std::vector<Score> f;
+};
+
+/// Runs one tile. Deterministic; no shared state beyond the job's spans.
+[[nodiscard]] TileResult run_tile(const TileJob& job, TileScratch& scratch);
+
+}  // namespace cudalign::engine

@@ -1,0 +1,5 @@
+#include "scoring/scoring.hpp"
+
+// Header-only today; this translation unit anchors the library target and the
+// place where substitution-matrix support would land.
+namespace cudalign::scoring {}

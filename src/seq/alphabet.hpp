@@ -1,0 +1,58 @@
+// DNA alphabet: 2-bit codes for A/C/G/T plus an explicit code for 'N'
+// (ambiguous base, present in real chromosome data and in our synthetic
+// chromosomes to exercise the same code path).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cudalign::seq {
+
+/// Internal base code. A..T are 0..3 so they pack into 2 bits; kN never
+/// matches anything (including another N), mirroring how CUDAlign treats
+/// masked chromosome regions.
+using Base = std::uint8_t;
+
+inline constexpr Base kA = 0;
+inline constexpr Base kC = 1;
+inline constexpr Base kG = 2;
+inline constexpr Base kT = 3;
+inline constexpr Base kN = 4;
+inline constexpr int kAlphabetSize = 5;
+
+/// Maps an ASCII character to a base code, or returns false for characters
+/// that are not IUPAC DNA (all non-ACGT IUPAC codes collapse to N).
+[[nodiscard]] constexpr bool char_to_base(char c, Base& out) noexcept {
+  switch (c) {
+    case 'A': case 'a': out = kA; return true;
+    case 'C': case 'c': out = kC; return true;
+    case 'G': case 'g': out = kG; return true;
+    case 'T': case 't': case 'U': case 'u': out = kT; return true;
+    // IUPAC ambiguity codes degrade to N.
+    case 'N': case 'n': case 'R': case 'r': case 'Y': case 'y': case 'S': case 's':
+    case 'W': case 'w': case 'K': case 'k': case 'M': case 'm': case 'B': case 'b':
+    case 'D': case 'd': case 'H': case 'h': case 'V': case 'v':
+      out = kN;
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] constexpr char base_to_char(Base b) noexcept {
+  constexpr std::array<char, kAlphabetSize> kChars{'A', 'C', 'G', 'T', 'N'};
+  return b < kAlphabetSize ? kChars[b] : '?';
+}
+
+/// Watson-Crick complement (N maps to N).
+[[nodiscard]] constexpr Base complement(Base b) noexcept {
+  switch (b) {
+    case kA: return kT;
+    case kT: return kA;
+    case kC: return kG;
+    case kG: return kC;
+    default: return kN;
+  }
+}
+
+}  // namespace cudalign::seq

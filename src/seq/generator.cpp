@@ -1,0 +1,159 @@
+#include "seq/generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cudalign::seq {
+
+namespace {
+
+Base random_base(Rng& rng) { return static_cast<Base>(rng.next() & 3); }
+
+/// A substitution that is guaranteed to differ from the original base.
+Base substitute(Rng& rng, Base original) {
+  if (original == kN) return random_base(rng);
+  return static_cast<Base>((original + 1 + (rng.next() % 3)) & 3);
+}
+
+}  // namespace
+
+MutationProfile MutationProfile::related() {
+  MutationProfile p;
+  p.substitution_rate = 0.015;
+  p.indel_rate = 0.0008;
+  p.indel_extension = 0.75;
+  p.block_event_rate = 1e-6;
+  p.block_max_len = 5000;
+  p.n_run_rate = 0.0;
+  return p;
+}
+
+MutationProfile MutationProfile::diverged() {
+  MutationProfile p;
+  p.substitution_rate = 0.12;
+  p.indel_rate = 0.01;
+  p.indel_extension = 0.6;
+  p.block_event_rate = 5e-6;
+  p.block_max_len = 2000;
+  return p;
+}
+
+Sequence random_dna(Index n, std::uint64_t seed, std::string name) {
+  CUDALIGN_CHECK(n >= 0, "sequence length must be non-negative");
+  Rng rng(seed);
+  std::vector<Base> bases(static_cast<std::size_t>(n));
+  for (auto& b : bases) b = random_base(rng);
+  return Sequence(std::move(name), std::move(bases));
+}
+
+Sequence mutate(const Sequence& ancestor, const MutationProfile& profile, std::uint64_t seed,
+                std::string name) {
+  CUDALIGN_CHECK(profile.substitution_rate >= 0 && profile.substitution_rate <= 1,
+                 "substitution_rate out of [0,1]");
+  CUDALIGN_CHECK(profile.indel_rate >= 0 && profile.indel_rate <= 1, "indel_rate out of [0,1]");
+  CUDALIGN_CHECK(profile.indel_extension >= 0 && profile.indel_extension < 1,
+                 "indel_extension out of [0,1)");
+  Rng rng(seed);
+  std::vector<Base> out;
+  out.reserve(ancestor.bases().size() + ancestor.bases().size() / 16 + 64);
+
+  const auto src = ancestor.bases();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (profile.block_event_rate > 0 && rng.chance(profile.block_event_rate)) {
+      const Index max_len = std::max<Index>(1, profile.block_max_len);
+      const Index len = 1 + static_cast<Index>(rng.below(static_cast<std::uint64_t>(max_len)));
+      if (rng.chance(0.5)) {
+        // Block deletion: skip `len` ancestral bases.
+        i += static_cast<std::size_t>(len);
+        if (i >= src.size()) break;
+      } else {
+        // Block insertion of random DNA.
+        for (Index k = 0; k < len; ++k) out.push_back(random_base(rng));
+      }
+    }
+    if (profile.n_run_rate > 0 && rng.chance(profile.n_run_rate)) {
+      const auto len = rng.geometric(profile.n_run_extension);
+      for (std::uint64_t k = 0; k < len; ++k) out.push_back(kN);
+    }
+    if (rng.chance(profile.indel_rate)) {
+      const auto len = rng.geometric(profile.indel_extension);
+      if (rng.chance(0.5)) {
+        // Deletion: skip len bases of the ancestor (including this one).
+        i += static_cast<std::size_t>(len - 1);
+        continue;
+      }
+      // Insertion before the current base.
+      for (std::uint64_t k = 0; k < len; ++k) out.push_back(random_base(rng));
+    }
+    const Base b = src[i];
+    out.push_back(rng.chance(profile.substitution_rate) ? substitute(rng, b) : b);
+  }
+  return Sequence(std::move(name), std::move(out));
+}
+
+std::string size_label(Index n0, Index n1) {
+  auto label_one = [](Index n) -> std::string {
+    std::ostringstream os;
+    if (n >= 1000000) {
+      os << (n + 500000) / 1000000 << "M";
+    } else if (n >= 1000) {
+      os << (n + 500) / 1000 << "K";
+    } else {
+      os << n;
+    }
+    return os.str();
+  };
+  return label_one(n0) + "x" + label_one(n1);
+}
+
+SequencePair make_related_pair(Index n0, Index n1, std::uint64_t seed,
+                               const MutationProfile& profile) {
+  CUDALIGN_CHECK(n0 > 0 && n1 > 0, "pair sizes must be positive");
+  Sequence ancestor = random_dna(n0, seed, "synthetic_ancestor");
+  Sequence descendant = mutate(ancestor, profile, seed ^ 0x9e3779b97f4a7c15ULL,
+                               "synthetic_descendant");
+  // Adjust the descendant toward the requested n1: pad with fresh random DNA
+  // (a chromosome arm absent from the other species) or truncate.
+  auto& bases = descendant.mutable_bases();
+  if (static_cast<Index>(bases.size()) > n1) {
+    bases.resize(static_cast<std::size_t>(n1));
+  } else if (static_cast<Index>(bases.size()) < n1) {
+    Rng pad_rng(seed ^ 0xbf58476d1ce4e5b9ULL);
+    while (static_cast<Index>(bases.size()) < n1) bases.push_back(random_base(pad_rng));
+  }
+  SequencePair pair;
+  pair.label = size_label(n0, n1);
+  pair.s0 = std::move(ancestor);
+  pair.s1 = std::move(descendant);
+  pair.related = true;
+  return pair;
+}
+
+SequencePair make_unrelated_pair(Index n0, Index n1, Index island, std::uint64_t seed) {
+  CUDALIGN_CHECK(n0 > 0 && n1 > 0, "pair sizes must be positive");
+  CUDALIGN_CHECK(island >= 0 && island <= n0 && island <= n1,
+                 "island length must fit in both sequences");
+  Sequence s0 = random_dna(n0, seed, "synthetic_unrelated_0");
+  Sequence s1 = random_dna(n1, seed ^ 0x94d049bb133111ebULL, "synthetic_unrelated_1");
+  if (island > 0) {
+    // Plant a common segment at deterministic positions (middle of each).
+    const auto seg_start0 = static_cast<std::size_t>((n0 - island) / 2);
+    const auto seg_start1 = static_cast<std::size_t>((n1 - island) / 2);
+    auto& b0 = s0.mutable_bases();
+    auto& b1 = s1.mutable_bases();
+    for (Index k = 0; k < island; ++k) {
+      b1[seg_start1 + static_cast<std::size_t>(k)] = b0[seg_start0 + static_cast<std::size_t>(k)];
+    }
+  }
+  SequencePair pair;
+  pair.label = size_label(n0, n1);
+  pair.s0 = std::move(s0);
+  pair.s1 = std::move(s1);
+  pair.related = false;
+  return pair;
+}
+
+}  // namespace cudalign::seq

@@ -1,0 +1,69 @@
+// Synthetic genome generation.
+//
+// Substitute for the paper's NCBI sequences (Table II): this offline host
+// cannot download chromosomes, so benchmarks and examples synthesize pairs
+// with controlled evolutionary distance. Two regimes matter for the paper's
+// evaluation:
+//   * related pairs  — a mutated copy of an ancestor; the optimal local
+//     alignment spans nearly the whole sequences with a long, gap-rich path
+//     (human 21 x chimp 22, B. anthracis Ames x Sterne);
+//   * unrelated pairs — independent random sequences; the optimal local
+//     alignment is a short high-identity island (herpesvirus-style rows of
+//     Table III with tiny scores).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "seq/sequence.hpp"
+
+namespace cudalign::seq {
+
+/// Uniform random DNA of length `n` (no Ns).
+[[nodiscard]] Sequence random_dna(Index n, std::uint64_t seed, std::string name = "random");
+
+/// Parameters of the evolutionary mutator. Rates are per ancestral base.
+struct MutationProfile {
+  double substitution_rate = 0.02;   ///< SNP probability per base.
+  double indel_rate = 0.001;         ///< Probability of starting an indel at a base.
+  double indel_extension = 0.7;      ///< Geometric continuation probability of indel length.
+  double block_event_rate = 0.0;     ///< Probability per base of a large block event.
+  Index block_max_len = 10000;       ///< Maximum length of inserted/deleted blocks.
+  double n_run_rate = 0.0;           ///< Probability per base of starting an N run (masked region).
+  double n_run_extension = 0.9;      ///< Geometric continuation of N runs.
+
+  /// Profile resembling the paper's closely related pairs (~95% identity).
+  static MutationProfile related();
+  /// Profile producing a moderately diverged pair (~80% identity).
+  static MutationProfile diverged();
+};
+
+/// Derives a "descendant" sequence from `ancestor` by applying substitutions,
+/// indels and optional block events. Deterministic in (ancestor, profile, seed).
+[[nodiscard]] Sequence mutate(const Sequence& ancestor, const MutationProfile& profile,
+                              std::uint64_t seed, std::string name = "mutant");
+
+/// A test/benchmark pair plus the regime it models.
+struct SequencePair {
+  Sequence s0;
+  Sequence s1;
+  std::string label;   ///< e.g. "162Kx172K" — paper-style size label.
+  bool related = true; ///< Regime: long alignment (true) vs short island (false).
+};
+
+/// Builds a related pair: ancestor of length ~n0, descendant of length ~n1
+/// (descendant is the mutated ancestor, truncated/extended to approximately n1
+/// by block events at the ends, mimicking chromosome-arm differences).
+[[nodiscard]] SequencePair make_related_pair(Index n0, Index n1, std::uint64_t seed,
+                                             const MutationProfile& profile = MutationProfile::related());
+
+/// Builds an unrelated pair (independent random sequences) sharing one short
+/// planted common segment of length `island` (>= 0), so the optimal local
+/// alignment is small and well-defined, like the herpesvirus rows of Table III.
+[[nodiscard]] SequencePair make_unrelated_pair(Index n0, Index n1, Index island,
+                                               std::uint64_t seed);
+
+/// Paper-style label "162Kx172K" for a pair of sizes.
+[[nodiscard]] std::string size_label(Index n0, Index n1);
+
+}  // namespace cudalign::seq

@@ -1,0 +1,40 @@
+#include "seq/sequence.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cudalign::seq {
+
+Sequence Sequence::from_string(std::string name, std::string_view text) {
+  std::vector<Base> bases;
+  bases.reserve(text.size());
+  for (char c : text) {
+    Base b{};
+    CUDALIGN_CHECK(char_to_base(c, b), std::string("invalid DNA character: '") + c + "'");
+    bases.push_back(b);
+  }
+  return Sequence(std::move(name), std::move(bases));
+}
+
+std::span<const Base> Sequence::view(Index begin, Index end) const {
+  CUDALIGN_CHECK(0 <= begin && begin <= end && end <= size(), "sequence view out of range");
+  return std::span<const Base>(bases_).subspan(static_cast<std::size_t>(begin),
+                                               static_cast<std::size_t>(end - begin));
+}
+
+std::string Sequence::to_string() const {
+  std::string out;
+  out.reserve(bases_.size());
+  for (Base b : bases_) out.push_back(base_to_char(b));
+  return out;
+}
+
+Sequence Sequence::reverse_complement() const {
+  std::vector<Base> rc(bases_.size());
+  std::transform(bases_.rbegin(), bases_.rend(), rc.begin(),
+                 [](Base b) { return complement(b); });
+  return Sequence(name_ + "_rc", std::move(rc));
+}
+
+}  // namespace cudalign::seq

@@ -1,0 +1,56 @@
+// Sequence: an owned DNA sequence with a name and accession, stored as one
+// base code per byte (the DP kernels read bases at random offsets; byte
+// addressing beats 2-bit packing on CPU, and 47 MBP still fits trivially).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "seq/alphabet.hpp"
+
+namespace cudalign::seq {
+
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(std::string name, std::vector<Base> bases)
+      : name_(std::move(name)), bases_(std::move(bases)) {}
+
+  /// Parses an ASCII string of IUPAC DNA characters; throws on other
+  /// characters (whitespace is not allowed here — FASTA handles layout).
+  static Sequence from_string(std::string name, std::string_view text);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] Index size() const noexcept { return static_cast<Index>(bases_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return bases_.empty(); }
+
+  /// 0-based base access (the paper's S[k] is 1-based; call sites convert).
+  [[nodiscard]] Base at(Index i) const noexcept { return bases_[static_cast<std::size_t>(i)]; }
+
+  [[nodiscard]] std::span<const Base> bases() const noexcept { return bases_; }
+  [[nodiscard]] std::vector<Base>& mutable_bases() noexcept { return bases_; }
+
+  /// Subrange view [begin, end) as a span (no copy).
+  [[nodiscard]] std::span<const Base> view(Index begin, Index end) const;
+
+  /// ASCII rendering (for FASTA output and debugging).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Reverse complement as a new sequence.
+  [[nodiscard]] Sequence reverse_complement() const;
+
+ private:
+  std::string name_;
+  std::vector<Base> bases_;
+};
+
+/// Lightweight non-owning view used by all DP code: a span of base codes.
+/// The DP layer aligns SequenceViews so sub-problems never copy bases.
+using SequenceView = std::span<const Base>;
+
+}  // namespace cudalign::seq

@@ -1,0 +1,156 @@
+#include "sra/sra.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/io_util.hpp"
+
+namespace cudalign::sra {
+
+Index flush_interval_for_budget(Index m, Index n, Index strip_rows, std::int64_t budget_bytes) {
+  CUDALIGN_CHECK(m >= 0 && n >= 0 && strip_rows > 0, "invalid matrix geometry");
+  const std::int64_t row_bytes = 8 * (n + 1);  // Two 4-byte values per cell (§IV-B).
+  CUDALIGN_CHECK(budget_bytes >= row_bytes,
+                 "SRA must be at least the size of one special row (paper §IV-B)");
+  // ceil(8*m*n / (strip_rows * |SRA|)), clamped to >= 1: the paper's formula
+  // with alpha*T = strip_rows.
+  const std::int64_t strips = (m + strip_rows - 1) / strip_rows;
+  const std::int64_t max_rows = budget_bytes / row_bytes;
+  if (max_rows >= strips) return 1;
+  return static_cast<Index>((strips + max_rows - 1) / max_rows);
+}
+
+namespace {
+constexpr std::uint32_t kManifestMagic = 0x53524131;  // "SRA1"
+}  // namespace
+
+SpecialRowsArea::SpecialRowsArea(std::filesystem::path directory, std::int64_t budget_bytes)
+    : dir_(std::move(directory)), budget_(budget_bytes) {
+  CUDALIGN_CHECK(budget_ > 0, "SRA budget must be positive");
+  std::filesystem::create_directories(dir_);
+  if (std::filesystem::exists(dir_ / "manifest.bin")) load_manifest();
+}
+
+void SpecialRowsArea::save_manifest() const {
+  // Write-then-rename keeps the manifest consistent under crashes.
+  const auto tmp = dir_ / "manifest.tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    CUDALIGN_CHECK(os.good(), "cannot write SRA manifest");
+    write_pod(os, kManifestMagic);
+    write_pod(os, static_cast<std::uint64_t>(keys_.size()));
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      write_pod(os, keys_[i]);
+      write_pod(os, sizes_[i]);
+      write_pod(os, static_cast<std::uint8_t>(live_[i] ? 1 : 0));
+    }
+    CUDALIGN_CHECK(os.good(), "error writing SRA manifest");
+  }
+  std::filesystem::rename(tmp, dir_ / "manifest.bin");
+}
+
+void SpecialRowsArea::load_manifest() {
+  std::ifstream is(dir_ / "manifest.bin", std::ios::binary);
+  CUDALIGN_CHECK(is.good(), "cannot open SRA manifest");
+  CUDALIGN_CHECK(read_pod<std::uint32_t>(is) == kManifestMagic, "bad SRA manifest magic");
+  const auto count = read_pod<std::uint64_t>(is);
+  keys_.clear();
+  sizes_.clear();
+  live_.clear();
+  used_ = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    keys_.push_back(read_pod<RowKey>(is));
+    sizes_.push_back(read_pod<std::int64_t>(is));
+    const bool live = read_pod<std::uint8_t>(is) != 0;
+    live_.push_back(live);
+    if (live) {
+      CUDALIGN_CHECK(std::filesystem::exists(file_for(keys_.size() - 1)),
+                     "SRA manifest references a missing row file");
+      used_ += sizes_.back();
+    }
+  }
+  CUDALIGN_CHECK(used_ <= budget_, "recovered SRA exceeds the configured budget");
+  peak_ = used_;
+  written_ = used_;
+}
+
+std::filesystem::path SpecialRowsArea::file_for(std::size_t index) const {
+  return dir_ / ("sra-" + std::to_string(index) + ".bin");
+}
+
+std::size_t SpecialRowsArea::put(const RowKey& key, std::span<const engine::BusCell> cells) {
+  CUDALIGN_CHECK(key.end - key.begin + 1 == static_cast<Index>(cells.size()),
+                 "special row cell count does not match its key range");
+  const auto bytes = static_cast<std::int64_t>(cells.size_bytes());
+  CUDALIGN_CHECK(used_ + bytes <= budget_,
+                 "SRA budget exceeded; flush interval was sized incorrectly");
+  const std::size_t index = keys_.size();
+  {
+    std::ofstream os(file_for(index), std::ios::binary | std::ios::trunc);
+    CUDALIGN_CHECK(os.good(), "cannot open SRA file for writing");
+    write_span(os, cells);
+  }
+  keys_.push_back(key);
+  live_.push_back(true);
+  sizes_.push_back(bytes);
+  used_ += bytes;
+  written_ += bytes;
+  peak_ = std::max(peak_, used_);
+  save_manifest();
+  return index;
+}
+
+std::vector<engine::BusCell> SpecialRowsArea::get(std::size_t index) const {
+  CUDALIGN_CHECK(index < keys_.size() && live_[index], "SRA row does not exist");
+  const RowKey& key = keys_[index];
+  std::vector<engine::BusCell> cells(static_cast<std::size_t>(key.end - key.begin + 1));
+  std::ifstream is(file_for(index), std::ios::binary);
+  CUDALIGN_CHECK(is.good(), "cannot open SRA file for reading");
+  read_span(is, std::span<engine::BusCell>(cells));
+  return cells;
+}
+
+const RowKey& SpecialRowsArea::key(std::size_t index) const {
+  CUDALIGN_CHECK(index < keys_.size() && live_[index], "SRA row does not exist");
+  return keys_[index];
+}
+
+std::vector<std::size_t> SpecialRowsArea::group_members(std::int64_t group) const {
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (live_[i] && keys_[i].group == group) members.push_back(i);
+  }
+  std::sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+    return keys_[a].position < keys_[b].position;
+  });
+  return members;
+}
+
+void SpecialRowsArea::drop_group(std::int64_t group) {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (live_[i] && keys_[i].group == group) {
+      std::error_code ec;
+      std::filesystem::remove(file_for(i), ec);
+      live_[i] = false;
+      used_ -= sizes_[i];
+    }
+  }
+  if (!keys_.empty()) save_manifest();
+}
+
+void SpecialRowsArea::drop_all() {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (live_[i]) {
+      std::error_code ec;
+      std::filesystem::remove(file_for(i), ec);
+    }
+  }
+  keys_.clear();
+  live_.clear();
+  sizes_.clear();
+  used_ = 0;
+  save_manifest();
+}
+
+}  // namespace cudalign::sra

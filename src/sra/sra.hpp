@@ -1,0 +1,91 @@
+// Special Rows Area (paper §IV-B): disk-backed storage for special rows and
+// special columns under a byte budget.
+//
+// Each special row persists two 4-byte values per cell — H and F (rows are
+// crossed by diagonal/vertical edges); special columns persist H and E. The
+// *flush interval* is derived from the budget exactly as in the paper:
+// at least ceil(8*m*n / (alpha*T*|SRA|)) blocks between flushes, i.e. the
+// budget is never exceeded no matter the matrix size.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "engine/kernels.hpp"
+
+namespace cudalign::sra {
+
+/// Metadata of one persisted special row (or column — the axis is the
+/// caller's convention; the store is symmetric).
+struct RowKey {
+  Index position = 0;   ///< Row (or column) vertex index in the full matrix.
+  Index begin = 0;      ///< First cell index covered (inclusive vertex).
+  Index end = 0;        ///< Last vertex covered (inclusive).
+  /// Namespace tag: stages use it to segregate stage-1 rows from stage-2
+  /// columns and to associate columns with their owning partition.
+  std::int64_t group = 0;
+};
+
+/// Computes the paper's flush interval: the number of strips between special
+/// rows such that at most `budget` bytes are ever stored. A full special row
+/// costs 8*(n+1) bytes; there are m/strip_rows strip boundaries.
+[[nodiscard]] Index flush_interval_for_budget(Index m, Index n, Index strip_rows,
+                                              std::int64_t budget_bytes);
+
+/// Disk-backed store. Files live under a caller-provided directory; the store
+/// enforces its byte budget on writes (a write that would exceed the budget
+/// throws — callers size their flush interval so this cannot happen, exactly
+/// the paper's invariant).
+///
+/// The index is persisted in a manifest file alongside the rows, so a store
+/// reopened on the same directory recovers its contents — chromosome-scale
+/// Stage-1 runs take many hours (18.5 h in the paper) and must not lose
+/// their special rows to a crash or restart.
+class SpecialRowsArea {
+ public:
+  SpecialRowsArea(std::filesystem::path directory, std::int64_t budget_bytes);
+
+  /// Persists a row; returns its storage index.
+  std::size_t put(const RowKey& key, std::span<const engine::BusCell> cells);
+
+  /// Loads a row by storage index.
+  [[nodiscard]] std::vector<engine::BusCell> get(std::size_t index) const;
+  [[nodiscard]] const RowKey& key(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+
+  /// All indices in `group`, sorted by position ascending.
+  [[nodiscard]] std::vector<std::size_t> group_members(std::int64_t group) const;
+
+  /// Deletes all rows in `group`, reclaiming budget (stages drop their
+  /// intermediate data once consumed, like the paper's constant-|SRA| reuse).
+  void drop_group(std::int64_t group);
+
+  /// Deletes everything (a fresh pipeline run on a reused working directory
+  /// must not inherit a previous run's rows).
+  void drop_all();
+
+  [[nodiscard]] std::int64_t budget_bytes() const noexcept { return budget_; }
+  [[nodiscard]] std::int64_t used_bytes() const noexcept { return used_; }
+  /// High-water mark of bytes simultaneously stored.
+  [[nodiscard]] std::int64_t peak_bytes() const noexcept { return peak_; }
+  [[nodiscard]] std::int64_t total_bytes_written() const noexcept { return written_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path file_for(std::size_t index) const;
+  void load_manifest();
+  void save_manifest() const;
+
+  std::filesystem::path dir_;
+  std::int64_t budget_;
+  std::int64_t used_ = 0;
+  std::int64_t peak_ = 0;
+  std::int64_t written_ = 0;
+  std::vector<RowKey> keys_;
+  std::vector<bool> live_;
+  std::vector<std::int64_t> sizes_;
+};
+
+}  // namespace cudalign::sra

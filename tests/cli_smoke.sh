@@ -1,0 +1,27 @@
+#!/bin/sh
+# End-to-end smoke test of the cudalign CLI: generate -> align -> view.
+set -e
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" generate "$DIR/a.fasta" --length 3000 --seed 11
+"$CLI" generate "$DIR/b.fasta" --mutate-of "$DIR/a.fasta" --seed 12
+"$CLI" score "$DIR/a.fasta" "$DIR/b.fasta" | grep -q "best score"
+"$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --out "$DIR/aln.bin" --stats \
+       --cigar "$DIR/aln.cigar" --prune | grep -q "best score"
+test -s "$DIR/aln.bin"
+test -s "$DIR/aln.cigar"
+"$CLI" view "$DIR/aln.bin" "$DIR/a.fasta" "$DIR/b.fasta" --plot \
+       --text "$DIR/aln.txt" --tsv "$DIR/aln.tsv" | grep -q "identity"
+test -s "$DIR/aln.txt"
+test -s "$DIR/aln.tsv"
+# Both-strands path.
+"$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --both-strands --out "$DIR/aln2.bin" \
+  | grep -q "strand: forward"
+# Unknown flag must fail.
+if "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --no-such-flag 2>/dev/null; then
+  echo "unknown flag was accepted" >&2
+  exit 1
+fi
+echo "cli smoke OK"

@@ -1,0 +1,228 @@
+// Alignment transcripts, validation, Table-X statistics, the Stage-5 binary
+// gap-list codec, and Stage-6 rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "alignment/alignment.hpp"
+#include "alignment/gaplist.hpp"
+#include "alignment/render.hpp"
+#include "common/io_util.hpp"
+#include "dp/gotoh.hpp"
+#include "test_util.hpp"
+
+namespace cudalign::alignment {
+namespace {
+
+using seq::Sequence;
+
+scoring::Scheme paper() { return scoring::Scheme::paper_defaults(); }
+
+TEST(Transcript, AppendCoalescesRuns) {
+  Transcript t;
+  t.append(Op::kDiagonal, 3);
+  t.append(Op::kDiagonal, 2);
+  t.append(Op::kGapS0, 1);
+  ASSERT_EQ(t.runs().size(), 2u);
+  EXPECT_EQ(t.runs()[0].len, 5);
+  EXPECT_EQ(t.columns(), 6);
+  EXPECT_EQ(t.rows_consumed(), 5);
+  EXPECT_EQ(t.cols_consumed(), 6);
+}
+
+TEST(Transcript, AppendTranscriptCoalescesSeam) {
+  Transcript a, b;
+  a.append(Op::kGapS1, 2);
+  b.append(Op::kGapS1, 3);
+  b.append(Op::kDiagonal, 1);
+  a.append(b);
+  ASSERT_EQ(a.runs().size(), 2u);
+  EXPECT_EQ(a.runs()[0].len, 5);
+}
+
+TEST(Transcript, Reverse) {
+  Transcript t;
+  t.append(Op::kDiagonal, 1);
+  t.append(Op::kGapS0, 2);
+  t.reverse();
+  EXPECT_EQ(t.runs()[0].op, Op::kGapS0);
+  EXPECT_EQ(t.runs()[1].op, Op::kDiagonal);
+}
+
+Alignment sample_alignment(const Sequence& a, const Sequence& b) {
+  const auto local = dp::align_local(a.bases(), b.bases(), paper());
+  return Alignment{local.i0, local.j0, local.i1, local.j1, local.score, local.transcript};
+}
+
+TEST(Validate, AcceptsOptimalAlignments) {
+  const auto pair = seq::make_related_pair(200, 200, 5);
+  const auto aln = sample_alignment(pair.s0, pair.s1);
+  EXPECT_NO_THROW(validate(aln, pair.s0.bases(), pair.s1.bases(), paper()));
+}
+
+TEST(Validate, RejectsWrongScore) {
+  const auto pair = seq::make_related_pair(100, 100, 6);
+  auto aln = sample_alignment(pair.s0, pair.s1);
+  aln.score += 1;
+  EXPECT_THROW(validate(aln, pair.s0.bases(), pair.s1.bases(), paper()), Error);
+}
+
+TEST(Validate, RejectsGeometryMismatch) {
+  const auto pair = seq::make_related_pair(100, 100, 7);
+  auto aln = sample_alignment(pair.s0, pair.s1);
+  aln.i1 += 1;
+  EXPECT_THROW(validate(aln, pair.s0.bases(), pair.s1.bases(), paper()), Error);
+}
+
+TEST(ScoreTranscript, AffineRunsAcrossStartState) {
+  // A leading gap run continuing an upstream gap is charged extension-only.
+  const auto b = Sequence::from_string("b", "ACG");
+  Transcript t;
+  t.append(Op::kGapS0, 3);
+  EXPECT_EQ(score_transcript({}, b.bases(), t, 0, 0, paper(), dp::CellState::kE), -6);
+  EXPECT_EQ(score_transcript({}, b.bases(), t, 0, 0, paper(), dp::CellState::kH), -9);
+}
+
+TEST(Stats, TableXShapeAndTotals) {
+  const auto pair = seq::make_related_pair(400, 400, 9);
+  const auto aln = sample_alignment(pair.s0, pair.s1);
+  const Stats stats = compute_stats(aln, pair.s0.bases(), pair.s1.bases(), paper());
+  EXPECT_EQ(stats.columns,
+            stats.matches + stats.mismatches + stats.gap_openings + stats.gap_extensions);
+  EXPECT_EQ(stats.total_score(), aln.score);
+  EXPECT_GT(stats.identity(), 0.8);
+  EXPECT_EQ(stats.match_score, stats.matches * 1);
+  EXPECT_EQ(stats.gap_open_score, -stats.gap_openings * 5);
+}
+
+// ---------------------------------------------------------------------------
+// Binary gap-list codec (Stage 5 / Stage 6).
+// ---------------------------------------------------------------------------
+
+class GapListRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GapListRoundTrip, TranscriptSurvivesBinaryForm) {
+  const auto pair = seq::make_related_pair(300, 310, GetParam());
+  const auto aln = sample_alignment(pair.s0, pair.s1);
+  const BinaryAlignment binary = to_binary(aln);
+  const Alignment back = from_binary(binary);
+  EXPECT_EQ(back.i0, aln.i0);
+  EXPECT_EQ(back.j1, aln.j1);
+  EXPECT_EQ(back.score, aln.score);
+  EXPECT_EQ(back.transcript, aln.transcript);
+  EXPECT_NO_THROW(validate(back, pair.s0.bases(), pair.s1.bases(), paper()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GapListRoundTrip, ::testing::Values(21, 22, 23, 24, 25));
+
+TEST(GapList, FileRoundTrip) {
+  const auto pair = seq::make_related_pair(250, 250, 31);
+  const auto aln = sample_alignment(pair.s0, pair.s1);
+  const BinaryAlignment binary = to_binary(aln);
+  TempDir dir;
+  write_binary_file(dir.path() / "aln.bin", binary);
+  const BinaryAlignment back = read_binary_file(dir.path() / "aln.bin");
+  EXPECT_EQ(back, binary);
+}
+
+TEST(GapList, EmptyAlignment) {
+  const Alignment empty;
+  const BinaryAlignment binary = to_binary(empty);
+  EXPECT_TRUE(binary.gaps_s0.empty());
+  const Alignment back = from_binary(binary);
+  EXPECT_EQ(back.transcript.columns(), 0);
+}
+
+TEST(GapList, CorruptMagicThrows) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_pod(ss, std::uint32_t{0x12345678});
+  write_pod(ss, std::uint32_t{1});
+  EXPECT_THROW((void)read_binary(ss), Error);
+}
+
+TEST(GapList, InconsistentGapListThrows) {
+  BinaryAlignment bad;
+  bad.i1 = 10;
+  bad.j1 = 10;
+  bad.gaps_s0.push_back(GapEntry{3, 5, 2});  // Not diagonally reachable from (0,0).
+  EXPECT_THROW((void)from_binary(bad), Error);
+}
+
+TEST(GapList, BinaryMuchSmallerThanText) {
+  // The paper reports 519 KB binary vs 142 MB text (~279x). At test scale the
+  // ratio is smaller but must still be large for gap-sparse alignments.
+  const auto pair = seq::make_related_pair(4000, 4000, 37);
+  const auto aln = sample_alignment(pair.s0, pair.s1);
+  const std::size_t binary_size = encoded_size(to_binary(aln));
+  const std::string text = render_text(aln, pair.s0.bases(), pair.s1.bases());
+  EXPECT_LT(binary_size * 10, text.size());
+}
+
+// ---------------------------------------------------------------------------
+// Rendering (Stage 6).
+// ---------------------------------------------------------------------------
+
+TEST(Render, TextShowsBarsOnMatches) {
+  const auto a = Sequence::from_string("a", "ACGT");
+  const Alignment aln{0, 0, 4, 4, 4,
+                      [] {
+                        Transcript t;
+                        t.append(Op::kDiagonal, 4);
+                        return t;
+                      }()};
+  const std::string text = render_text(aln, a.bases(), a.bases());
+  EXPECT_NE(text.find("ACGT"), std::string::npos);
+  EXPECT_NE(text.find("||||"), std::string::npos);
+}
+
+TEST(Render, GapsRenderAsDashes) {
+  const auto a = Sequence::from_string("a", "AC");
+  const auto b = Sequence::from_string("b", "ACGG");
+  Transcript t;
+  t.append(Op::kDiagonal, 2);
+  t.append(Op::kGapS0, 2);
+  const Alignment aln{0, 0, 2, 4, 2 - 7, t};
+  const std::string text = render_text(aln, a.bases(), b.bases());
+  EXPECT_NE(text.find("AC--"), std::string::npos);
+  EXPECT_NE(text.find("ACGG"), std::string::npos);
+}
+
+TEST(Render, PathSamplingIncludesEndpointsAndIsMonotone) {
+  const auto pair = seq::make_related_pair(500, 500, 41);
+  const auto aln = sample_alignment(pair.s0, pair.s1);
+  const auto points = sample_path(aln, 32);
+  ASSERT_GE(points.size(), 2u);
+  EXPECT_EQ(points.front().i, aln.i0);
+  EXPECT_EQ(points.back().i, aln.i1);
+  EXPECT_LE(points.size(), 40u);
+  for (std::size_t k = 1; k < points.size(); ++k) {
+    EXPECT_GE(points[k].i, points[k - 1].i);
+    EXPECT_GE(points[k].j, points[k - 1].j);
+  }
+}
+
+TEST(Render, PathTsv) {
+  std::ostringstream os;
+  write_path_tsv(os, {{0, 0}, {5, 6}});
+  EXPECT_EQ(os.str(), "i\tj\n0\t0\n5\t6\n");
+}
+
+TEST(Render, AsciiDotplotMarksDiagonal) {
+  const auto a = Sequence::from_string("a", "ACGTACGTACGTACGT");
+  Transcript t;
+  t.append(Op::kDiagonal, 16);
+  const Alignment aln{0, 0, 16, 16, 16, t};
+  const std::string plot = ascii_dotplot(aln, 16, 16, 8, 8);
+  // The main diagonal of an 8x8 raster must be starred.
+  std::istringstream is(plot);
+  std::string line;
+  int row = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line[static_cast<std::size_t>(row)], '*') << "row " << row;
+    ++row;
+  }
+  EXPECT_EQ(row, 8);
+}
+
+}  // namespace
+}  // namespace cudalign::alignment

@@ -1,0 +1,76 @@
+// Baselines: full-matrix aligner and the Z-align stand-in.
+#include <gtest/gtest.h>
+
+#include "baseline/full_matrix.hpp"
+#include "baseline/zalign_sim.hpp"
+#include "test_util.hpp"
+
+namespace cudalign::baseline {
+namespace {
+
+scoring::Scheme paper() { return scoring::Scheme::paper_defaults(); }
+
+TEST(FullMatrix, ValidOptimalAlignment) {
+  const auto pair = test::small_related(150, 160, 10);
+  const auto result = align_full_matrix(pair.s0.bases(), pair.s1.bases(), paper());
+  EXPECT_NO_THROW(
+      alignment::validate(result.alignment, pair.s0.bases(), pair.s1.bases(), paper()));
+  EXPECT_EQ(result.cells, 151 * 161);
+}
+
+TEST(FullMatrix, MemoryCapEnforced) {
+  const auto pair = test::small_related(200, 200, 11);
+  EXPECT_THROW((void)align_full_matrix(pair.s0.bases(), pair.s1.bases(), paper(), 1000), Error);
+}
+
+TEST(ZAlign, AgreesWithFullMatrixScore) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto pair = test::small_related(180, 190, 20 + seed);
+    ZAlignOptions options;
+    options.scheme = paper();
+    const auto z = zalign_align(pair.s0.bases(), pair.s1.bases(), options);
+    const auto ref = align_full_matrix(pair.s0.bases(), pair.s1.bases(), paper());
+    EXPECT_EQ(z.alignment.score, ref.alignment.score);
+    EXPECT_NO_THROW(
+        alignment::validate(z.alignment, pair.s0.bases(), pair.s1.bases(), paper()));
+  }
+}
+
+TEST(ZAlign, EmptyAlignmentHandled) {
+  const auto a = seq::Sequence::from_string("a", "AAAA");
+  const auto b = seq::Sequence::from_string("b", "CCCC");
+  ZAlignOptions options;
+  options.scheme = paper();
+  const auto z = zalign_align(a.bases(), b.bases(), options);
+  EXPECT_EQ(z.alignment.score, 0);
+}
+
+TEST(ZAlign, SimulatedTimeScalesDownWithProcessors) {
+  const auto pair = test::small_related(400, 400, 30);
+  ZAlignOptions one;
+  one.scheme = paper();
+  one.processors = 1;
+  one.block_size = 64;
+  const auto z1 = zalign_align(pair.s0.bases(), pair.s1.bases(), one);
+  ZAlignOptions many = one;
+  many.processors = 8;
+  const auto z8 = zalign_align(pair.s0.bases(), pair.s1.bases(), many);
+  EXPECT_EQ(z1.alignment.score, z8.alignment.score);
+  // One simulated processor == measured time; more processors strictly less.
+  EXPECT_NEAR(z1.simulated_seconds, z1.measured_seconds, z1.measured_seconds * 0.01 + 1e-6);
+  EXPECT_LT(z8.simulated_seconds, z1.simulated_seconds);
+  // Never better than ideal scaling.
+  EXPECT_GT(z8.simulated_seconds * 8.5, z8.measured_seconds);
+}
+
+TEST(ZAlign, CellsAccountedForAllThreePhases) {
+  const auto pair = test::small_related(200, 200, 31);
+  ZAlignOptions options;
+  options.scheme = paper();
+  const auto z = zalign_align(pair.s0.bases(), pair.s1.bases(), options);
+  // Forward pass + reverse pass + 2x MM region: at least 2x the matrix.
+  EXPECT_GE(z.cells, 2 * 200 * 200);
+}
+
+}  // namespace
+}  // namespace cudalign::baseline

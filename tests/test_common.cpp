@@ -1,0 +1,174 @@
+// common substrate: RNG determinism, thread pool, binary I/O, formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "common/io_util.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace cudalign {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.below(0), Error);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.geometric(0.5));
+  EXPECT_NEAR(sum / trials, 2.0, 0.1);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(257);
+  pool.parallel_for(counts.size(), [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [&](std::size_t i) {
+                                   if (i == 7) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(3, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(IoUtil, PodRoundTrip) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_pod(ss, std::int64_t{-1234567890123});
+  write_pod(ss, std::uint32_t{0xdeadbeef});
+  EXPECT_EQ(read_pod<std::int64_t>(ss), -1234567890123);
+  EXPECT_EQ(read_pod<std::uint32_t>(ss), 0xdeadbeefu);
+}
+
+TEST(IoUtil, TruncatedReadThrows) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_pod(ss, std::uint16_t{7});
+  EXPECT_THROW((void)read_pod<std::uint64_t>(ss), Error);
+}
+
+TEST(IoUtil, SpanRoundTrip) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  const std::vector<int> values{1, -2, 3, -4};
+  write_span(ss, std::span<const int>(values));
+  std::vector<int> back(4);
+  read_span(ss, std::span<int>(back));
+  EXPECT_EQ(back, values);
+}
+
+TEST(IoUtil, TempDirCreatesAndCleans) {
+  std::filesystem::path where;
+  {
+    TempDir dir("cudalign-test");
+    where = dir.path();
+    EXPECT_TRUE(std::filesystem::is_directory(where));
+    write_file(where / "x.txt", "hello");
+    EXPECT_EQ(read_file(where / "x.txt"), "hello");
+  }
+  EXPECT_FALSE(std::filesystem::exists(where));
+}
+
+TEST(IoUtil, ReadMissingFileThrows) {
+  EXPECT_THROW((void)read_file("/nonexistent/definitely/missing"), Error);
+}
+
+TEST(Format, Counts) {
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(162114), "162K");
+  EXPECT_EQ(format_count(32799110), "32.8M");
+  EXPECT_EQ(format_count(1540000000), "1.54G");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(10 * 1024), "10.0 KB");
+  EXPECT_EQ(format_bytes(50LL << 30), "50.00 GB");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(0.01), "<0.1");
+  EXPECT_EQ(format_seconds(1.5), "1.50");
+  EXPECT_EQ(format_seconds(13.6), "13.6");
+  EXPECT_EQ(format_seconds(65153.0), "65153");
+}
+
+TEST(Timer, Monotonic) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_LE(a, b);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Types, NegInfDetection) {
+  EXPECT_TRUE(is_neg_inf(kNegInf));
+  EXPECT_TRUE(is_neg_inf(kNegInf + 100));
+  EXPECT_FALSE(is_neg_inf(0));
+  EXPECT_FALSE(is_neg_inf(-1000000));
+}
+
+}  // namespace
+}  // namespace cudalign

@@ -1,0 +1,365 @@
+// The wavefront engine vs the single-sweep reference: identical DP values,
+// special rows, taps and best cells for every grid shape and worker count.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "dp/linear.hpp"
+#include "engine/executor.hpp"
+#include "test_util.hpp"
+
+namespace cudalign {
+namespace {
+
+using dp::AlignMode;
+using dp::CellState;
+using engine::BusCell;
+using engine::GridSpec;
+using engine::HookAction;
+using engine::Hooks;
+using engine::ProblemSpec;
+using test::rand_seq;
+
+scoring::Scheme paper() { return scoring::Scheme::paper_defaults(); }
+
+GridSpec tiny_grid(Index blocks, Index threads, Index alpha) {
+  GridSpec g;
+  g.blocks = blocks;
+  g.threads = threads;
+  g.alpha = alpha;
+  g.multiprocessors = 1;
+  return g;
+}
+
+TEST(Grid, MinimumSizeRequirementShrinksBlocks) {
+  GridSpec g = tiny_grid(60, 128, 4);
+  g.multiprocessors = 30;
+  // width 1000 << 2*60*128: B must shrink to 1000/(2*128) = 3.
+  const GridSpec fit = engine::fit_to_width(g, 1000);
+  EXPECT_EQ(fit.blocks, 3);
+  // Wide problems keep the full grid.
+  EXPECT_EQ(engine::fit_to_width(g, 2 * 60 * 128).blocks, 60);
+}
+
+TEST(Grid, FitPrefersMultiprocessorMultiples) {
+  GridSpec g = tiny_grid(240, 64, 4);
+  g.multiprocessors = 30;
+  // width 10000: B = 10000/128 = 78 -> rounded down to 60.
+  EXPECT_EQ(engine::fit_to_width(g, 10000).blocks, 60);
+}
+
+TEST(Grid, FitNeverReturnsZeroBlocks) {
+  GridSpec g = tiny_grid(8, 64, 4);
+  EXPECT_EQ(engine::fit_to_width(g, 1).blocks, 1);
+  EXPECT_EQ(engine::fit_to_width(g, 0).blocks, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Engine vs reference equivalence, parameterized over grid shapes, modes and
+// sizes (the key substrate property: the wavefront decomposition with buses
+// is exact).
+// ---------------------------------------------------------------------------
+
+struct EngineCase {
+  Index m, n;
+  Index blocks, threads, alpha;
+  int mode;  // 0 local, 1 global-H, 2 global-E, 3 global-F.
+  std::uint64_t seed;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<EngineCase> {};
+
+struct Captured {
+  std::map<Index, std::vector<BusCell>> special_rows;
+  std::map<std::pair<Index, Index>, std::vector<BusCell>> taps;  // (col, first_row).
+};
+
+Captured run_with_hooks(const ProblemSpec& spec, Index interval, std::vector<Index> taps,
+                        bool reference, dp::LocalBest* best_out) {
+  Captured captured;
+  Hooks hooks;
+  hooks.special_row_interval = interval;
+  if (interval > 0) {
+    hooks.on_special_row = [&](Index row, std::span<const BusCell> cells) {
+      captured.special_rows[row] = std::vector<BusCell>(cells.begin(), cells.end());
+    };
+  }
+  hooks.tap_columns = std::move(taps);
+  if (!hooks.tap_columns.empty()) {
+    hooks.on_tap = [&](Index col, Index first_row, std::span<const BusCell> cells) {
+      captured.taps[{col, first_row}] = std::vector<BusCell>(cells.begin(), cells.end());
+      return HookAction::kContinue;
+    };
+  }
+  const auto result =
+      reference ? engine::run_reference(spec, hooks) : engine::run_wavefront(spec, hooks);
+  if (best_out) *best_out = result.best;
+  return captured;
+}
+
+TEST_P(EngineEquivalence, MatchesReferenceSweep) {
+  const auto p = GetParam();
+  const auto a = rand_seq(p.m, p.seed);
+  const auto b = rand_seq(p.n, p.seed ^ 0xf00d);
+
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = tiny_grid(p.blocks, p.threads, p.alpha);
+  const CellState start = p.mode == 2   ? CellState::kE
+                          : p.mode == 3 ? CellState::kF
+                                        : CellState::kH;
+  spec.recurrence = p.mode == 0 ? engine::Recurrence::local(paper())
+                                : engine::Recurrence::global_start(start, paper());
+
+  const Index interval = 2;
+  std::vector<Index> taps{std::max<Index>(1, p.n / 3), std::max<Index>(1, p.n / 2), p.n};
+  taps.erase(std::unique(taps.begin(), taps.end()), taps.end());
+
+  dp::LocalBest engine_best, reference_best;
+  const Captured engine_out = run_with_hooks(spec, interval, taps, false, &engine_best);
+  const Captured reference_out = run_with_hooks(spec, interval, taps, true, &reference_best);
+
+  EXPECT_EQ(engine_best.score, reference_best.score);
+  EXPECT_EQ(engine_best.i, reference_best.i);
+  EXPECT_EQ(engine_best.j, reference_best.j);
+
+  ASSERT_EQ(engine_out.special_rows.size(), reference_out.special_rows.size());
+  for (const auto& [row, cells] : reference_out.special_rows) {
+    ASSERT_TRUE(engine_out.special_rows.contains(row)) << "missing special row " << row;
+    EXPECT_EQ(engine_out.special_rows.at(row), cells) << "special row " << row;
+  }
+  ASSERT_EQ(engine_out.taps.size(), reference_out.taps.size());
+  for (const auto& [key, cells] : reference_out.taps) {
+    ASSERT_TRUE(engine_out.taps.contains(key))
+        << "missing tap col " << key.first << " first_row " << key.second;
+    EXPECT_EQ(engine_out.taps.at(key), cells)
+        << "tap col " << key.first << " first_row " << key.second;
+  }
+}
+
+std::vector<EngineCase> engine_cases() {
+  std::vector<EngineCase> cases;
+  std::uint64_t seed = 11000;
+  for (const auto& [blocks, threads, alpha] :
+       {std::tuple<Index, Index, Index>{1, 2, 1}, {3, 2, 2}, {4, 4, 1}, {7, 2, 3}}) {
+    for (int mode = 0; mode < 4; ++mode) {
+      cases.push_back(EngineCase{37, 53, blocks, threads, alpha, mode, seed++});
+      cases.push_back(EngineCase{24, 100, blocks, threads, alpha, mode, seed++});
+    }
+  }
+  // Degenerate geometries.
+  cases.push_back(EngineCase{1, 40, 4, 2, 2, 0, seed++});
+  cases.push_back(EngineCase{40, 1, 4, 2, 2, 0, seed++});
+  cases.push_back(EngineCase{5, 5, 8, 8, 4, 1, seed++});  // Grid larger than problem.
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, EngineEquivalence, ::testing::ValuesIn(engine_cases()),
+                         [](const ::testing::TestParamInfo<EngineCase>& info) {
+                           const auto& p = info.param;
+                           return "m" + std::to_string(p.m) + "_n" + std::to_string(p.n) + "_B" +
+                                  std::to_string(p.blocks) + "_T" + std::to_string(p.threads) +
+                                  "_a" + std::to_string(p.alpha) + "_mode" +
+                                  std::to_string(p.mode);
+                         });
+
+// Fuzz: random geometry, grids, modes and tap sets, engine vs reference.
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, RandomConfigurationMatchesReference) {
+  Rng rng(GetParam());
+  const Index m = 1 + static_cast<Index>(rng.below(120));
+  const Index n = 1 + static_cast<Index>(rng.below(120));
+  const auto a = rand_seq(m, rng.next());
+  const auto b = rand_seq(n, rng.next());
+
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = tiny_grid(1 + static_cast<Index>(rng.below(8)), 1 + static_cast<Index>(rng.below(6)),
+                        1 + static_cast<Index>(rng.below(4)));
+  const int mode = static_cast<int>(rng.below(4));
+  const CellState start = mode == 2 ? CellState::kE : mode == 3 ? CellState::kF : CellState::kH;
+  spec.recurrence = mode == 0 ? engine::Recurrence::local(paper())
+                              : engine::Recurrence::global_start(start, paper());
+
+  // Random ascending unique tap set.
+  std::vector<Index> taps;
+  for (Index c = 1; c <= n; ++c) {
+    if (rng.chance(0.05)) taps.push_back(c);
+  }
+  const Index interval = 1 + static_cast<Index>(rng.below(4));
+
+  dp::LocalBest eb, rb;
+  const Captured engine_out = run_with_hooks(spec, interval, taps, false, &eb);
+  const Captured reference_out = run_with_hooks(spec, interval, taps, true, &rb);
+  EXPECT_EQ(eb.score, rb.score);
+  EXPECT_EQ(eb.i, rb.i);
+  EXPECT_EQ(eb.j, rb.j);
+  EXPECT_EQ(engine_out.special_rows, reference_out.special_rows);
+  EXPECT_EQ(engine_out.taps, reference_out.taps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(Engine, DeterministicAcrossWorkerCounts) {
+  const auto a = rand_seq(120, 501);
+  const auto b = rand_seq(130, 502);
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = tiny_grid(5, 4, 2);
+  spec.recurrence = engine::Recurrence::local(paper());
+
+  ThreadPool one(1), four(4);
+  Hooks hooks;
+  const auto r1 = engine::run_wavefront(spec, hooks, &one);
+  const auto r4 = engine::run_wavefront(spec, hooks, &four);
+  EXPECT_EQ(r1.best.score, r4.best.score);
+  EXPECT_EQ(r1.best.i, r4.best.i);
+  EXPECT_EQ(r1.best.j, r4.best.j);
+  EXPECT_EQ(r1.stats.cells, r4.stats.cells);
+}
+
+TEST(Engine, LocalBestMatchesLinearReference) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto pair = seq::make_related_pair(150, 160, 600 + seed);
+    ProblemSpec spec;
+    spec.a = pair.s0.bases();
+    spec.b = pair.s1.bases();
+    spec.grid = tiny_grid(3, 8, 2);
+    spec.recurrence = engine::Recurrence::local(paper());
+    const auto run = engine::run_wavefront(spec, Hooks{});
+    const auto expected = dp::linear_local_best(pair.s0.bases(), pair.s1.bases(), paper());
+    EXPECT_EQ(run.best.score, expected.score);
+    EXPECT_EQ(run.best.i, expected.i);
+    EXPECT_EQ(run.best.j, expected.j);
+  }
+}
+
+TEST(Engine, CellsCountIsExact) {
+  const auto a = rand_seq(33, 701);
+  const auto b = rand_seq(47, 702);
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = tiny_grid(4, 2, 2);
+  spec.recurrence = engine::Recurrence::local(paper());
+  const auto run = engine::run_wavefront(spec, Hooks{});
+  EXPECT_EQ(run.stats.cells, 33 * 47);
+  EXPECT_FALSE(run.stopped_early);
+}
+
+TEST(Engine, FindValueProbeStopsEarly) {
+  // Identical sequences: H == m at the last diagonal cell; probe for a small
+  // value must stop long before the full matrix is processed.
+  const auto a = rand_seq(200, 801);
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = a.bases();
+  spec.grid = tiny_grid(4, 4, 2);
+  spec.recurrence = engine::Recurrence::local(paper());
+  Hooks hooks;
+  hooks.find_value = 10;
+  const auto run = engine::run_wavefront(spec, hooks);
+  ASSERT_TRUE(run.found);
+  EXPECT_TRUE(run.stopped_early);
+  EXPECT_LT(run.stats.cells, 200 * 200);
+  // The found cell must actually have H == 10 (verify against the reference).
+  const auto full = dp::compute_full(a.bases(), a.bases(), paper(), AlignMode::kLocal);
+  EXPECT_EQ(full.at(run.found_i, run.found_j).h, 10);
+}
+
+TEST(Engine, TapStopEndsRun) {
+  const auto a = rand_seq(100, 901);
+  const auto b = rand_seq(100, 902);
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = tiny_grid(2, 4, 2);
+  spec.recurrence = engine::Recurrence::global_start(CellState::kH, paper());
+  Hooks hooks;
+  hooks.tap_columns = {50};
+  int calls = 0;
+  hooks.on_tap = [&](Index, Index first_row, std::span<const BusCell>) {
+    ++calls;
+    // Stop as soon as rows past 16 arrive.
+    return first_row > 16 ? HookAction::kStop : HookAction::kContinue;
+  };
+  const auto run = engine::run_wavefront(spec, hooks);
+  EXPECT_TRUE(run.stopped_early);
+  EXPECT_LT(run.stats.cells, 100 * 100);
+  EXPECT_GT(calls, 1);
+}
+
+TEST(Engine, EmptyProblemDeliversBoundaryTaps) {
+  const auto b = rand_seq(3, 1);
+  ProblemSpec spec;
+  spec.b = b.bases();  // a stays empty: a 0 x 3 problem.
+  spec.grid = tiny_grid(2, 2, 2);
+  spec.recurrence = engine::Recurrence::global_start(CellState::kH, paper());
+  Hooks hooks;
+  hooks.tap_columns = {2};
+  int calls = 0;
+  hooks.on_tap = [&](Index col, Index first_row, std::span<const BusCell> cells) {
+    ++calls;
+    EXPECT_EQ(col, 2);
+    EXPECT_EQ(first_row, 0);
+    EXPECT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].h, -(5 + 2));  // Gap run of length 2 on row 0.
+    return HookAction::kContinue;
+  };
+  const auto run = engine::run_wavefront(spec, hooks);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(run.stats.cells, 0);
+}
+
+TEST(Engine, TapColumnZeroRejected) {
+  const auto a = rand_seq(4, 2);
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = a.bases();
+  spec.grid = tiny_grid(1, 1, 1);
+  spec.recurrence = engine::Recurrence::global_start(CellState::kH, paper());
+  Hooks hooks;
+  hooks.tap_columns = {0};
+  hooks.on_tap = [](Index, Index, std::span<const BusCell>) { return HookAction::kContinue; };
+  EXPECT_THROW((void)engine::run_wavefront(spec, hooks), Error);
+}
+
+TEST(Engine, BusMemoryIsLinear) {
+  const auto a = rand_seq(400, 1001);
+  const auto b = rand_seq(400, 1002);
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = tiny_grid(4, 4, 2);
+  spec.recurrence = engine::Recurrence::local(paper());
+  const auto run = engine::run_wavefront(spec, Hooks{});
+  // Far below quadratic: buses are O(n + B*strip).
+  EXPECT_LT(run.stats.bus_bytes, 100u * 1024u);
+}
+
+TEST(Engine, UnsortedTapColumnsRejected) {
+  ProblemSpec spec;
+  spec.recurrence = engine::Recurrence::global_start(CellState::kH, paper());
+  spec.grid = tiny_grid(1, 1, 1);
+  Hooks hooks;
+  hooks.tap_columns = {5, 3};
+  hooks.on_tap = [](Index, Index, std::span<const BusCell>) { return HookAction::kContinue; };
+  EXPECT_THROW((void)engine::run_wavefront(spec, hooks), Error);
+}
+
+TEST(Engine, SpecialRowsNeedSink) {
+  ProblemSpec spec;
+  spec.recurrence = engine::Recurrence::local(paper());
+  spec.grid = tiny_grid(1, 1, 1);
+  Hooks hooks;
+  hooks.special_row_interval = 2;
+  EXPECT_THROW((void)engine::run_wavefront(spec, hooks), Error);
+}
+
+}  // namespace
+}  // namespace cudalign

@@ -1,0 +1,285 @@
+// Extension features: CIGAR interop, dual-strand search, block pruning, the
+// command-line argument parser, multi-worker determinism and masked-region
+// (N-run) handling.
+#include <gtest/gtest.h>
+
+#include "alignment/cigar.hpp"
+#include "baseline/full_matrix.hpp"
+#include "common/args.hpp"
+#include "core/strand.hpp"
+#include "dp/gotoh.hpp"
+#include "engine/executor.hpp"
+#include "test_util.hpp"
+
+namespace cudalign {
+namespace {
+
+scoring::Scheme paper() { return scoring::Scheme::paper_defaults(); }
+
+// ---------------------------------------------------------------------------
+// CIGAR
+// ---------------------------------------------------------------------------
+
+TEST(Cigar, ClassicRendering) {
+  alignment::Transcript t;
+  t.append(alignment::Op::kDiagonal, 5);
+  t.append(alignment::Op::kGapS0, 2);
+  t.append(alignment::Op::kDiagonal, 1);
+  t.append(alignment::Op::kGapS1, 3);
+  EXPECT_EQ(alignment::to_cigar(t), "5M2I1M3D");
+}
+
+TEST(Cigar, RoundTripThroughParser) {
+  const auto pair = test::small_related(300, 300, 51);
+  const auto local = dp::align_local(pair.s0.bases(), pair.s1.bases(), paper());
+  const std::string cigar = alignment::to_cigar(local.transcript);
+  EXPECT_EQ(alignment::from_cigar(cigar), local.transcript);
+}
+
+TEST(Cigar, ExtendedSplitsMatchesAndMismatches) {
+  const auto a = seq::Sequence::from_string("a", "ACGTACGT");
+  const auto b = seq::Sequence::from_string("b", "ACCTACGT");
+  alignment::Transcript t;
+  t.append(alignment::Op::kDiagonal, 8);
+  const alignment::Alignment aln{0, 0, 8, 8, 0, t};
+  EXPECT_EQ(alignment::to_cigar_extended(aln, a.bases(), b.bases()), "2=1X5=");
+}
+
+TEST(Cigar, ExtendedRoundTripCollapsesToDiagonal) {
+  EXPECT_EQ(alignment::from_cigar("2=1X5="), alignment::from_cigar("8M"));
+}
+
+TEST(Cigar, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)alignment::from_cigar("5"), Error);     // Length, no op.
+  EXPECT_THROW((void)alignment::from_cigar("M"), Error);     // Op, no length.
+  EXPECT_THROW((void)alignment::from_cigar("3S"), Error);    // Unsupported op.
+  EXPECT_THROW((void)alignment::from_cigar("0M"), Error);    // Zero length.
+  EXPECT_TRUE(alignment::from_cigar("").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Dual-strand search
+// ---------------------------------------------------------------------------
+
+TEST(Strand, DetectsReverseComplementIsland) {
+  // Plant a strong island in the reverse complement only.
+  auto s0 = seq::random_dna(400, 61, "s0");
+  auto s1 = seq::random_dna(400, 62, "s1");
+  // Copy a 60-base s0 segment, reverse-complemented, into s1. Aligning s0
+  // against revcomp(s1) then recovers the exact copy.
+  auto& b1 = s1.mutable_bases();
+  const auto src = s0.bases().subspan(100, 60);
+  for (Index k = 0; k < 60; ++k) {
+    b1[static_cast<std::size_t>(200 + k)] = seq::complement(src[static_cast<std::size_t>(59 - k)]);
+  }
+  const auto stranded = core::align_both_strands(s0, s1, core::PipelineOptions{});
+  EXPECT_TRUE(stranded.reverse_strand);
+  EXPECT_GT(stranded.reverse_score, stranded.forward_score);
+  EXPECT_GE(stranded.result.best_score, 55);  // The island, allowing chance hits.
+  EXPECT_NO_THROW(alignment::validate(stranded.result.alignment, s0.bases(),
+                                      stranded.strand_s1.bases(), paper()));
+}
+
+TEST(Strand, ForwardWinsForRelatedPair) {
+  const auto pair = test::small_related(300, 300, 63);
+  const auto stranded = core::align_both_strands(pair.s0, pair.s1, core::PipelineOptions{});
+  EXPECT_FALSE(stranded.reverse_strand);
+  EXPECT_GE(stranded.forward_score, stranded.reverse_score);
+  const auto reference = baseline::align_full_matrix(pair.s0.bases(), pair.s1.bases(), paper());
+  EXPECT_EQ(stranded.result.best_score, reference.alignment.score);
+}
+
+// ---------------------------------------------------------------------------
+// Block pruning
+// ---------------------------------------------------------------------------
+
+TEST(BlockPruning, IdenticalResultsAndSavesWork) {
+  // Related pair: the best score grows early, so off-path blocks get pruned.
+  const auto pair = test::small_related(600, 600, 71);
+  engine::ProblemSpec spec;
+  spec.a = pair.s0.bases();
+  spec.b = pair.s1.bases();
+  spec.grid = engine::GridSpec{6, 4, 2, 1};
+  spec.recurrence = engine::Recurrence::local(paper());
+
+  const auto plain = engine::run_wavefront(spec, engine::Hooks{});
+  spec.block_pruning = true;
+  const auto pruned = engine::run_wavefront(spec, engine::Hooks{});
+
+  EXPECT_EQ(pruned.best.score, plain.best.score);
+  EXPECT_EQ(pruned.best.i, plain.best.i);
+  EXPECT_EQ(pruned.best.j, plain.best.j);
+  EXPECT_GT(pruned.stats.pruned_cells, 0);
+  EXPECT_EQ(pruned.stats.cells + pruned.stats.pruned_cells, plain.stats.cells);
+}
+
+TEST(BlockPruning, HarmlessOnUnrelatedPairs) {
+  // Low best score -> bound rarely binds; correctness must still hold.
+  const auto pair = seq::make_unrelated_pair(300, 300, 15, 72);
+  engine::ProblemSpec spec;
+  spec.a = pair.s0.bases();
+  spec.b = pair.s1.bases();
+  spec.grid = engine::GridSpec{4, 4, 2, 1};
+  spec.recurrence = engine::Recurrence::local(paper());
+  const auto plain = engine::run_wavefront(spec, engine::Hooks{});
+  spec.block_pruning = true;
+  const auto pruned = engine::run_wavefront(spec, engine::Hooks{});
+  EXPECT_EQ(pruned.best.score, plain.best.score);
+  EXPECT_EQ(pruned.best.i, plain.best.i);
+}
+
+TEST(BlockPruning, RejectedInGlobalModeAndWithProbes) {
+  const auto a = test::rand_seq(32, 73);
+  engine::ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = a.bases();
+  spec.grid = engine::GridSpec{2, 2, 2, 1};
+  spec.block_pruning = true;
+  spec.recurrence = engine::Recurrence::global_start(dp::CellState::kH, paper());
+  EXPECT_THROW((void)engine::run_wavefront(spec, engine::Hooks{}), Error);
+  spec.recurrence = engine::Recurrence::local(paper());
+  engine::Hooks hooks;
+  hooks.find_value = 3;
+  EXPECT_THROW((void)engine::run_wavefront(spec, hooks), Error);
+}
+
+TEST(BlockPruning, PipelineEndToEndStillOptimal) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto pair = test::small_related(280, 290, 80 + seed);
+    core::PipelineOptions options;
+    options.grid_stage1 = engine::GridSpec{3, 4, 2, 1};
+    options.grid_stage23 = engine::GridSpec{2, 4, 2, 1};
+    options.block_pruning = true;
+    const auto result = core::align_pipeline(pair.s0, pair.s1, options);
+    const auto reference =
+        baseline::align_full_matrix(pair.s0.bases(), pair.s1.bases(), paper());
+    EXPECT_EQ(result.best_score, reference.alignment.score);
+    EXPECT_NO_THROW(
+        alignment::validate(result.alignment, pair.s0.bases(), pair.s1.bases(), paper()));
+    EXPECT_GT(result.stage1_pruned_cells, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Masked regions (N runs)
+// ---------------------------------------------------------------------------
+
+TEST(MaskedRegions, PipelineHandlesNRuns) {
+  // Chromosomes carry long N runs; the pipeline must align around them and
+  // stay optimal.
+  auto pair = test::small_related(300, 300, 90);
+  auto& b0 = pair.s0.mutable_bases();
+  for (Index k = 120; k < 150; ++k) b0[static_cast<std::size_t>(k)] = seq::kN;
+  const auto result = core::align_pipeline(pair.s0, pair.s1, core::PipelineOptions{});
+  const auto reference = baseline::align_full_matrix(pair.s0.bases(), pair.s1.bases(), paper());
+  EXPECT_EQ(result.best_score, reference.alignment.score);
+  if (!result.empty) {
+    EXPECT_NO_THROW(
+        alignment::validate(result.alignment, pair.s0.bases(), pair.s1.bases(), paper()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-worker determinism of the parallel stages
+// ---------------------------------------------------------------------------
+
+TEST(Parallelism, PipelineIdenticalAcrossWorkerCounts) {
+  const auto pair = test::small_related(400, 380, 91);
+  ThreadPool one(1), four(4);
+  core::PipelineOptions options;
+  options.sra_rows_budget = 4 * 8 * 381;  // Large partitions: stages 3-5 busy.
+  options.grid_stage1 = engine::GridSpec{3, 4, 2, 1};
+  options.grid_stage23 = engine::GridSpec{2, 4, 2, 1};
+  options.pool = &one;
+  const auto r1 = core::align_pipeline(pair.s0, pair.s1, options);
+  options.pool = &four;
+  const auto r4 = core::align_pipeline(pair.s0, pair.s1, options);
+  EXPECT_EQ(r1.alignment.transcript, r4.alignment.transcript);
+  EXPECT_EQ(r1.crosspoint_counts, r4.crosspoint_counts);
+  EXPECT_EQ(r1.stages[3].cells, r4.stages[3].cells);
+}
+
+TEST(Progress, PipelineReportsMonotoneFractions) {
+  const auto pair = test::small_related(300, 300, 95);
+  core::PipelineOptions options;
+  options.grid_stage1 = engine::GridSpec{3, 4, 2, 1};
+  options.grid_stage23 = engine::GridSpec{2, 4, 2, 1};
+  std::vector<std::pair<int, double>> events;
+  options.progress = [&](int stage, double fraction) { events.push_back({stage, fraction}); };
+  (void)core::align_pipeline(pair.s0, pair.s1, options);
+  ASSERT_FALSE(events.empty());
+  // Stage-1 fractions are monotone and end at 1.0; stages appear in order.
+  double last_fraction = 0;
+  int last_stage = 1;
+  for (const auto& [stage, fraction] : events) {
+    EXPECT_GE(stage, last_stage);
+    if (stage == 1) {
+      EXPECT_GE(fraction, last_fraction);
+      last_fraction = fraction;
+    }
+    last_stage = stage;
+  }
+  EXPECT_EQ(events.back().first, 5);
+  EXPECT_DOUBLE_EQ(events.back().second, 1.0);
+}
+
+TEST(Parallelism, NestedParallelForRunsInline) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    // Nested call must not deadlock; it runs inline on the worker.
+    pool.parallel_for(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// CLI argument parser
+// ---------------------------------------------------------------------------
+
+common::Args parse(std::vector<std::string> argv) {
+  std::vector<char*> raw;
+  raw.push_back(const_cast<char*>("prog"));
+  for (auto& s : argv) raw.push_back(s.data());
+  return common::Args(static_cast<int>(raw.size()), raw.data(), 1);
+}
+
+TEST(Args, PositionalAndFlags) {
+  auto args = parse({"a.fasta", "--out", "x.bin", "b.fasta", "--stats"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "a.fasta");
+  EXPECT_EQ(args.str("out"), "x.bin");
+  EXPECT_TRUE(args.has("stats"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, EqualsSyntaxAndDefaults) {
+  auto args = parse({"--sra=2G", "--max-partition=32"});
+  EXPECT_EQ(args.num("sra", 0), 2LL << 30);
+  EXPECT_EQ(args.num("max-partition", 0), 32);
+  EXPECT_EQ(args.num("absent", 7), 7);
+}
+
+TEST(Args, SizeSuffixes) {
+  EXPECT_EQ(parse({"--x=5K"}).num("x", 0), 5 << 10);
+  EXPECT_EQ(parse({"--x=3M"}).num("x", 0), 3 << 20);
+  EXPECT_THROW((void)parse({"--x=3Q"}).num("x", 0), Error);
+  EXPECT_THROW((void)parse({"--x=abc"}).num("x", 0), Error);
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  // "--mismatch -4": the value starts with '-' but not '--', so it is a
+  // value, not a flag.
+  auto args = parse({"--mismatch", "-4", "--match", "2"});
+  EXPECT_EQ(args.num("mismatch", 0), -4);
+  EXPECT_EQ(args.num("match", 0), 2);
+}
+
+TEST(Args, UnknownFlagDetection) {
+  auto args = parse({"--good", "1", "--typo", "2"});
+  EXPECT_THROW(args.check_known({"good"}), Error);
+  EXPECT_NO_THROW(args.check_known({"good", "typo"}));
+}
+
+}  // namespace
+}  // namespace cudalign

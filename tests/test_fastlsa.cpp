@@ -1,0 +1,176 @@
+// FastLSA baseline (related work [18]): optimality against the quadratic
+// reference, state-constrained endpoints, cache accounting and the
+// cells-vs-Myers-Miller tradeoff the paper's §III-A describes.
+#include <gtest/gtest.h>
+
+#include "alignment/alignment.hpp"
+#include "baseline/fastlsa.hpp"
+#include "common/rng.hpp"
+#include "dp/gotoh.hpp"
+#include "dp/myers_miller.hpp"
+#include "test_util.hpp"
+
+namespace cudalign::baseline {
+namespace {
+
+using dp::CellState;
+using test::rand_seq;
+
+struct LsaCase {
+  int scheme_index;
+  Index m, n;
+  Index grid;
+  WideScore base_cells;
+  std::uint64_t seed;
+};
+
+class FastLsa : public ::testing::TestWithParam<LsaCase> {};
+
+TEST_P(FastLsa, OptimalScoreAndValidTranscript) {
+  const auto p = GetParam();
+  const auto scheme = test::test_schemes()[static_cast<std::size_t>(p.scheme_index)];
+  const auto a = rand_seq(p.m, p.seed);
+  const auto b = rand_seq(p.n, p.seed ^ 0xbeef);
+  FastLsaOptions options;
+  options.grid = p.grid;
+  options.base_cells = p.base_cells;
+  const auto got = fastlsa_align(a.bases(), b.bases(), scheme, CellState::kH, CellState::kH,
+                                 options);
+  const auto ref = dp::align_global(a.bases(), b.bases(), scheme);
+  EXPECT_EQ(got.score, ref.score);
+  alignment::Alignment aln{0, 0, a.size(), b.size(), got.score, got.transcript};
+  EXPECT_NO_THROW(alignment::validate(aln, a.bases(), b.bases(), scheme));
+}
+
+std::vector<LsaCase> lsa_cases() {
+  std::vector<LsaCase> cases;
+  std::uint64_t seed = 40000;
+  for (int s = 0; s < 4; ++s) {
+    cases.push_back(LsaCase{s, 120, 130, 4, 256, seed++});   // Multi-level recursion.
+    cases.push_back(LsaCase{s, 64, 200, 8, 1024, seed++});   // Skewed.
+    cases.push_back(LsaCase{s, 50, 50, 8, 1 << 16, seed++}); // Pure base case.
+    cases.push_back(LsaCase{s, 3, 90, 2, 64, seed++});       // Degenerate rows.
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FastLsa, ::testing::ValuesIn(lsa_cases()),
+                         [](const ::testing::TestParamInfo<LsaCase>& info) {
+                           const auto& p = info.param;
+                           return "s" + std::to_string(p.scheme_index) + "_m" +
+                                  std::to_string(p.m) + "_n" + std::to_string(p.n) + "_k" +
+                                  std::to_string(p.grid) + "_bc" + std::to_string(p.base_cells);
+                         });
+
+TEST(FastLsaEdge, EmptyAndDegenerateInputs) {
+  const auto scheme = scoring::Scheme::paper_defaults();
+  const auto empty = fastlsa_align({}, {}, scheme);
+  EXPECT_EQ(empty.score, 0);
+  EXPECT_TRUE(empty.transcript.empty());
+
+  const auto b = rand_seq(12, 3);
+  const auto gaps = fastlsa_align({}, b.bases(), scheme);
+  EXPECT_EQ(gaps.score, -(5 + 11 * 2));
+  EXPECT_EQ(gaps.transcript.cols_consumed(), 12);
+}
+
+TEST(FastLsaEdge, StateConstrainedEndpoints) {
+  const auto scheme = scoring::Scheme::paper_defaults();
+  const auto a = rand_seq(40, 7);
+  const auto b = rand_seq(36, 8);
+  FastLsaOptions options;
+  options.grid = 4;
+  options.base_cells = 128;
+  for (const CellState start : {CellState::kH, CellState::kE, CellState::kF}) {
+    for (const CellState end : {CellState::kH, CellState::kE, CellState::kF}) {
+      const auto got = fastlsa_align(a.bases(), b.bases(), scheme, start, end, options);
+      const auto ref = dp::align_global(a.bases(), b.bases(), scheme, start, end);
+      EXPECT_EQ(got.score, ref.score) << "start " << static_cast<int>(start) << " end "
+                                      << static_cast<int>(end);
+      const Score rescored = alignment::score_transcript(a.bases(), b.bases(), got.transcript,
+                                                         0, 0, scheme, start);
+      EXPECT_EQ(rescored, got.score);
+    }
+  }
+}
+
+TEST(FastLsaEdge, RecursionDepthAndCacheAreBounded) {
+  const auto pair = test::small_related(800, 800, 17);
+  FastLsaOptions options;
+  options.grid = 4;
+  options.base_cells = 1024;
+  const auto got = fastlsa_align(pair.s0.bases(), pair.s1.bases(),
+                                 scoring::Scheme::paper_defaults(), CellState::kH,
+                                 CellState::kH, options);
+  EXPECT_GE(got.stats.deepest_level, 1);
+  // Cache is O(k * (m + n)) per level, not O(mn).
+  EXPECT_LT(got.stats.peak_cache_bytes, 600u * 1024u);
+  EXPECT_GT(got.stats.cells, 0);
+}
+
+TEST(FastLsaEdge, RecomputesLessThanMyersMiller) {
+  // The related-work claim: FastLSA's cache buys back most of MM's second
+  // pass. Compare total DP cells on the same problem.
+  const auto pair = test::small_related(600, 600, 19);
+  const auto scheme = scoring::Scheme::paper_defaults();
+
+  dp::MyersMillerStats mm_stats;
+  dp::MyersMillerOptions mm_options;
+  mm_options.base_case_cells = 1024;
+  (void)dp::myers_miller(pair.s0.bases(), pair.s1.bases(), scheme, CellState::kH, CellState::kH,
+                         mm_options, &mm_stats);
+
+  FastLsaOptions options;
+  options.grid = 8;
+  options.base_cells = 1024;
+  const auto lsa = fastlsa_align(pair.s0.bases(), pair.s1.bases(), scheme, CellState::kH,
+                                 CellState::kH, options);
+
+  EXPECT_LT(lsa.stats.cells, mm_stats.cells);
+  // And both produce optimal alignments of equal score.
+  const auto ref_score = dp::align_global(pair.s0.bases(), pair.s1.bases(), scheme).score;
+  EXPECT_EQ(lsa.score, ref_score);
+}
+
+// Fuzz: random geometry, grid factor, base-case threshold and endpoint
+// states; FastLSA must match the quadratic optimum and produce a transcript
+// that re-scores exactly (with the start-state discount applied).
+class FastLsaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastLsaFuzz, RandomConfigurationIsOptimal) {
+  Rng rng(GetParam() * 104729);
+  const Index m = 1 + static_cast<Index>(rng.below(160));
+  const Index n = 1 + static_cast<Index>(rng.below(160));
+  const auto a = rand_seq(m, rng.next());
+  const auto b = rand_seq(n, rng.next());
+  const auto scheme = test::test_schemes()[rng.below(4)];
+  const auto states = {CellState::kH, CellState::kE, CellState::kF};
+  const CellState start = *(states.begin() + static_cast<long>(rng.below(3)));
+  const CellState end = *(states.begin() + static_cast<long>(rng.below(3)));
+  FastLsaOptions options;
+  options.grid = 2 + static_cast<Index>(rng.below(8));
+  options.base_cells = 16 + static_cast<WideScore>(rng.below(2048));
+
+  const auto got = fastlsa_align(a.bases(), b.bases(), scheme, start, end, options);
+  const auto ref = dp::align_global(a.bases(), b.bases(), scheme, start, end);
+  ASSERT_EQ(got.score, ref.score);
+  const Score rescored =
+      alignment::score_transcript(a.bases(), b.bases(), got.transcript, 0, 0, scheme, start);
+  EXPECT_EQ(rescored, got.score);
+  EXPECT_EQ(got.transcript.rows_consumed(), m);
+  EXPECT_EQ(got.transcript.cols_consumed(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastLsaFuzz, ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(FastLsaEdge, InvalidOptionsRejected) {
+  const auto a = rand_seq(8, 1);
+  FastLsaOptions options;
+  options.grid = 1;
+  EXPECT_THROW((void)fastlsa_align(a.bases(), a.bases(), scoring::Scheme::paper_defaults(),
+                                   CellState::kH, CellState::kH, options),
+               Error);
+}
+
+}  // namespace
+}  // namespace cudalign::baseline

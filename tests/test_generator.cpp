@@ -1,0 +1,110 @@
+// Synthetic genome generator: determinism, mutation-rate statistics, pair
+// regimes (the Table II substitute).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "dp/gotoh.hpp"
+#include "seq/generator.hpp"
+
+namespace cudalign::seq {
+namespace {
+
+TEST(Generator, RandomDnaDeterministicPerSeed) {
+  const auto a = random_dna(500, 42);
+  const auto b = random_dna(500, 42);
+  const auto c = random_dna(500, 43);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(Generator, RandomDnaComposition) {
+  const auto s = random_dna(40000, 7);
+  std::array<int, kAlphabetSize> counts{};
+  for (const Base b : s.bases()) counts[b]++;
+  EXPECT_EQ(counts[kN], 0);
+  for (int base = 0; base < 4; ++base) {
+    EXPECT_NEAR(counts[base] / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(Generator, MutateSubstitutionRate) {
+  const auto ancestor = random_dna(20000, 11);
+  MutationProfile profile;
+  profile.substitution_rate = 0.1;
+  profile.indel_rate = 0;
+  profile.block_event_rate = 0;
+  const auto mutant = mutate(ancestor, profile, 99);
+  ASSERT_EQ(mutant.size(), ancestor.size());
+  int diffs = 0;
+  for (Index i = 0; i < mutant.size(); ++i) {
+    if (mutant.at(i) != ancestor.at(i)) ++diffs;
+  }
+  EXPECT_NEAR(diffs / 20000.0, 0.1, 0.015);
+}
+
+TEST(Generator, MutateZeroRatesIsIdentity) {
+  const auto ancestor = random_dna(1000, 13);
+  MutationProfile profile;
+  profile.substitution_rate = 0;
+  profile.indel_rate = 0;
+  profile.block_event_rate = 0;
+  profile.n_run_rate = 0;
+  EXPECT_EQ(mutate(ancestor, profile, 5).to_string(), ancestor.to_string());
+}
+
+TEST(Generator, MutateIndelsChangeLength) {
+  const auto ancestor = random_dna(10000, 17);
+  MutationProfile profile;
+  profile.substitution_rate = 0;
+  profile.indel_rate = 0.01;
+  profile.block_event_rate = 0;
+  const auto mutant = mutate(ancestor, profile, 23);
+  EXPECT_NE(mutant.size(), ancestor.size());
+  // Insertions and deletions are symmetric; length drift stays bounded.
+  EXPECT_NEAR(static_cast<double>(mutant.size()), 10000.0, 600.0);
+}
+
+TEST(Generator, NRunsAppearWhenRequested) {
+  const auto ancestor = random_dna(5000, 19);
+  MutationProfile profile;
+  profile.substitution_rate = 0;
+  profile.indel_rate = 0;
+  profile.n_run_rate = 0.01;
+  const auto mutant = mutate(ancestor, profile, 29);
+  int ns = 0;
+  for (const Base b : mutant.bases()) ns += b == kN;
+  EXPECT_GT(ns, 0);
+}
+
+TEST(Generator, RelatedPairHasLongHighScoringAlignment) {
+  const auto pair = make_related_pair(300, 300, 101);
+  ASSERT_EQ(pair.s0.size(), 300);
+  ASSERT_EQ(pair.s1.size(), 300);
+  const auto local =
+      dp::align_local(pair.s0.bases(), pair.s1.bases(), scoring::Scheme::paper_defaults());
+  // ~95% identity: the local alignment must span most of the pair.
+  EXPECT_GT(local.score, 150);
+}
+
+TEST(Generator, UnrelatedPairAlignmentIsTheIsland) {
+  const auto pair = make_unrelated_pair(400, 500, 30, 777);
+  const auto local =
+      dp::align_local(pair.s0.bases(), pair.s1.bases(), scoring::Scheme::paper_defaults());
+  // The planted 30-base island dominates: score near 30, far below related.
+  EXPECT_GE(local.score, 25);
+  EXPECT_LE(local.score, 60);
+}
+
+TEST(Generator, UnrelatedPairIslandTooBigThrows) {
+  EXPECT_THROW((void)make_unrelated_pair(10, 10, 20, 1), Error);
+}
+
+TEST(Generator, SizeLabels) {
+  EXPECT_EQ(size_label(162114, 171823), "162Kx172K");
+  EXPECT_EQ(size_label(32799110, 46944323), "33Mx47M");
+  EXPECT_EQ(size_label(999, 42), "999x42");
+}
+
+}  // namespace
+}  // namespace cudalign::seq

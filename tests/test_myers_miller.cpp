@@ -1,0 +1,124 @@
+// Classic Myers-Miller linear-space aligner (paper §II-B) vs the quadratic
+// reference, across schemes, sizes and start/end state constraints.
+#include <gtest/gtest.h>
+
+#include "alignment/alignment.hpp"
+#include "dp/gotoh.hpp"
+#include "dp/myers_miller.hpp"
+#include "test_util.hpp"
+
+namespace cudalign {
+namespace {
+
+using dp::CellState;
+using test::rand_seq;
+
+struct MmCase {
+  int scheme_index;
+  Index m, n;
+  Index base_case;
+  std::uint64_t seed;
+};
+
+class MyersMiller : public ::testing::TestWithParam<MmCase> {};
+
+TEST_P(MyersMiller, ScoreAndTranscriptMatchReference) {
+  const auto p = GetParam();
+  const auto scheme = test::test_schemes()[static_cast<std::size_t>(p.scheme_index)];
+  const auto a = rand_seq(p.m, p.seed);
+  const auto b = rand_seq(p.n, p.seed ^ 0x9999);
+  dp::MyersMillerOptions options;
+  options.base_case_cells = p.base_case;
+  dp::MyersMillerStats stats;
+  const auto mm = dp::myers_miller(a.bases(), b.bases(), scheme, CellState::kH, CellState::kH,
+                                   options, &stats);
+  const auto ref = dp::align_global(a.bases(), b.bases(), scheme);
+  EXPECT_EQ(mm.score, ref.score);
+  // The transcript must be a *valid* optimal alignment (not necessarily the
+  // identical traceback — co-optimal paths may differ).
+  alignment::Alignment aln{0, 0, a.size(), b.size(), mm.score, mm.transcript};
+  EXPECT_NO_THROW(alignment::validate(aln, a.bases(), b.bases(), scheme));
+  if (p.m > 8 && p.n > 8 && p.base_case <= 16) {
+    EXPECT_GT(stats.splits, 0);
+  }
+}
+
+std::vector<MmCase> mm_cases() {
+  std::vector<MmCase> cases;
+  std::uint64_t seed = 7000;
+  for (int s = 0; s < 4; ++s) {
+    cases.push_back(MmCase{s, 33, 41, 16, seed++});
+    cases.push_back(MmCase{s, 64, 17, 16, seed++});
+    cases.push_back(MmCase{s, 40, 40, 4096, seed++});  // Pure base case.
+    cases.push_back(MmCase{s, 7, 61, 4, seed++});      // Degenerate aspect.
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MyersMiller, ::testing::ValuesIn(mm_cases()),
+                         [](const ::testing::TestParamInfo<MmCase>& info) {
+                           const auto& p = info.param;
+                           return "s" + std::to_string(p.scheme_index) + "_m" +
+                                  std::to_string(p.m) + "_n" + std::to_string(p.n) + "_bc" +
+                                  std::to_string(p.base_case);
+                         });
+
+TEST(MyersMillerEdge, EmptySequences) {
+  const auto mm = dp::myers_miller({}, {}, scoring::Scheme::paper_defaults());
+  EXPECT_EQ(mm.score, 0);
+  EXPECT_TRUE(mm.transcript.empty());
+}
+
+TEST(MyersMillerEdge, OneRowProblem) {
+  const auto a = rand_seq(1, 1);
+  const auto b = rand_seq(30, 2);
+  const auto mm = dp::myers_miller(a.bases(), b.bases(), scoring::Scheme::paper_defaults());
+  const auto ref = dp::align_global(a.bases(), b.bases(), scoring::Scheme::paper_defaults());
+  EXPECT_EQ(mm.score, ref.score);
+}
+
+TEST(MyersMillerEdge, StateConstrainedEndpoints) {
+  const auto scheme = scoring::Scheme::paper_defaults();
+  const auto a = rand_seq(20, 5);
+  const auto b = rand_seq(24, 6);
+  dp::MyersMillerOptions options;
+  options.base_case_cells = 8;
+  for (const CellState start : {CellState::kH, CellState::kE, CellState::kF}) {
+    for (const CellState end : {CellState::kH, CellState::kE, CellState::kF}) {
+      const auto mm = dp::myers_miller(a.bases(), b.bases(), scheme, start, end, options);
+      const auto ref = dp::align_global(a.bases(), b.bases(), scheme, start, end);
+      EXPECT_EQ(mm.score, ref.score) << "start " << static_cast<int>(start) << " end "
+                                     << static_cast<int>(end);
+      // State-constrained transcripts re-score with the discount applied.
+      const Score rescored = alignment::score_transcript(a.bases(), b.bases(), mm.transcript, 0,
+                                                         0, scheme, start);
+      EXPECT_EQ(rescored, mm.score);
+    }
+  }
+}
+
+TEST(MyersMillerEdge, IdenticalSequencesAlignDiagonally) {
+  const auto a = rand_seq(100, 9);
+  const auto mm = dp::myers_miller(a.bases(), a.bases(), scoring::Scheme::paper_defaults());
+  EXPECT_EQ(mm.score, 100);
+  ASSERT_EQ(mm.transcript.runs().size(), 1u);
+  EXPECT_EQ(mm.transcript.runs()[0].op, alignment::Op::kDiagonal);
+}
+
+TEST(MyersMillerEdge, StatsCountCellsAndDepth) {
+  const auto a = rand_seq(64, 13);
+  const auto b = rand_seq(64, 14);
+  dp::MyersMillerOptions options;
+  options.base_case_cells = 16;
+  dp::MyersMillerStats stats;
+  (void)dp::myers_miller(a.bases(), b.bases(), scoring::Scheme::paper_defaults(), CellState::kH,
+                         CellState::kH, options, &stats);
+  // Linear-space MM processes ~2x the matrix across all recursion levels.
+  const WideScore matrix = 65 * 65;
+  EXPECT_GT(stats.cells, matrix);
+  EXPECT_LT(stats.cells, 5 * matrix);
+  EXPECT_GE(stats.max_depth, 3);
+}
+
+}  // namespace
+}  // namespace cudalign

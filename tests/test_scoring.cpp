@@ -1,0 +1,66 @@
+// Affine-gap scoring scheme semantics.
+#include <gtest/gtest.h>
+
+#include "scoring/scoring.hpp"
+
+namespace cudalign::scoring {
+namespace {
+
+TEST(Scoring, PaperDefaults) {
+  const auto s = Scheme::paper_defaults();
+  EXPECT_EQ(s.match, 1);
+  EXPECT_EQ(s.mismatch, -3);
+  EXPECT_EQ(s.gap_first, 5);
+  EXPECT_EQ(s.gap_ext, 2);
+  EXPECT_EQ(s.gap_open(), 3);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Scoring, PairScores) {
+  const auto s = Scheme::paper_defaults();
+  EXPECT_EQ(s.pair(seq::kA, seq::kA), 1);
+  EXPECT_EQ(s.pair(seq::kA, seq::kC), -3);
+  EXPECT_EQ(s.pair(seq::kN, seq::kN), -3);  // N never matches.
+  EXPECT_EQ(s.pair(seq::kN, seq::kA), -3);
+}
+
+TEST(Scoring, GapRunCost) {
+  const auto s = Scheme::paper_defaults();
+  EXPECT_EQ(s.gap_run(1), -5);
+  EXPECT_EQ(s.gap_run(2), -7);
+  EXPECT_EQ(s.gap_run(10), -5 - 9 * 2);
+}
+
+TEST(Scoring, ValidateRejectsNonPositiveMatch) {
+  Scheme s = Scheme::paper_defaults();
+  s.match = 0;
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(Scoring, ValidateRejectsPositiveMismatch) {
+  Scheme s = Scheme::paper_defaults();
+  s.mismatch = 1;
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(Scoring, ValidateRejectsZeroExtension) {
+  Scheme s = Scheme::paper_defaults();
+  s.gap_ext = 0;
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(Scoring, ValidateRejectsOpenCheaperThanExtend) {
+  Scheme s = Scheme::paper_defaults();
+  s.gap_first = 1;
+  s.gap_ext = 2;
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(Scoring, LinearGapModelIsValid) {
+  const Scheme s{1, -1, 2, 2};
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.gap_open(), 0);
+}
+
+}  // namespace
+}  // namespace cudalign::scoring

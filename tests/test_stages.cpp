@@ -1,0 +1,305 @@
+// Stage-by-stage correctness: each stage's output is validated against
+// independent references (linear local best for Stage 1; quadratic partition
+// re-scoring for the crosspoint chains of Stages 2-4).
+#include <gtest/gtest.h>
+
+#include "common/io_util.hpp"
+#include "core/stages.hpp"
+#include "dp/linear.hpp"
+#include "test_util.hpp"
+
+namespace cudalign::core {
+namespace {
+
+using test::rand_seq;
+
+scoring::Scheme paper() { return scoring::Scheme::paper_defaults(); }
+
+engine::GridSpec tiny_grid(Index blocks = 3, Index threads = 4, Index alpha = 2) {
+  engine::GridSpec g;
+  g.blocks = blocks;
+  g.threads = threads;
+  g.alpha = alpha;
+  g.multiprocessors = 1;
+  return g;
+}
+
+struct StageHarness {
+  seq::SequencePair pair;
+  TempDir dir;
+  sra::SpecialRowsArea rows;
+  sra::SpecialRowsArea cols;
+
+  explicit StageHarness(seq::SequencePair p, std::int64_t rows_budget = 1 << 20,
+                        std::int64_t cols_budget = 1 << 20)
+      : pair(std::move(p)),
+        dir("stage-test"),
+        rows(dir.path() / "rows", rows_budget),
+        cols(dir.path() / "cols", cols_budget) {}
+
+  Stage1Result stage1(engine::GridSpec grid = tiny_grid()) {
+    Stage1Config c;
+    c.scheme = paper();
+    c.grid = grid;
+    c.rows_area = &rows;
+    return run_stage1(pair.s0.bases(), pair.s1.bases(), c);
+  }
+
+  Stage2Result stage2(const Crosspoint& end, engine::GridSpec grid = tiny_grid()) {
+    Stage2Config c;
+    c.scheme = paper();
+    c.grid = grid;
+    c.rows_area = &rows;
+    c.cols_area = &cols;
+    return run_stage2(pair.s0.bases(), pair.s1.bases(), end, c);
+  }
+
+  Stage3Result stage3(const CrosspointList& l2, engine::GridSpec grid = tiny_grid()) {
+    Stage3Config c;
+    c.scheme = paper();
+    c.grid = grid;
+    c.cols_area = &cols;
+    return run_stage3(pair.s0.bases(), pair.s1.bases(), l2, c);
+  }
+};
+
+TEST(Stage1, BestMatchesLinearReference) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    StageHarness h(test::small_related(180, 190, 2000 + seed));
+    const auto st1 = h.stage1();
+    const auto expected =
+        dp::linear_local_best(h.pair.s0.bases(), h.pair.s1.bases(), paper());
+    EXPECT_EQ(st1.end_point.score, expected.score);
+    EXPECT_EQ(st1.end_point.i, expected.i);
+    EXPECT_EQ(st1.end_point.j, expected.j);
+    EXPECT_GT(st1.special_rows_saved, 0);
+    EXPECT_EQ(st1.stats.cells, h.pair.s0.size() * h.pair.s1.size());
+  }
+}
+
+TEST(Stage1, NoFlushWhenAreaAbsent) {
+  StageHarness h(test::small_related(100, 100, 3000));
+  Stage1Config c;
+  c.scheme = paper();
+  c.grid = tiny_grid();
+  c.rows_area = nullptr;
+  const auto st1 = run_stage1(h.pair.s0.bases(), h.pair.s1.bases(), c);
+  EXPECT_EQ(st1.special_rows_saved, 0);
+  EXPECT_EQ(st1.flush_interval, 0);
+  EXPECT_GT(st1.end_point.score, 0);
+}
+
+TEST(Stage1, TinyBudgetRaisesFlushInterval) {
+  const auto pair = test::small_related(400, 200, 3100);
+  // Budget for exactly two rows of 201 cells.
+  const std::int64_t budget = 2 * 8 * 201;
+  StageHarness h(pair, budget);
+  const auto st1 = h.stage1(tiny_grid(2, 4, 2));  // strip 8 rows -> 50 strips.
+  EXPECT_GE(st1.flush_interval, 25);
+  EXPECT_LE(st1.special_rows_saved, 2);
+  EXPECT_LE(h.rows.used_bytes(), budget);
+}
+
+TEST(Stage2, ChainIsValidAndTelescopes) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    StageHarness h(test::small_related(200, 210, 4000 + seed));
+    const auto st1 = h.stage1();
+    const auto st2 = h.stage2(st1.end_point);
+    ASSERT_GE(st2.crosspoints.size(), 2u);
+    EXPECT_EQ(st2.crosspoints.back(), st1.end_point);
+    validate_chain_scores(st2.crosspoints, h.pair.s0.bases(), h.pair.s1.bases(), paper());
+  }
+}
+
+TEST(Stage2, CrosspointsSitOnSpecialRows) {
+  StageHarness h(test::small_related(300, 300, 4100));
+  const auto st1 = h.stage1();
+  const auto st2 = h.stage2(st1.end_point);
+  std::vector<Index> row_positions;
+  for (const auto id : h.rows.group_members(1)) {
+    row_positions.push_back(h.rows.key(id).position);
+  }
+  for (std::size_t k = 1; k + 1 < st2.crosspoints.size(); ++k) {
+    const auto& cp = st2.crosspoints[k];
+    EXPECT_TRUE(std::find(row_positions.begin(), row_positions.end(), cp.i) !=
+                row_positions.end())
+        << "intermediate crosspoint not on a special row: i=" << cp.i;
+  }
+}
+
+TEST(Stage2, ShortAlignmentFindsStartWithoutCrossingRows) {
+  // An unrelated pair with a small planted island: the optimal alignment is
+  // tiny and usually crosses no special row at all.
+  StageHarness h(seq::make_unrelated_pair(150, 150, 20, 4200));
+  const auto st1 = h.stage1();
+  ASSERT_GT(st1.end_point.score, 0);
+  const auto st2 = h.stage2(st1.end_point);
+  validate_chain_scores(st2.crosspoints, h.pair.s0.bases(), h.pair.s1.bases(), paper());
+  const auto& start = st2.crosspoints.front();
+  EXPECT_EQ(start.score, 0);
+  EXPECT_EQ(start.type, dp::CellState::kH);
+}
+
+TEST(Stage2, ProcessedAreaShrinksWithMoreSpecialRows) {
+  const auto pair = test::small_related(600, 300, 4300);
+  WideScore cells_few = 0, cells_many = 0;
+  {
+    StageHarness h(pair, 4 * 8 * 301);  // Budget for ~4 rows.
+    const auto st1 = h.stage1(tiny_grid(2, 2, 2));
+    cells_few = h.stage2(st1.end_point).stats.cells;
+  }
+  {
+    StageHarness h(pair, 1 << 22);  // Budget for every strip boundary.
+    const auto st1 = h.stage1(tiny_grid(2, 2, 2));
+    cells_many = h.stage2(st1.end_point).stats.cells;
+  }
+  EXPECT_LT(cells_many, cells_few);
+}
+
+TEST(Stage3, RefinedChainTelescopes) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    StageHarness h(test::small_related(250, 250, 5000 + seed));
+    const auto st1 = h.stage1();
+    const auto st2 = h.stage2(st1.end_point);
+    const auto st3 = h.stage3(st2.crosspoints);
+    EXPECT_GE(st3.crosspoints.size(), st2.crosspoints.size());
+    validate_chain_scores(st3.crosspoints, h.pair.s0.bases(), h.pair.s1.bases(), paper());
+  }
+}
+
+TEST(Stage3, AddsCrosspointsOnSpecialColumns) {
+  // Few special rows (tight rows budget) so each stage-2 iteration spans a
+  // tall rectangle and flushes several special columns before its match.
+  const auto pair = test::small_related(400, 400, 5100);
+  StageHarness h(pair, 3 * 8 * 401, 1 << 20);
+  const auto st1 = h.stage1(tiny_grid(2, 2, 2));
+  const auto st2 = h.stage2(st1.end_point, tiny_grid(2, 2, 2));
+  ASSERT_GT(st2.special_cols_saved, 0);
+  const auto st3 = h.stage3(st2.crosspoints, tiny_grid(2, 2, 2));
+  EXPECT_GT(st3.crosspoints.size(), st2.crosspoints.size());
+  validate_chain_scores(st3.crosspoints, h.pair.s0.bases(), h.pair.s1.bases(), paper());
+}
+
+TEST(Stage4, PartitionsShrinkBelowMaxSize) {
+  // Tight SRA budget: few special rows, so Stage 4 receives large partitions.
+  StageHarness h(test::small_related(300, 300, 6000), 3 * 8 * 301);
+  const auto st1 = h.stage1();
+  const auto st2 = h.stage2(st1.end_point);
+  Stage4Config c4;
+  c4.scheme = paper();
+  c4.max_partition_size = 16;
+  const auto st4 = run_stage4(h.pair.s0.bases(), h.pair.s1.bases(), st2.crosspoints, c4);
+  validate_chain_scores(st4.crosspoints, h.pair.s0.bases(), h.pair.s1.bases(), paper());
+  for (const auto& p : partitions_of(st4.crosspoints)) {
+    EXPECT_LE(p.size(), 16);
+  }
+  EXPECT_FALSE(st4.iterations.empty());
+}
+
+TEST(Stage4, OrthogonalAndFullReverseAgreeOnChainValidity) {
+  StageHarness h(test::small_related(220, 260, 6100));
+  const auto st1 = h.stage1();
+  const auto st2 = h.stage2(st1.end_point);
+  for (const bool orthogonal : {false, true}) {
+    Stage4Config c4;
+    c4.scheme = paper();
+    c4.max_partition_size = 12;
+    c4.orthogonal = orthogonal;
+    const auto st4 = run_stage4(h.pair.s0.bases(), h.pair.s1.bases(), st2.crosspoints, c4);
+    validate_chain_scores(st4.crosspoints, h.pair.s0.bases(), h.pair.s1.bases(), paper());
+  }
+}
+
+TEST(Stage4, OrthogonalProcessesFewerCells) {
+  StageHarness h(test::small_related(500, 500, 6200), 3 * 8 * 501);
+  const auto st1 = h.stage1();
+  const auto st2 = h.stage2(st1.end_point);
+  Stage4Config c4;
+  c4.scheme = paper();
+  c4.max_partition_size = 16;
+  c4.orthogonal = false;
+  const auto full = run_stage4(h.pair.s0.bases(), h.pair.s1.bases(), st2.crosspoints, c4);
+  c4.orthogonal = true;
+  const auto orth = run_stage4(h.pair.s0.bases(), h.pair.s1.bases(), st2.crosspoints, c4);
+  EXPECT_LT(orth.stats.cells, full.stats.cells);
+}
+
+TEST(Stage4, BalancedSplittingHandlesSkewedPartitions) {
+  // A single wide partition: classic MM needs many row splits; balanced
+  // splitting must converge in ~log iterations and a valid chain.
+  StageHarness h(test::small_related(60, 600, 6300));
+  const auto st1 = h.stage1();
+  const auto st2 = h.stage2(st1.end_point);
+  for (const bool balanced : {false, true}) {
+    Stage4Config c4;
+    c4.scheme = paper();
+    c4.max_partition_size = 16;
+    c4.balanced_splitting = balanced;
+    const auto st4 = run_stage4(h.pair.s0.bases(), h.pair.s1.bases(), st2.crosspoints, c4);
+    validate_chain_scores(st4.crosspoints, h.pair.s0.bases(), h.pair.s1.bases(), paper());
+  }
+}
+
+TEST(Stage4, IterationLogIsMonotone) {
+  StageHarness h(test::small_related(400, 380, 6400));
+  const auto st1 = h.stage1();
+  const auto st2 = h.stage2(st1.end_point);
+  Stage4Config c4;
+  c4.scheme = paper();
+  c4.max_partition_size = 8;
+  const auto st4 = run_stage4(h.pair.s0.bases(), h.pair.s1.bases(), st2.crosspoints, c4);
+  for (std::size_t k = 1; k < st4.iterations.size(); ++k) {
+    EXPECT_LE(st4.iterations[k].h_max, std::max(st4.iterations[k - 1].h_max,
+                                                st4.iterations[k - 1].w_max));
+    EXPECT_GE(st4.iterations[k].crosspoints, st4.iterations[k - 1].crosspoints);
+  }
+}
+
+TEST(Stage5, FullAlignmentScoresTheBest) {
+  StageHarness h(test::small_related(260, 240, 7000));
+  const auto st1 = h.stage1();
+  const auto st2 = h.stage2(st1.end_point);
+  Stage4Config c4;
+  c4.scheme = paper();
+  c4.max_partition_size = 16;
+  const auto st4 = run_stage4(h.pair.s0.bases(), h.pair.s1.bases(), st2.crosspoints, c4);
+  Stage5Config c5;
+  c5.scheme = paper();
+  const auto st5 = run_stage5(h.pair.s0.bases(), h.pair.s1.bases(), st4.crosspoints, c5);
+  EXPECT_EQ(st5.alignment.score, st1.end_point.score);
+  EXPECT_EQ(st5.binary.score, st1.end_point.score);
+}
+
+TEST(Stage6, ReconstructionMatchesStage5) {
+  StageHarness h(test::small_related(220, 220, 7100));
+  const auto st1 = h.stage1();
+  const auto st2 = h.stage2(st1.end_point);
+  Stage4Config c4;
+  c4.scheme = paper();
+  const auto st4 = run_stage4(h.pair.s0.bases(), h.pair.s1.bases(), st2.crosspoints, c4);
+  Stage5Config c5;
+  c5.scheme = paper();
+  const auto st5 = run_stage5(h.pair.s0.bases(), h.pair.s1.bases(), st4.crosspoints, c5);
+  const auto st6 = run_stage6(h.pair.s0.bases(), h.pair.s1.bases(), st5.binary, paper());
+  EXPECT_EQ(st6.alignment.transcript, st5.alignment.transcript);
+  EXPECT_EQ(st6.composition.total_score(), st5.alignment.score);
+}
+
+TEST(CrosspointChain, ValidatorCatchesBrokenChains) {
+  CrosspointList chain{{0, 0, 0, dp::CellState::kH}, {10, 10, 5, dp::CellState::kH}};
+  EXPECT_NO_THROW(validate_chain(chain, 10, 10, 5));
+  // Non-monotone.
+  CrosspointList bad = chain;
+  bad.insert(bad.begin() + 1, Crosspoint{12, 4, 3, dp::CellState::kH});
+  EXPECT_THROW(validate_chain(bad, 10, 10, 5), Error);
+  // Wrong end score.
+  EXPECT_THROW(validate_chain(chain, 10, 10, 6), Error);
+  // E-type needs width.
+  CrosspointList etype{{0, 0, 0, dp::CellState::kH},
+                       {5, 0, 2, dp::CellState::kE},
+                       {10, 10, 5, dp::CellState::kH}};
+  EXPECT_THROW(validate_chain(etype, 10, 10, 5), Error);
+}
+
+}  // namespace
+}  // namespace cudalign::core

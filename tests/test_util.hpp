@@ -1,0 +1,42 @@
+// Shared helpers for the cudalign test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scoring/scoring.hpp"
+#include "seq/generator.hpp"
+#include "seq/sequence.hpp"
+
+namespace cudalign::test {
+
+/// Random DNA of length n (deterministic per seed).
+inline seq::Sequence rand_seq(Index n, std::uint64_t seed) {
+  return seq::random_dna(n, seed, "t" + std::to_string(seed));
+}
+
+/// A related pair (long optimal alignment) sized for unit tests.
+inline seq::SequencePair small_related(Index n0, Index n1, std::uint64_t seed) {
+  return seq::make_related_pair(n0, n1, seed);
+}
+
+/// Scoring schemes exercised by parameterized suites: the paper's defaults
+/// plus corner-ish affine settings (equal first/ext = linear gaps; harsh
+/// opens; mild mismatches).
+inline std::vector<scoring::Scheme> test_schemes() {
+  return {
+      scoring::Scheme::paper_defaults(),  // +1/-3/5/2
+      scoring::Scheme{1, -1, 2, 2},       // Linear gap model (G_open = 0).
+      scoring::Scheme{2, -1, 7, 1},       // Expensive opens, cheap extends.
+      scoring::Scheme{3, -2, 4, 3},       // Mild.
+  };
+}
+
+/// Pretty parameter names for TEST_P instantiations.
+inline std::string scheme_name(const scoring::Scheme& s) {
+  return "m" + std::to_string(s.match) + "_mi" + std::to_string(-s.mismatch) + "_gf" +
+         std::to_string(s.gap_first) + "_ge" + std::to_string(s.gap_ext);
+}
+
+}  // namespace cudalign::test
