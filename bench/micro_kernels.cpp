@@ -1,13 +1,29 @@
 // Micro-benchmarks (google-benchmark) of the substrate hot paths: tile
-// kernel throughput across tile shapes, the linear-space sweep, the classic
-// Myers-Miller aligner and the Stage-5 partition solver. These are the knobs
-// behind the table-level numbers (alpha-blocking shape, grid geometry).
+// kernel throughput across tile shapes and kernel variants, the linear-space
+// sweep, the classic Myers-Miller aligner and the Stage-5 partition solver.
+// These are the knobs behind the table-level numbers (alpha-blocking shape,
+// grid geometry, kernel dispatch).
+//
+// Before handing over to google-benchmark, main() runs a self-timed sweep of
+// the kernel registry — every variant on every tile archetype it can run,
+// plus a 4 KBP x 4 KBP Stage-1 engine run per dispatch mode — and writes the
+// results to BENCH_kernels.json (override the path with CUDALIGN_BENCH_JSON;
+// set it to "off" to skip the sweep).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "dp/gotoh.hpp"
 #include "dp/linear.hpp"
 #include "dp/myers_miller.hpp"
 #include "engine/executor.hpp"
+#include "engine/kernel_registry.hpp"
 #include "seq/generator.hpp"
 
 namespace {
@@ -23,37 +39,246 @@ const seq::Sequence& seq_b() {
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-variant sweep (self-timed; feeds BENCH_kernels.json and the
+// RegisterBenchmark set below).
+// ---------------------------------------------------------------------------
+
+/// A tile archetype: the feature tuple a kernel family is specialized for.
+struct TileArchetype {
+  const char* name;
+  bool local;
+  bool best;
+  bool taps;
+  bool find;
+};
+
+constexpr TileArchetype kArchetypes[] = {
+    {"local", true, false, false, false},
+    {"local+best", true, true, false, false},
+    {"local+taps", true, false, true, false},
+    {"local+find", true, false, false, true},
+    {"global", false, false, false, false},
+    {"global+taps", false, false, true, false},
+};
+
+/// Owns one tile problem (Stage-1-shaped by default) with pristine buses; the
+/// timed loop restores the buses each iteration so inputs never drift (the
+/// horizontal bus is updated in place and would otherwise feed back).
+struct TileBench {
+  Index rows, cols;
+  engine::Recurrence rec;
+  std::vector<engine::BusCell> hbus0, vin;
+  std::vector<engine::BusCell> hbus, vout;
+  std::vector<Index> tap_cols;
+  std::optional<Score> find_value;
+  bool track_best = false;
+
+  TileBench(const TileArchetype& arch, Index rows_, Index cols_) : rows(rows_), cols(cols_) {
+    const auto scheme = scoring::Scheme::paper_defaults();
+    rec = arch.local ? engine::Recurrence::local(scheme)
+                     : engine::Recurrence::global_start(dp::CellState::kH, scheme);
+    hbus0.resize(static_cast<std::size_t>(cols) + 1);
+    vin.resize(static_cast<std::size_t>(rows) + 1);
+    vout.resize(static_cast<std::size_t>(rows) + 1);
+    for (Index j = 0; j <= cols; ++j) hbus0[static_cast<std::size_t>(j)] = rec.top_boundary(j);
+    for (Index i = 0; i <= rows; ++i) vin[static_cast<std::size_t>(i)] = rec.left_boundary(i);
+    hbus = hbus0;
+    if (arch.taps) tap_cols = {cols / 2, cols};
+    if (arch.find) find_value = kNegInf / 8;  // Never hit: times the full scan.
+    track_best = arch.best;
+  }
+
+  engine::TileJob job() {
+    engine::TileJob j;
+    j.r0 = 0;
+    j.r1 = rows;
+    j.c0 = 0;
+    j.c1 = cols;
+    j.a = seq_a().bases();
+    j.b = seq_b().bases();
+    j.recurrence = &rec;
+    j.hbus = hbus;
+    j.vbus_in = vin;
+    j.vbus_out = vout;
+    j.tap_cols = tap_cols;
+    j.track_best = track_best;
+    j.find_value = find_value;
+    return j;
+  }
+
+  void reset_bus() { hbus = hbus0; }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Cells per second (in GCUPS) for one variant on one archetype.
+double time_variant_gcups(const engine::KernelVariant& variant, TileBench& bench) {
+  engine::TileScratch scratch;
+  bench.reset_bus();
+  (void)variant.run(bench.job(), scratch);  // Warm-up (scratch allocation).
+  long iters = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    bench.reset_bus();
+    benchmark::DoNotOptimize(variant.run(bench.job(), scratch));
+    ++iters;
+    elapsed = seconds_since(t0);
+  } while (elapsed < 0.15);
+  return static_cast<double>(bench.rows) * static_cast<double>(bench.cols) *
+         static_cast<double>(iters) / elapsed / 1e9;
+}
+
+struct VariantSample {
+  std::string archetype;
+  std::string kernel;
+  double gcups = 0;
+};
+
+struct EngineSample {
+  std::string kernel;  ///< Override name ("" = automatic dispatch).
+  double gcups = 0;
+  std::string usage;
+};
+
+/// One Stage-1 run of n x n with the given kernel override pinned.
+EngineSample time_engine_gcups(const std::string& kernel, Index n) {
+  engine::ProblemSpec spec;
+  spec.a = seq_a().view(0, n);
+  spec.b = seq_b().view(0, n);
+  spec.grid = engine::GridSpec{8, 64, 4, 1};  // Strip height 256, 512-wide chunks.
+  spec.recurrence = engine::Recurrence::local(scoring::Scheme::paper_defaults());
+  spec.kernel_override = kernel;
+  engine::RunResult last;
+  long iters = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    last = engine::run_wavefront(spec, engine::Hooks{});
+    ++iters;
+    elapsed = seconds_since(t0);
+  } while (elapsed < 0.5);
+  EngineSample sample;
+  sample.kernel = kernel;
+  sample.gcups = static_cast<double>(n) * static_cast<double>(n) *
+                 static_cast<double>(iters) / elapsed / 1e9;
+  sample.usage = engine::kernel_usage_summary(last.stats);
+  return sample;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Runs the sweep and writes the machine-readable report, including the
+/// speedup of the automatically dispatched Stage-1 run over the pinned
+/// legacy kernel (the dispatch layer's headline number).
+void run_kernel_sweep(const std::string& path) {
+  constexpr Index kRows = 256, kCols = 512;  // Stage-1 tile shape (alpha*T x n/B).
+  std::vector<VariantSample> tile_samples;
+  for (const TileArchetype& arch : kArchetypes) {
+    TileBench bench(arch, kRows, kCols);
+    for (const engine::KernelVariant& variant : engine::kernel_registry()) {
+      if (!variant.can_run(bench.job())) continue;
+      VariantSample s;
+      s.archetype = arch.name;
+      s.kernel = variant.name;
+      s.gcups = time_variant_gcups(variant, bench);
+      tile_samples.push_back(s);
+      std::fprintf(stderr, "[kernel-sweep] %-12s %-24s %7.3f GCUPS\n", s.archetype.c_str(),
+                   s.kernel.c_str(), s.gcups);
+    }
+  }
+
+  const Index n = 4096;
+  std::vector<EngineSample> engine_samples;
+  for (const std::string& kernel : {std::string("legacy"), std::string("")}) {
+    engine_samples.push_back(time_engine_gcups(kernel, n));
+    const EngineSample& s = engine_samples.back();
+    std::fprintf(stderr, "[kernel-sweep] stage1 %ux%u kernel=%-8s %7.3f GCUPS (%s)\n",
+                 unsigned(n), unsigned(n), s.kernel.empty() ? "auto" : s.kernel.c_str(),
+                 s.gcups, s.usage.c_str());
+  }
+  const double speedup = engine_samples[1].gcups / engine_samples[0].gcups;
+  std::fprintf(stderr, "[kernel-sweep] dispatch speedup vs legacy: %.2fx\n", speedup);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[kernel-sweep] cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"tile\": {\"rows\": " << kRows << ", \"cols\": " << kCols << "},\n";
+  out << "  \"variants\": [\n";
+  for (std::size_t i = 0; i < tile_samples.size(); ++i) {
+    const VariantSample& s = tile_samples[i];
+    out << "    {\"job\": \"" << json_escape(s.archetype) << "\", \"kernel\": \""
+        << json_escape(s.kernel) << "\", \"gcups\": " << s.gcups << "}"
+        << (i + 1 < tile_samples.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"stage1\": {\"n\": " << n << ", \"runs\": [\n";
+  for (std::size_t i = 0; i < engine_samples.size(); ++i) {
+    const EngineSample& s = engine_samples[i];
+    out << "    {\"kernel\": \"" << json_escape(s.kernel) << "\", \"gcups\": " << s.gcups
+        << ", \"usage\": \"" << json_escape(s.usage) << "\"}"
+        << (i + 1 < engine_samples.size() ? "," : "") << "\n";
+  }
+  out << "  ], \"speedup_vs_legacy\": " << speedup << "}\n}\n";
+  std::fprintf(stderr, "[kernel-sweep] wrote %s\n", path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark registrations.
+// ---------------------------------------------------------------------------
+
 void BM_TileKernel(benchmark::State& state) {
   const Index rows = state.range(0);
   const Index cols = state.range(1);
-  const auto scheme = scoring::Scheme::paper_defaults();
-  engine::Recurrence rec = engine::Recurrence::local(scheme);
-  std::vector<engine::BusCell> hbus(static_cast<std::size_t>(cols) + 1);
-  std::vector<engine::BusCell> vin(static_cast<std::size_t>(rows) + 1);
-  std::vector<engine::BusCell> vout(static_cast<std::size_t>(rows) + 1);
-  for (Index j = 0; j <= cols; ++j) hbus[static_cast<std::size_t>(j)] = rec.top_boundary(j);
-  for (Index i = 0; i <= rows; ++i) vin[static_cast<std::size_t>(i)] = rec.left_boundary(i);
+  TileBench bench({"local+best", true, true, false, false}, rows, cols);
   engine::TileScratch scratch;
   for (auto _ : state) {
-    engine::TileJob job;
-    job.r0 = 0;
-    job.r1 = rows;
-    job.c0 = 0;
-    job.c1 = cols;
-    job.a = seq_a().bases();
-    job.b = seq_b().bases();
-    job.recurrence = &rec;
-    job.hbus = hbus;
-    job.vbus_in = vin;
-    job.vbus_out = vout;
-    job.track_best = true;
-    benchmark::DoNotOptimize(engine::run_tile(job, scratch));
+    bench.reset_bus();
+    benchmark::DoNotOptimize(engine::run_tile(bench.job(), scratch));
   }
   state.counters["MCUPS"] = benchmark::Counter(
       static_cast<double>(rows) * static_cast<double>(cols) * state.iterations() / 1e6,
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TileKernel)->Args({64, 1024})->Args({256, 1024})->Args({64, 8192})->Args({512, 512});
+
+/// Side-by-side per-variant runs on the Stage-1 tile shape, registered
+/// dynamically so the benchmark list always matches the registry.
+void register_variant_benchmarks() {
+  for (const engine::KernelVariant& variant : engine::kernel_registry()) {
+    for (const TileArchetype& arch : kArchetypes) {
+      // Probe eligibility once with a throwaway bench.
+      TileBench probe(arch, 256, 512);
+      if (!variant.can_run(probe.job())) continue;
+      const std::string name =
+          std::string("BM_KernelVariant/") + variant.name + "/" + arch.name;
+      const TileArchetype arch_copy = arch;
+      const engine::KernelVariant* v = &variant;
+      benchmark::RegisterBenchmark(name.c_str(), [v, arch_copy](benchmark::State& state) {
+        TileBench bench(arch_copy, 256, 512);
+        engine::TileScratch scratch;
+        for (auto _ : state) {
+          bench.reset_bus();
+          benchmark::DoNotOptimize(v->run(bench.job(), scratch));
+        }
+        state.counters["MCUPS"] = benchmark::Counter(
+            256.0 * 512.0 * state.iterations() / 1e6, benchmark::Counter::kIsRate);
+      });
+      break;  // One archetype per variant keeps the default run short.
+    }
+  }
+}
 
 void BM_LinearSweep(benchmark::State& state) {
   const Index n = state.range(0);
@@ -108,4 +333,14 @@ BENCHMARK(BM_Stage5Partition);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_env = std::getenv("CUDALIGN_BENCH_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_kernels.json";
+  if (json_path != "off") run_kernel_sweep(json_path);
+  register_variant_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

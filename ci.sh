@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run the way CI does:
+#   1. Release build + full ctest
+#   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer + full ctest
+#   3. ThreadSanitizer build + engine/kernel/common test smoke (the concurrent
+#      paths: thread pool, wavefront executor, kernel dispatch)
+#
+# Usage: ./ci.sh [jobs]   (defaults to nproc)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS" >/dev/null
+}
+
+# 1. Release: the performance configuration users build.
+run_suite release build-ci-release -DCMAKE_BUILD_TYPE=Release
+echo "=== [release] ctest ==="
+(cd build-ci-release && ctest --output-on-failure -j "$JOBS")
+
+# 2. Debug + ASan/UBSan: assertions on, every allocation and UB checked.
+run_suite asan build-ci-asan -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+echo "=== [asan] ctest ==="
+(cd build-ci-asan && ctest --output-on-failure -j "$JOBS")
+
+# 3. TSan smoke: the concurrency-heavy suites only (a full TSan ctest run is
+# several times slower and the remaining suites are single-threaded).
+run_suite tsan build-ci-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread" -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+echo "=== [tsan] engine smoke ==="
+./build-ci-tsan/tests/cudalign_tests \
+  --gtest_filter='Engine*:*/Engine*:Kernel*:ThreadPool*:Stage*'
+
+echo "ci.sh: all suites passed"

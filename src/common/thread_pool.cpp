@@ -1,16 +1,15 @@
 #include "common/thread_pool.hpp"
 
-#include <atomic>
-#include <exception>
-
 #include "common/error.hpp"
 
 namespace cudalign {
 
 namespace {
-/// Set while a pool worker runs a task: nested parallel_for calls from inside
-/// a task run inline (the classic nested-fork deadlock: every worker blocked
-/// in an outer wait while the inner bodies sit unqueued behind them).
+/// Set while a thread runs job iterations: nested parallel_for calls from
+/// inside an iteration run inline (the classic nested-fork deadlock: every
+/// worker blocked in an outer barrier while the inner job sits behind them —
+/// and with a single job slot, publishing a second job mid-flight would
+/// corrupt the first).
 thread_local bool tl_inside_pool_worker = false;
 }  // namespace
 
@@ -34,70 +33,77 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+std::exception_ptr ThreadPool::run_job_slice(const std::function<void(std::size_t)>& fn,
+                                             std::size_t count) noexcept {
+  const bool was_inside = tl_inside_pool_worker;
+  tl_inside_pool_worker = true;
+  std::exception_ptr error;
   for (;;) {
-    Task task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    const std::size_t i = job_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    try {
+      fn(i);
+    } catch (...) {
+      if (!error) error = std::current_exception();
     }
-    tl_inside_pool_worker = true;
-    task.fn();
-    tl_inside_pool_worker = false;
+  }
+  tl_inside_pool_worker = was_inside;
+  return error;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void(std::size_t)>* fn = job_fn_;
+    const std::size_t count = job_count_;
+    lock.unlock();
+    std::exception_ptr error = run_job_slice(*fn, count);
+    lock.lock();
+    if (error && !job_error_) job_error_ = error;
+    if (--workers_active_ == 0) done_cv_.notify_all();
   }
 }
 
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   if (count == 1 || threads_.size() == 1 || tl_inside_pool_worker) {
-    // Run inline: with one worker (this host) the queue round-trip is pure
+    // Run inline: with one worker (this host) the wakeup round-trip is pure
     // overhead and inline execution keeps stack traces readable.
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
 
-  // Shared state lives on the caller's stack; the caller blocks until every
-  // participating body has fully exited, so no worker can touch a dangling
-  // reference.
-  const std::size_t fanout = std::min(threads_.size(), count);
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::size_t bodies_finished = 0;
-
-  auto body = [&] {
-    std::exception_ptr local_error;
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      try {
-        fn(i);
-      } catch (...) {
-        if (!local_error) local_error = std::current_exception();
-      }
-    }
-    std::lock_guard lock(done_mutex);
-    if (local_error && !first_error) first_error = local_error;
-    ++bodies_finished;
-    done_cv.notify_all();
-  };
-
+  std::lock_guard caller_lock(caller_mutex_);
   {
     std::lock_guard lock(mutex_);
-    for (std::size_t i = 0; i + 1 < fanout; ++i) tasks_.push(Task{body});
+    job_fn_ = &fn;
+    job_count_ = count;
+    job_next_.store(0, std::memory_order_relaxed);
+    job_error_ = nullptr;
+    workers_active_ = threads_.size();
+    ++generation_;
   }
   cv_.notify_all();
-  body();  // The caller participates too.
 
+  // The caller participates too, then waits for every worker to leave the
+  // job (the job state lives on this stack frame).
+  std::exception_ptr local_error = run_job_slice(fn, count);
+
+  std::exception_ptr error;
   {
-    std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [&] { return bodies_finished >= fanout; });
+    std::unique_lock lock(mutex_);
+    if (local_error && !job_error_) job_error_ = local_error;
+    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+    error = job_error_;
+    job_fn_ = nullptr;
+    job_count_ = 0;
+    job_error_ = nullptr;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -44,6 +44,7 @@ Stage1Result run_stage1(seq::SequenceView s0, seq::SequenceView s1, const Stage1
   result.stats.cells = run.stats.cells;
   result.stats.blocks_used = run.stats.blocks_used;
   result.stats.ram_bytes = run.stats.bus_bytes;
+  result.stats.add_kernels(run.stats);
   result.stats.crosspoints = 1;  // L_1 = {*, C_1}.
   result.stats.seconds = timer.seconds();
   return result;

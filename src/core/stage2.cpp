@@ -165,6 +165,7 @@ Stage2Result run_stage2(seq::SequenceView s0, seq::SequenceView s1, const Crossp
     result.stats.cells += run.stats.cells;
     result.stats.blocks_used = std::max(result.stats.blocks_used, run.stats.blocks_used);
     result.stats.ram_bytes = std::max(result.stats.ram_bytes, run.stats.bus_bytes);
+    result.stats.add_kernels(run.stats);
 
     if (run.found) {
       // Start point: engine cell (i_t, j_t) maps back to the original vertex

@@ -36,6 +36,7 @@ struct PartitionOutcome {
   WideScore cells = 0;
   Index blocks_used = 0;
   std::size_t ram_bytes = 0;
+  std::array<engine::KernelTally, engine::kKernelIdCount> kernels{};
 };
 
 PartitionOutcome split_partition(seq::SequenceView s0, seq::SequenceView s1,
@@ -98,6 +99,7 @@ PartitionOutcome split_partition(seq::SequenceView s0, seq::SequenceView s1,
   outcome.cells = run.stats.cells;
   outcome.blocks_used = run.stats.blocks_used;
   outcome.ram_bytes = run.stats.bus_bytes;
+  outcome.kernels = run.stats.kernels;
   CUDALIGN_CHECK(found.size() == columns.size(),
                  "stage 3 failed to intercept every special column of a partition");
   for (const auto& [col, cp] : found) outcome.crosspoints.push_back(cp);
@@ -145,6 +147,10 @@ Stage3Result run_stage3(seq::SequenceView s0, seq::SequenceView s1, const Crossp
     result.stats.cells += outcomes[p].cells;
     result.stats.blocks_used = std::max(result.stats.blocks_used, outcomes[p].blocks_used);
     result.stats.ram_bytes = std::max(result.stats.ram_bytes, outcomes[p].ram_bytes);
+    for (std::size_t k = 0; k < outcomes[p].kernels.size(); ++k) {
+      result.stats.kernels[k].tiles += outcomes[p].kernels[k].tiles;
+      result.stats.kernels[k].cells += outcomes[p].kernels[k].cells;
+    }
   }
   result.crosspoints.push_back(l2.back());
 

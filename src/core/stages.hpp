@@ -23,6 +23,17 @@ struct StageStats {
   Index crosspoints = 0;     ///< |L_k| after the stage.
   Index blocks_used = 0;     ///< Max B_k actually used (after min-size fits).
   std::size_t ram_bytes = 0; ///< Peak engine bus memory ("VRAM_k").
+  /// Tiles/cells per kernel variant, accumulated over the stage's engine
+  /// runs (engine/kernel_registry.hpp).
+  std::array<engine::KernelTally, engine::kKernelIdCount> kernels{};
+
+  /// Folds one engine run's per-variant tallies into this stage's.
+  void add_kernels(const engine::RunStats& run) {
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+      kernels[k].tiles += run.kernels[k].tiles;
+      kernels[k].cells += run.kernels[k].cells;
+    }
+  }
 };
 
 // ---------------------------------------------------------------------------

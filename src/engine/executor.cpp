@@ -1,10 +1,12 @@
 #include "engine/executor.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 
 #include "common/timer.hpp"
 #include "dp/linear.hpp"
+#include "engine/kernel_registry.hpp"
 
 namespace cudalign::engine {
 
@@ -45,6 +47,20 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
                    "block pruning cannot be combined with taps or value probes");
   }
   if (pool == nullptr) pool = &ThreadPool::shared();
+
+  // Resolve kernel pinning up front so a bad name fails on the caller thread
+  // with a proper message (kernel_override() itself ignores unknown names).
+  const KernelVariant* forced_kernel = nullptr;
+  if (!spec.kernel_override.empty()) {
+    forced_kernel = find_kernel(spec.kernel_override);
+    CUDALIGN_CHECK(forced_kernel != nullptr,
+                   "unknown kernel variant in ProblemSpec::kernel_override: " +
+                       spec.kernel_override);
+  }
+  if (const char* env = std::getenv("CUDALIGN_KERNEL"); env != nullptr && *env != '\0') {
+    CUDALIGN_CHECK(find_kernel(env) != nullptr,
+                   std::string("unknown kernel variant in CUDALIGN_KERNEL: ") + env);
+  }
 
   const Index m = static_cast<Index>(spec.a.size());
   const Index n = static_cast<Index>(spec.b.size());
@@ -193,7 +209,7 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
 
       // Scratch is reused across tiles of the same worker thread.
       static thread_local TileScratch scratch;
-      tile_results[static_cast<std::size_t>(b)] = run_tile(job, scratch);
+      tile_results[static_cast<std::size_t>(b)] = run_tile(job, scratch, forced_kernel);
     });
 
     // Deterministic post-processing in ascending strip order.
@@ -208,6 +224,10 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
         result.stats.pruned_cells +=
             static_cast<WideScore>(std::min(m, pr0 + strip_rows) - pr0) *
             (cuts[static_cast<std::size_t>(b + 1)] - cuts[static_cast<std::size_t>(b)]);
+      } else {
+        KernelTally& tally = result.stats.kernels[static_cast<std::size_t>(tr.kernel)];
+        ++tally.tiles;
+        tally.cells += tr.cells;
       }
       const Index r0 = s * strip_rows;
       const Index r1 = std::min(m, r0 + strip_rows);
@@ -256,6 +276,25 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
 
   result.stats.seconds = timer.seconds();
   return result;
+}
+
+std::string kernel_usage_summary(const std::array<KernelTally, kKernelIdCount>& kernels) {
+  std::string out;
+  for (std::size_t id = 0; id < kKernelIdCount; ++id) {
+    const KernelTally& tally = kernels[id];
+    if (tally.tiles == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += kernel_info(static_cast<KernelId>(id)).name;
+    out += "=";
+    out += std::to_string(tally.tiles);
+    out += "/";
+    out += std::to_string(tally.cells);
+  }
+  return out;
+}
+
+std::string kernel_usage_summary(const RunStats& stats) {
+  return kernel_usage_summary(stats.kernels);
 }
 
 RunResult run_reference(const ProblemSpec& spec, const Hooks& hooks) {

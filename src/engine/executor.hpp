@@ -21,8 +21,10 @@
 // accounting is still reported in RunStats for the benchmarks.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -46,6 +48,12 @@ struct ProblemSpec {
   /// pruned, and pruned tiles publish valid lower bounds (H = 0) on their
   /// buses. Only meaningful with kLocal; rejected with taps or probes.
   bool block_pruning = false;
+
+  /// Pins a kernel variant by registry name for this run (stronger than the
+  /// CUDALIGN_KERNEL environment override; see kernel_registry.hpp). Tiles
+  /// outside the pinned variant's envelope fall back to automatic selection,
+  /// so results are identical either way. Empty = automatic.
+  std::string kernel_override;
 };
 
 /// Hook verdict after observing a special row / tap segment.
@@ -77,6 +85,14 @@ struct Hooks {
   std::function<void(Index done, Index total)> on_progress;
 };
 
+/// Per-kernel-variant tally (indexed by KernelId in RunStats::kernels).
+struct KernelTally {
+  Index tiles = 0;
+  WideScore cells = 0;
+
+  friend bool operator==(const KernelTally&, const KernelTally&) = default;
+};
+
 struct RunStats {
   WideScore cells = 0;        ///< DP cells actually computed.
   WideScore pruned_cells = 0; ///< Cells skipped by block pruning.
@@ -88,7 +104,16 @@ struct RunStats {
   Index threads_used = 0;     ///< T (unchanged by the fit).
   std::size_t bus_bytes = 0;  ///< Peak bus memory (the engine's "VRAM").
   double seconds = 0;
+  /// Tiles/cells per kernel variant (pruned tiles are not attributed).
+  std::array<KernelTally, kKernelIdCount> kernels{};
 };
+
+/// "name=tiles/cells" per variant that ran, comma-separated ("" if none) —
+/// the human-readable form of a per-variant tally array for logs and --stats
+/// output (stages accumulate the same array shape in StageStats).
+[[nodiscard]] std::string kernel_usage_summary(
+    const std::array<KernelTally, kKernelIdCount>& kernels);
+[[nodiscard]] std::string kernel_usage_summary(const RunStats& stats);
 
 struct RunResult {
   dp::LocalBest best;          ///< kLocal mode: best H and its vertex.

@@ -1,0 +1,78 @@
+// Internal seams of the kernel family (not part of the engine's public API).
+//
+// kernels_scalar.cpp and kernels_vector.cpp implement the entry points
+// declared here; kernel_registry.cpp wires them into the variant table. The
+// tiny helpers keep the per-tile contract (bus sizes, result shape, corner
+// conventions) in exactly one place so every variant inherits it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "engine/kernels.hpp"
+
+namespace cudalign::engine::detail {
+
+/// Validates the job's bus geometry and returns a result sized for it (cells
+/// count, tap buffers). Shared prologue of every kernel variant.
+inline TileResult make_tile_result(const TileJob& job) {
+  const Index w = job.c1 - job.c0;
+  const Index rows = job.r1 - job.r0;
+  CUDALIGN_ASSERT(w >= 0 && rows >= 0);
+  CUDALIGN_ASSERT(static_cast<Index>(job.hbus.size()) == w + 1);
+  CUDALIGN_ASSERT(static_cast<Index>(job.vbus_in.size()) == rows + 1);
+  CUDALIGN_ASSERT(static_cast<Index>(job.vbus_out.size()) == rows + 1);
+  TileResult result;
+  result.cells = static_cast<WideScore>(w) * rows;
+  result.taps.resize(job.tap_cols.size());
+  for (auto& tap : result.taps) tap.resize(static_cast<std::size_t>(rows));
+  return result;
+}
+
+// --- kernels_scalar.cpp ----------------------------------------------------
+
+/// The seed's monolithic loop, preserved verbatim as fallback and benchmark
+/// baseline ("legacy" in the registry).
+TileResult run_legacy(const TileJob& job, TileScratch& scratch);
+
+/// Specialized row sweep: query-profile inner loop, every feature resolved at
+/// compile time. Exact for jobs whose traits match the instantiation.
+template <bool kLocal, bool kBest, bool kTaps, bool kFind>
+TileResult run_scalar(const TileJob& job, TileScratch& scratch);
+
+// --- kernels_vector.cpp ----------------------------------------------------
+
+/// Branch-free anti-diagonal sweep over LaneT lanes (int16_t or int32_t),
+/// local mode only, no taps/probe. The int16_t instantiation is exact only
+/// within the range vector16_can_run admits; int32_t is exact everywhere the
+/// shape gate passes.
+template <typename LaneT, bool kBest>
+TileResult run_vector(const TileJob& job, TileScratch& scratch);
+
+/// Shape/feature envelope shared by both lane widths (local, no taps, no
+/// probe, non-empty tile).
+[[nodiscard]] bool vector_can_run(const TileJob& job);
+
+/// vector_can_run plus the 16-bit range precheck: every input bus value
+/// representable and no reachable score can leave the lanes. O(w + rows).
+[[nodiscard]] bool vector16_can_run(const TileJob& job);
+
+extern template TileResult run_scalar<false, false, false, false>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<false, false, false, true>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<false, false, true, false>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<false, false, true, true>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<true, false, false, false>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<true, false, false, true>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<true, false, true, false>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<true, false, true, true>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<true, true, false, false>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<true, true, false, true>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<true, true, true, false>(const TileJob&, TileScratch&);
+extern template TileResult run_scalar<true, true, true, true>(const TileJob&, TileScratch&);
+
+extern template TileResult run_vector<std::int16_t, false>(const TileJob&, TileScratch&);
+extern template TileResult run_vector<std::int16_t, true>(const TileJob&, TileScratch&);
+extern template TileResult run_vector<std::int32_t, false>(const TileJob&, TileScratch&);
+extern template TileResult run_vector<std::int32_t, true>(const TileJob&, TileScratch&);
+
+}  // namespace cudalign::engine::detail

@@ -1,0 +1,182 @@
+#include "engine/kernel_registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "engine/kernel_detail.hpp"
+
+namespace cudalign::engine {
+
+namespace {
+
+using dp::AlignMode;
+
+bool any_job(const TileJob&) { return true; }
+
+/// Exact feature match: a specialized sweep runs precisely the jobs whose
+/// trait tuple equals its template instantiation (a broader variant would
+/// compute unused features; a narrower one would miss requested ones).
+template <bool kLocal, bool kBest, bool kTaps, bool kFind>
+bool scalar_can_run(const TileJob& job) {
+  return KernelTraits::of(job) ==
+         KernelTraits{kLocal ? AlignMode::kLocal : AlignMode::kGlobal, kBest, kTaps, kFind};
+}
+
+template <bool kBest>
+bool vec16_can_run(const TileJob& job) {
+  return job.track_best == kBest && detail::vector16_can_run(job);
+}
+
+template <bool kBest>
+bool vec32_can_run(const TileJob& job) {
+  return job.track_best == kBest && detail::vector_can_run(job);
+}
+
+/// Anti-diagonal sweeps only pay off when the diagonals are long enough to
+/// fill vector lanes; below these shapes the automatic order prefers the row
+/// sweeps. Overrides bypass the gate (can_run still guards correctness).
+constexpr Index kVectorMinWidth = 16;
+constexpr Index kVectorMinRows = 8;
+
+struct Entry {
+  KernelVariant variant;
+  Index min_width = 0;  ///< Automatic-selection shape gate, not a correctness bound.
+  Index min_rows = 0;
+};
+
+constexpr std::size_t kCount = kKernelIdCount;
+
+const std::array<Entry, kCount>& table() {
+  static const std::array<Entry, kCount> kTable = {{
+      {{KernelId::kLegacy, "legacy", 30, &any_job, &detail::run_legacy}},
+      {{KernelId::kScalarLocal, "scalar-local", 20, &scalar_can_run<true, false, false, false>,
+        &detail::run_scalar<true, false, false, false>}},
+      {{KernelId::kScalarLocalBest, "scalar-local+best", 20,
+        &scalar_can_run<true, true, false, false>, &detail::run_scalar<true, true, false, false>}},
+      {{KernelId::kScalarLocalTaps, "scalar-local+taps", 20,
+        &scalar_can_run<true, false, true, false>, &detail::run_scalar<true, false, true, false>}},
+      {{KernelId::kScalarLocalBestTaps, "scalar-local+best+taps", 20,
+        &scalar_can_run<true, true, true, false>, &detail::run_scalar<true, true, true, false>}},
+      {{KernelId::kScalarLocalFind, "scalar-local+find", 20,
+        &scalar_can_run<true, false, false, true>, &detail::run_scalar<true, false, false, true>}},
+      {{KernelId::kScalarLocalBestFind, "scalar-local+best+find", 20,
+        &scalar_can_run<true, true, false, true>, &detail::run_scalar<true, true, false, true>}},
+      {{KernelId::kScalarLocalTapsFind, "scalar-local+taps+find", 20,
+        &scalar_can_run<true, false, true, true>, &detail::run_scalar<true, false, true, true>}},
+      {{KernelId::kScalarLocalBestTapsFind, "scalar-local+best+taps+find", 20,
+        &scalar_can_run<true, true, true, true>, &detail::run_scalar<true, true, true, true>}},
+      {{KernelId::kScalarGlobal, "scalar-global", 20, &scalar_can_run<false, false, false, false>,
+        &detail::run_scalar<false, false, false, false>}},
+      {{KernelId::kScalarGlobalTaps, "scalar-global+taps", 20,
+        &scalar_can_run<false, false, true, false>, &detail::run_scalar<false, false, true, false>}},
+      {{KernelId::kScalarGlobalFind, "scalar-global+find", 20,
+        &scalar_can_run<false, false, false, true>, &detail::run_scalar<false, false, false, true>}},
+      {{KernelId::kScalarGlobalTapsFind, "scalar-global+taps+find", 20,
+        &scalar_can_run<false, false, true, true>, &detail::run_scalar<false, false, true, true>}},
+      {{KernelId::kVec16Local, "v16-local", 10, &vec16_can_run<false>,
+        &detail::run_vector<std::int16_t, false>},
+       kVectorMinWidth,
+       kVectorMinRows},
+      {{KernelId::kVec16LocalBest, "v16-local+best", 10, &vec16_can_run<true>,
+        &detail::run_vector<std::int16_t, true>},
+       kVectorMinWidth,
+       kVectorMinRows},
+      {{KernelId::kVec32Local, "v32-local", 11, &vec32_can_run<false>,
+        &detail::run_vector<std::int32_t, false>},
+       kVectorMinWidth,
+       kVectorMinRows},
+      {{KernelId::kVec32LocalBest, "v32-local+best", 11, &vec32_can_run<true>,
+        &detail::run_vector<std::int32_t, true>},
+       kVectorMinWidth,
+       kVectorMinRows},
+  }};
+  return kTable;
+}
+
+/// Table indices in ascending cost (stable within equal cost), computed once.
+const std::array<std::size_t, kCount>& cost_order() {
+  static const std::array<std::size_t, kCount> kOrder = [] {
+    std::array<std::size_t, kCount> order{};
+    for (std::size_t i = 0; i < kCount; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [](std::size_t a, std::size_t b) {
+      return table()[a].variant.cost < table()[b].variant.cost;
+    });
+    return order;
+  }();
+  return kOrder;
+}
+
+std::mutex g_override_mutex;
+const KernelVariant* g_override = nullptr;
+bool g_override_initialized = false;
+
+}  // namespace
+
+std::span<const KernelVariant> kernel_registry() noexcept {
+  static const std::array<KernelVariant, kCount> kVariants = [] {
+    std::array<KernelVariant, kCount> out{};
+    for (std::size_t i = 0; i < kCount; ++i) out[i] = table()[i].variant;
+    return out;
+  }();
+  return kVariants;
+}
+
+const KernelVariant* find_kernel(std::string_view name) noexcept {
+  for (const Entry& entry : table()) {
+    if (entry.variant.name == name) return &entry.variant;
+  }
+  return nullptr;
+}
+
+const KernelVariant& kernel_info(KernelId id) noexcept {
+  return table()[static_cast<std::size_t>(id)].variant;
+}
+
+void set_kernel_override(std::string_view name) {
+  std::lock_guard lock(g_override_mutex);
+  g_override_initialized = true;
+  if (name.empty()) {
+    g_override = nullptr;
+    return;
+  }
+  const KernelVariant* v = find_kernel(name);
+  CUDALIGN_CHECK(v != nullptr, "unknown kernel variant (see kernel_registry()): " +
+                                   std::string(name));
+  g_override = v;
+}
+
+const KernelVariant* kernel_override() noexcept {
+  std::lock_guard lock(g_override_mutex);
+  if (!g_override_initialized) {
+    g_override_initialized = true;
+    if (const char* env = std::getenv("CUDALIGN_KERNEL"); env != nullptr && *env != '\0') {
+      // An unknown name in the environment is ignored rather than thrown:
+      // this accessor is noexcept and runs on worker threads. run_wavefront
+      // validates the name up front and reports it properly.
+      g_override = find_kernel(env);
+    }
+  }
+  return g_override;
+}
+
+const KernelVariant& select_kernel(const TileJob& job, const KernelVariant* forced) {
+  if (forced != nullptr && forced->can_run(job)) return *forced;
+  if (const KernelVariant* pinned = kernel_override();
+      pinned != nullptr && pinned != forced && pinned->can_run(job)) {
+    return *pinned;
+  }
+  const Index w = job.c1 - job.c0;
+  const Index rows = job.r1 - job.r0;
+  for (std::size_t idx : cost_order()) {
+    const Entry& entry = table()[idx];
+    if (w < entry.min_width || rows < entry.min_rows) continue;
+    if (entry.variant.can_run(job)) return entry.variant;
+  }
+  return kernel_info(KernelId::kLegacy);  // Unreachable: legacy accepts any job.
+}
+
+}  // namespace cudalign::engine

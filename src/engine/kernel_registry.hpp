@@ -1,0 +1,80 @@
+// Kernel registry and dispatch: the seam between the executor and the tile
+// kernel family.
+//
+// Every kernel variant is a free function with the run_tile signature plus a
+// `can_run` predicate describing the (mode, feature, value-range) envelope it
+// is exact for. Dispatch walks the registry in cost order and picks the
+// cheapest variant whose predicate accepts the job — so the Stage-1 hot path
+// (plain local, small scores) lands on the 16-lane anti-diagonal sweep while
+// a taps+probe global tile lands on its specialized row sweep, and anything
+// else falls back to the legacy do-everything loop. All variants are
+// bit-identical to run_reference; predicates encode *exactness* (e.g. the
+// 16-bit kernel rejects tiles whose scores could overflow its lanes), while
+// size heuristics live in the selector.
+//
+// Overrides: the CUDALIGN_KERNEL environment variable, or
+// set_kernel_override() / ProblemSpec::kernel_override, pins a variant by
+// name. A pinned variant still only runs where its predicate allows — jobs
+// outside its envelope fall back to automatic selection, so an override can
+// never produce wrong results.
+//
+// A future SIMD/GPU backend plugs in here: add an id to KernelId, implement
+// the entry point (engine/kernels_vector.cpp shows the shape), and append a
+// row to the table in kernel_registry.cpp — executor, stages and tests pick
+// it up unchanged.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "engine/kernels.hpp"
+
+namespace cudalign::engine {
+
+/// The feature set a TileJob requests; used for exact-match selection.
+struct KernelTraits {
+  dp::AlignMode mode = dp::AlignMode::kLocal;
+  bool best = false;
+  bool taps = false;
+  bool find = false;
+
+  [[nodiscard]] static KernelTraits of(const TileJob& job) noexcept {
+    return KernelTraits{job.recurrence->mode, job.track_best, !job.tap_cols.empty(),
+                        job.find_value.has_value()};
+  }
+  friend bool operator==(const KernelTraits&, const KernelTraits&) = default;
+};
+
+struct KernelVariant {
+  KernelId id = KernelId::kLegacy;
+  const char* name = "";  ///< Stable name for CUDALIGN_KERNEL and stats output.
+  int cost = 0;           ///< Selection preference; lower wins among eligible variants.
+  /// True if the variant computes this job exactly (mode/features/value range).
+  bool (*can_run)(const TileJob& job) = nullptr;
+  TileResult (*run)(const TileJob& job, TileScratch& scratch) = nullptr;
+};
+
+/// All registered variants, in registry (not cost) order.
+[[nodiscard]] std::span<const KernelVariant> kernel_registry() noexcept;
+
+/// Looks up a variant by name; nullptr if unknown.
+[[nodiscard]] const KernelVariant* find_kernel(std::string_view name) noexcept;
+
+/// Metadata for a kernel id (valid for any id < kCount).
+[[nodiscard]] const KernelVariant& kernel_info(KernelId id) noexcept;
+
+/// Picks the cheapest variant that can run `job`. `forced` (when non-null and
+/// eligible) wins; otherwise the process-wide override (CUDALIGN_KERNEL env,
+/// or set_kernel_override) is tried, then the automatic cost order.
+[[nodiscard]] const KernelVariant& select_kernel(const TileJob& job,
+                                                 const KernelVariant* forced = nullptr);
+
+/// Sets the process-wide override by name (empty string clears it). Throws
+/// Error for an unknown name. Thread-safe; takes effect for subsequent tiles.
+void set_kernel_override(std::string_view name);
+
+/// The active process-wide override, or nullptr (reflects CUDALIGN_KERNEL on
+/// first use unless set_kernel_override was called).
+[[nodiscard]] const KernelVariant* kernel_override() noexcept;
+
+}  // namespace cudalign::engine

@@ -1,12 +1,16 @@
+// Recurrence boundary math plus the run_tile dispatch shim. The kernel
+// implementations themselves live in kernels_scalar.cpp / kernels_vector.cpp
+// and are selected through kernel_registry.hpp.
 #include "engine/kernels.hpp"
 
 #include <algorithm>
+
+#include "engine/kernel_registry.hpp"
 
 namespace cudalign::engine {
 
 namespace {
 using dp::AlignMode;
-using dp::sat_add;
 
 /// Boundary gap-run value after `len` >= 1 gap steps from a corner: either
 /// the corner's gap state continues (len * G_ext) or a fresh run opens from
@@ -58,133 +62,10 @@ BusCell Recurrence::left_boundary(Index i) const {
   return BusCell{boundary_run(corner.f, corner.h, i, scheme), kNegInf};
 }
 
-namespace {
-
-/// Hot inner loop over one row segment, cells k in [k_begin, k_end].
-///
-/// Plain (non-saturating) adds are safe: -infinity sentinel chains drift by
-/// at most (m+n)*G_first below kNegInf, which stays far above INT32_MIN for
-/// any m+n < ~300M while remaining detected by is_neg_inf(); genuine scores
-/// are bounded well inside the sentinel threshold (see common/types.hpp).
-template <bool kLocal, bool kBest, bool kFind>
-inline void sweep_segment(const TileJob& job, Score* h, Score* f, Score& diag, Score& e_run,
-                          Index i, seq::Base ai, Index k_begin, Index k_end,
-                          const scoring::Scheme& s, TileResult& result) {
-  const Score gap_ext = s.gap_ext;
-  const Score gap_first = s.gap_first;
-  const seq::Base* b = job.b.data() + job.c0;
-  for (Index k = k_begin; k <= k_end; ++k) {
-    const Score up_h = h[k];
-    const Score new_f = std::max<Score>(f[k] - gap_ext, up_h - gap_first);
-    const Score new_e = std::max<Score>(e_run - gap_ext, h[k - 1] - gap_first);
-    Score new_h = std::max(new_e, new_f);
-    new_h = std::max<Score>(new_h, diag + s.pair(ai, b[k - 1]));
-    if constexpr (kLocal) new_h = std::max<Score>(new_h, 0);
-    diag = up_h;
-    h[k] = new_h;
-    f[k] = new_f;
-    e_run = new_e;
-
-    if constexpr (kBest) {
-      if (new_h > result.best.score) result.best = dp::LocalBest{new_h, i, job.c0 + k};
-    }
-    if constexpr (kFind) {
-      if (!result.found && new_h == *job.find_value) {
-        result.found = true;
-        result.found_i = i;
-        result.found_j = job.c0 + k;
-      }
-    }
-  }
-}
-
-template <bool kLocal, bool kBest, bool kFind>
-void run_tile_rows(const TileJob& job, Score* h, Score* f, const scoring::Scheme& s,
-                   TileResult& result) {
-  // Note: an alpha-register-blocked variant (4 rows per column step, the
-  // GPU kernel's shape) was implemented and benchmarked at ~0.6x the speed
-  // of this scalar sweep on x86 (register pressure; the row arrays are
-  // L1-resident anyway), so the scalar loop is the deliberate choice here.
-  const Index w = job.c1 - job.c0;
-  for (Index i = job.r0 + 1; i <= job.r1; ++i) {
-    const seq::Base ai = job.a[static_cast<std::size_t>(i - 1)];
-    const BusCell left = job.vbus_in[static_cast<std::size_t>(i - job.r0)];
-    Score diag = h[0];
-    h[0] = left.h;
-    Score e_run = left.gap;
-    if (job.tap_cols.empty()) {
-      sweep_segment<kLocal, kBest, kFind>(job, h, f, diag, e_run, i, ai, 1, w, s, result);
-    } else {
-      // Split the row at tap columns so the hot loop stays branch-free.
-      Index k = 1;
-      for (std::size_t t = 0; t < job.tap_cols.size(); ++t) {
-        const Index tap_k = job.tap_cols[t] - job.c0;
-        sweep_segment<kLocal, kBest, kFind>(job, h, f, diag, e_run, i, ai, k, tap_k, s, result);
-        result.taps[t][static_cast<std::size_t>(i - job.r0 - 1)] = BusCell{h[tap_k], e_run};
-        k = tap_k + 1;
-      }
-      sweep_segment<kLocal, kBest, kFind>(job, h, f, diag, e_run, i, ai, k, w, s, result);
-    }
-    job.vbus_out[static_cast<std::size_t>(i - job.r0)] = BusCell{h[w], e_run};
-  }
-}
-
-}  // namespace
-
-TileResult run_tile(const TileJob& job, TileScratch& scratch) {
-  const Recurrence& rec = *job.recurrence;
-  const scoring::Scheme& s = rec.scheme;
-  const bool local = rec.mode == AlignMode::kLocal;
-  const Index w = job.c1 - job.c0;
-  const Index rows = job.r1 - job.r0;
-  CUDALIGN_ASSERT(w >= 0 && rows >= 0);
-  CUDALIGN_ASSERT(static_cast<Index>(job.hbus.size()) == w + 1);
-  CUDALIGN_ASSERT(static_cast<Index>(job.vbus_in.size()) == rows + 1);
-  CUDALIGN_ASSERT(static_cast<Index>(job.vbus_out.size()) == rows + 1);
-
-  TileResult result;
-  result.cells = static_cast<WideScore>(w) * rows;
-  result.taps.resize(job.tap_cols.size());
-  for (auto& tap : result.taps) tap.resize(static_cast<std::size_t>(rows));
-
-  // Row-(r0) state from the horizontal bus.
-  scratch.h.resize(static_cast<std::size_t>(w) + 1);
-  scratch.f.resize(static_cast<std::size_t>(w) + 1);
-  Score* h = scratch.h.data();
-  Score* f = scratch.f.data();
-  // Index 0 (the corner vertex) is owned by the vertical bus: the horizontal
-  // bus entry at c0 belongs to the left neighbour's span and may be written
-  // by a same-diagonal tile, so it must not even be read here.
-  for (Index k = 1; k <= w; ++k) {
-    h[k] = job.hbus[static_cast<std::size_t>(k)].h;
-    f[k] = job.hbus[static_cast<std::size_t>(k)].gap;
-  }
-  h[0] = job.vbus_in[0].h;
-  f[0] = kNegInf;  // F at the corner is never consumed.
-  // Corner of the outgoing vertical bus: H from the old bus, E unknown (never
-  // consumed across a chunk boundary; see kernels.hpp).
-  job.vbus_out[0] = BusCell{h[w], kNegInf};
-
-  const bool best = job.track_best;
-  const bool find = job.find_value.has_value();
-  if (local) {
-    if (best && find) run_tile_rows<true, true, true>(job, h, f, s, result);
-    else if (best) run_tile_rows<true, true, false>(job, h, f, s, result);
-    else if (find) run_tile_rows<true, false, true>(job, h, f, s, result);
-    else run_tile_rows<true, false, false>(job, h, f, s, result);
-  } else {
-    if (best && find) run_tile_rows<false, true, true>(job, h, f, s, result);
-    else if (best) run_tile_rows<false, true, false>(job, h, f, s, result);
-    else if (find) run_tile_rows<false, false, true>(job, h, f, s, result);
-    else run_tile_rows<false, false, false>(job, h, f, s, result);
-  }
-
-  // Publish row r1 back to the horizontal bus. Index 0 is skipped: that
-  // vertex belongs to the left neighbour's span (which wrote its full (H, F)
-  // there); overwriting it here would clobber F with a stale value.
-  for (Index k = 1; k <= w; ++k) {
-    job.hbus[static_cast<std::size_t>(k)] = BusCell{h[k], f[k]};
-  }
+TileResult run_tile(const TileJob& job, TileScratch& scratch, const KernelVariant* forced) {
+  const KernelVariant& kernel = select_kernel(job, forced);
+  TileResult result = kernel.run(job, scratch);
+  result.kernel = kernel.id;
   return result;
 }
 

@@ -16,16 +16,45 @@
 //     2's start-point detection).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "dp/dp_common.hpp"
 #include "dp/gotoh.hpp"
+#include "scoring/profile.hpp"
 #include "scoring/scoring.hpp"
 #include "seq/sequence.hpp"
 
 namespace cudalign::engine {
+
+/// Identity of the kernel variant that computed a tile. The registry in
+/// kernel_registry.hpp maps each id to a name, a feature predicate and an
+/// entry point; RunStats tallies tiles/cells per id so benchmarks and tests
+/// can see exactly which code path ran.
+enum class KernelId : std::uint8_t {
+  kLegacy = 0,        ///< The original do-everything scalar loop (fallback + bench baseline).
+  kScalarLocal,       ///< Specialized row sweeps (query-profile inner loop) ...
+  kScalarLocalBest,
+  kScalarLocalTaps,
+  kScalarLocalBestTaps,
+  kScalarLocalFind,
+  kScalarLocalBestFind,
+  kScalarLocalTapsFind,
+  kScalarLocalBestTapsFind,
+  kScalarGlobal,
+  kScalarGlobalTaps,
+  kScalarGlobalFind,
+  kScalarGlobalTapsFind,
+  kVec16Local,        ///< Branch-free anti-diagonal sweep, 16-bit lanes.
+  kVec16LocalBest,
+  kVec32Local,        ///< Branch-free anti-diagonal sweep, 32-bit lanes.
+  kVec32LocalBest,
+  kCount,
+};
+
+inline constexpr std::size_t kKernelIdCount = static_cast<std::size_t>(KernelId::kCount);
 
 /// One bus entry. The horizontal bus stores gap = F (a row is crossed by
 /// diagonal or vertical edges); the vertical bus stores gap = E (a column is
@@ -95,15 +124,30 @@ struct TileResult {
   Index found_i = 0, found_j = 0;                ///< First hit in row-major order.
   std::vector<std::vector<BusCell>> taps;        ///< Per tap col: rows (r0..r1].
   WideScore cells = 0;
+  KernelId kernel = KernelId::kLegacy;           ///< Variant that computed the tile.
 };
 
-/// Reusable per-worker scratch (avoids per-tile allocation).
+/// Reusable per-worker scratch (avoids per-tile allocation). Each kernel
+/// family uses its own members; buffers keep their capacity across tiles.
 struct TileScratch {
+  // Row-sweep kernels: one H and one F value per column vertex.
   std::vector<Score> h;
   std::vector<Score> f;
+  scoring::QueryProfile profile;  ///< Per-tile substitution rows (scalar family).
+  // Anti-diagonal kernels: three H generations plus E/F for two, per lane width.
+  std::vector<std::int16_t> lanes16;
+  std::vector<std::int32_t> lanes32;
+  std::vector<seq::Base> arev;  ///< Tile's row sequence, reversed.
+  std::vector<seq::Base> bseg;  ///< Tile's column sequence, 1-based.
 };
 
-/// Runs one tile. Deterministic; no shared state beyond the job's spans.
-[[nodiscard]] TileResult run_tile(const TileJob& job, TileScratch& scratch);
+/// Runs one tile through the registry-selected kernel variant (see
+/// kernel_registry.hpp). `forced` pins a specific variant when it can run the
+/// job; otherwise selection falls back to the automatic choice. Deterministic;
+/// no shared state beyond the job's spans. Every variant is bit-identical to
+/// run_reference.
+struct KernelVariant;
+[[nodiscard]] TileResult run_tile(const TileJob& job, TileScratch& scratch,
+                                  const KernelVariant* forced = nullptr);
 
 }  // namespace cudalign::engine

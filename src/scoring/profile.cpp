@@ -1,0 +1,18 @@
+#include "scoring/profile.hpp"
+
+namespace cudalign::scoring {
+
+void QueryProfile::build(seq::SequenceView b, Index c0, Index c1, const Scheme& scheme) {
+  width_ = c1 - c0;
+  stride_ = static_cast<std::size_t>(width_) + 1;
+  cells_.resize(stride_ * seq::kAlphabetSize);
+  const seq::Base* seg = b.data() + c0;
+  for (seq::Base sym = 0; sym < seq::kAlphabetSize; ++sym) {
+    Score* out = cells_.data() + static_cast<std::size_t>(sym) * stride_;
+    for (Index k = 1; k <= width_; ++k) {
+      out[k] = scheme.pair(sym, seg[k - 1]);
+    }
+  }
+}
+
+}  // namespace cudalign::scoring

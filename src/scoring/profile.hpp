@@ -1,0 +1,45 @@
+// Query profile: precomputed substitution rows (SSW-style, arXiv:1208.6350).
+//
+// For a column-sequence segment b[c0..c1) the profile stores, contiguously
+// per alphabet symbol sigma, the row
+//
+//   row(sigma)[k] = pair(sigma, b[c0 + k - 1])   for k in 1..w,
+//
+// so a row sweep of the DP replaces the per-cell match/mismatch branch with a
+// single table load indexed by the loop counter — the layout every SIMD
+// Smith-Waterman implementation builds before entering its inner loop. Rows
+// are 1-based to line up with the tile kernels' H/F scratch indexing (index 0
+// is the corner vertex and never scored).
+//
+// Profiles are built per tile into reusable scratch (O(|alphabet| * w) work
+// against O(rows * w) cell updates), which keeps the memory footprint
+// independent of the full problem width.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "scoring/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace cudalign::scoring {
+
+class QueryProfile {
+ public:
+  /// (Re)builds the profile for b[c0..c1). Reuses capacity across builds.
+  void build(seq::SequenceView b, Index c0, Index c1, const Scheme& scheme);
+
+  /// Substitution row for symbol `sym`; valid indices are 1..width().
+  [[nodiscard]] const Score* row(seq::Base sym) const noexcept {
+    return cells_.data() + static_cast<std::size_t>(sym) * stride_;
+  }
+
+  [[nodiscard]] Index width() const noexcept { return width_; }
+
+ private:
+  std::vector<Score> cells_;  ///< kAlphabetSize rows of stride_ entries each.
+  std::size_t stride_ = 0;    ///< width_ + 1 (index 0 unused).
+  Index width_ = 0;
+};
+
+}  // namespace cudalign::scoring

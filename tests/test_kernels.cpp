@@ -1,0 +1,343 @@
+// Kernel-family equivalence: every registered kernel variant must be
+// byte-identical to the legacy loop (tile level) and to run_reference
+// (problem level) on everything it claims to run — buses, taps, best cell and
+// probe results — across modes, feature combinations, odd tile shapes and
+// boundary corners.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/executor.hpp"
+#include "engine/kernel_registry.hpp"
+#include "test_util.hpp"
+
+namespace cudalign {
+namespace {
+
+using engine::BusCell;
+using engine::KernelId;
+using engine::KernelVariant;
+using engine::Recurrence;
+using engine::TileJob;
+using engine::TileResult;
+using engine::TileScratch;
+using test::rand_seq;
+
+scoring::Scheme paper() { return scoring::Scheme::paper_defaults(); }
+
+/// A self-contained tile problem: owns the sequences and bus buffers so each
+/// kernel variant can run on a fresh copy.
+struct TileCase {
+  std::string name;
+  Index r0 = 0, r1 = 0, c0 = 0, c1 = 0;
+  seq::Sequence a, b;
+  Recurrence recurrence;
+  std::vector<BusCell> hbus, vbus_in;
+  std::vector<Index> tap_cols;
+  bool track_best = false;
+  std::optional<Score> find_value;
+};
+
+struct TileOutputs {
+  std::vector<BusCell> hbus, vbus_out;
+  TileResult result;
+};
+
+TileOutputs run_variant(const TileCase& tc, const KernelVariant& variant) {
+  TileOutputs out;
+  out.hbus = tc.hbus;
+  out.vbus_out.resize(tc.vbus_in.size());
+  TileJob job;
+  job.r0 = tc.r0;
+  job.r1 = tc.r1;
+  job.c0 = tc.c0;
+  job.c1 = tc.c1;
+  job.a = tc.a.bases();
+  job.b = tc.b.bases();
+  job.recurrence = &tc.recurrence;
+  job.hbus = out.hbus;
+  job.vbus_in = tc.vbus_in;
+  job.vbus_out = out.vbus_out;
+  job.tap_cols = tc.tap_cols;
+  job.track_best = tc.track_best;
+  job.find_value = tc.find_value;
+  TileScratch scratch;
+  out.result = variant.run(job, scratch);
+  return out;
+}
+
+bool variant_accepts(const TileCase& tc, const KernelVariant& variant) {
+  // can_run may inspect the buses, so build a throwaway job view.
+  std::vector<BusCell> hbus = tc.hbus;
+  std::vector<BusCell> vbus_out(tc.vbus_in.size());
+  TileJob job;
+  job.r0 = tc.r0;
+  job.r1 = tc.r1;
+  job.c0 = tc.c0;
+  job.c1 = tc.c1;
+  job.a = tc.a.bases();
+  job.b = tc.b.bases();
+  job.recurrence = &tc.recurrence;
+  job.hbus = hbus;
+  job.vbus_in = tc.vbus_in;
+  job.vbus_out = vbus_out;
+  job.tap_cols = tc.tap_cols;
+  job.track_best = tc.track_best;
+  job.find_value = tc.find_value;
+  return variant.can_run(job);
+}
+
+void expect_identical(const TileOutputs& expected, const TileOutputs& got,
+                      const std::string& label) {
+  EXPECT_EQ(expected.hbus, got.hbus) << label << ": horizontal bus differs";
+  EXPECT_EQ(expected.vbus_out, got.vbus_out) << label << ": vertical bus differs";
+  EXPECT_EQ(expected.result.taps, got.result.taps) << label << ": taps differ";
+  EXPECT_EQ(expected.result.best.score, got.result.best.score) << label;
+  EXPECT_EQ(expected.result.best.i, got.result.best.i) << label;
+  EXPECT_EQ(expected.result.best.j, got.result.best.j) << label;
+  EXPECT_EQ(expected.result.found, got.result.found) << label;
+  EXPECT_EQ(expected.result.found_i, got.result.found_i) << label;
+  EXPECT_EQ(expected.result.found_j, got.result.found_j) << label;
+  EXPECT_EQ(expected.result.cells, got.result.cells) << label;
+}
+
+/// Runs every eligible registry variant on the case and compares against the
+/// legacy loop byte for byte. Returns how many variants (beyond legacy) ran.
+int check_all_variants(const TileCase& tc) {
+  const KernelVariant& legacy = engine::kernel_info(KernelId::kLegacy);
+  const TileOutputs expected = run_variant(tc, legacy);
+  int ran = 0;
+  for (const KernelVariant& variant : engine::kernel_registry()) {
+    if (variant.id == KernelId::kLegacy) continue;
+    if (!variant_accepts(tc, variant)) continue;
+    ++ran;
+    const TileOutputs got = run_variant(tc, variant);
+    expect_identical(expected, got, tc.name + " / " + variant.name);
+  }
+  return ran;
+}
+
+BusCell random_bus_cell(Rng& rng, bool local) {
+  const Score h = local ? static_cast<Score>(rng.below(60))
+                        : static_cast<Score>(rng.below(100)) - 40;
+  const Score gap = rng.chance(0.2) ? kNegInf : static_cast<Score>(rng.below(80)) - 20;
+  return BusCell{h, gap};
+}
+
+TileCase make_case(Rng& rng, Index rows, Index w, int mode, bool best, bool taps, bool find,
+                   const scoring::Scheme& scheme, const std::string& name) {
+  TileCase tc;
+  tc.name = name;
+  tc.r0 = static_cast<Index>(rng.below(5));
+  tc.c0 = static_cast<Index>(rng.below(5));
+  tc.r1 = tc.r0 + rows;
+  tc.c1 = tc.c0 + w;
+  tc.a = rand_seq(tc.r1, rng.next());
+  tc.b = rand_seq(tc.c1, rng.next());
+  const bool local = mode == 0;
+  if (local) {
+    tc.recurrence = Recurrence::local(scheme);
+  } else if (mode == 1) {
+    tc.recurrence = Recurrence::global_start(dp::CellState::kH, scheme);
+  } else if (mode == 2) {
+    tc.recurrence = Recurrence::global_start(dp::CellState::kE, scheme);
+  } else if (mode == 3) {
+    tc.recurrence = Recurrence::global_end(dp::CellState::kF, scheme);
+  } else {
+    tc.recurrence = Recurrence::global_end(dp::CellState::kE, scheme);
+  }
+  tc.hbus.resize(static_cast<std::size_t>(w) + 1);
+  for (auto& cell : tc.hbus) cell = random_bus_cell(rng, local);
+  tc.vbus_in.resize(static_cast<std::size_t>(rows) + 1);
+  for (auto& cell : tc.vbus_in) cell = random_bus_cell(rng, local);
+  if (taps && w >= 1) {
+    for (Index c = tc.c0 + 1; c <= tc.c1; ++c) {
+      if (rng.chance(0.15)) tc.tap_cols.push_back(c);
+    }
+    if (tc.tap_cols.empty()) tc.tap_cols.push_back(tc.c0 + 1 + static_cast<Index>(rng.below(w)));
+  }
+  tc.track_best = best;
+  if (find) tc.find_value = static_cast<Score>(rng.below(30));
+  return tc;
+}
+
+// Every (mode, feature) combination over a fixed set of odd shapes.
+TEST(KernelEquivalence, FeatureMatrixAcrossShapes) {
+  Rng rng(2024);
+  const std::vector<std::pair<Index, Index>> shapes = {
+      {1, 1}, {1, 9}, {9, 1}, {3, 4}, {7, 13}, {8, 8}, {16, 16}, {5, 33}, {33, 5}, {40, 64}};
+  int vector_runs = 0;
+  for (const auto& [rows, w] : shapes) {
+    for (int mode = 0; mode < 5; ++mode) {
+      for (int feat = 0; feat < 8; ++feat) {
+        const bool best = feat & 1;
+        const bool taps = feat & 2;
+        const bool find = feat & 4;
+        const std::string name = "shape" + std::to_string(rows) + "x" + std::to_string(w) +
+                                 "_mode" + std::to_string(mode) + "_feat" + std::to_string(feat);
+        const TileCase tc =
+            make_case(rng, rows, w, mode, best, taps, find, paper(), name);
+        vector_runs += check_all_variants(tc);
+      }
+    }
+  }
+  // The matrix must actually exercise the specialized kernels, vector ones
+  // included (local plain/best cases with in-range buses).
+  EXPECT_GT(vector_runs, 100);
+}
+
+// Random fuzz over shapes, schemes and bus contents.
+TEST(KernelEquivalence, FuzzRandomTiles) {
+  Rng rng(77);
+  const std::vector<scoring::Scheme> schemes = {paper(), scoring::Scheme{2, -1, 3, 1},
+                                                scoring::Scheme{3, -2, 7, 2}};
+  for (int iter = 0; iter < 200; ++iter) {
+    const Index rows = 1 + static_cast<Index>(rng.below(40));
+    const Index w = 1 + static_cast<Index>(rng.below(40));
+    const int mode = static_cast<int>(rng.below(5));
+    const TileCase tc = make_case(rng, rows, w, mode, rng.chance(0.5), rng.chance(0.4),
+                                  rng.chance(0.3), schemes[iter % schemes.size()],
+                                  "fuzz" + std::to_string(iter));
+    check_all_variants(tc);
+  }
+}
+
+// The 16-bit kernel must refuse tiles whose scores could leave its lanes, and
+// dispatch must quietly fall back to an exact variant.
+TEST(KernelEquivalence, Vector16OverflowFallsBackToWideKernel) {
+  Rng rng(99);
+  TileCase tc = make_case(rng, 24, 24, 0, true, false, false, paper(), "overflow");
+  // A bus value near the int16 ceiling makes the reachable-score bound fail.
+  tc.hbus[5].h = 30000;
+  const KernelVariant* v16 = engine::find_kernel("v16-local+best");
+  ASSERT_NE(v16, nullptr);
+  EXPECT_FALSE(variant_accepts(tc, *v16));
+  const KernelVariant* v32 = engine::find_kernel("v32-local+best");
+  ASSERT_NE(v32, nullptr);
+  ASSERT_TRUE(variant_accepts(tc, *v32));
+  expect_identical(run_variant(tc, engine::kernel_info(KernelId::kLegacy)),
+                   run_variant(tc, *v32), "overflow/v32");
+
+  // Oversized penalties are rejected up front too.
+  TileCase big = make_case(rng, 8, 8, 0, true, false, false,
+                           scoring::Scheme{5000, -5000, 5000, 5000}, "big-scheme");
+  EXPECT_FALSE(variant_accepts(big, *v16));
+}
+
+// Sentinel H inputs (unreachable states) drift below kNegInf in 32-bit
+// arithmetic; the 16-bit kernel cannot reproduce that and must refuse.
+TEST(KernelEquivalence, Vector16RejectsSentinelHInputs) {
+  Rng rng(123);
+  TileCase tc = make_case(rng, 16, 16, 0, false, false, false, paper(), "sentinel-h");
+  tc.vbus_in[3].h = kNegInf;
+  const KernelVariant* v16 = engine::find_kernel("v16-local");
+  ASSERT_NE(v16, nullptr);
+  EXPECT_FALSE(variant_accepts(tc, *v16));
+  // The 32-bit kernel performs the exact sentinel arithmetic and stays in.
+  const KernelVariant* v32 = engine::find_kernel("v32-local");
+  ASSERT_NE(v32, nullptr);
+  ASSERT_TRUE(variant_accepts(tc, *v32));
+  expect_identical(run_variant(tc, engine::kernel_info(KernelId::kLegacy)),
+                   run_variant(tc, *v32), "sentinel-h/v32");
+}
+
+// ---------------------------------------------------------------------------
+// Problem level: run_wavefront pinned to each variant vs run_reference.
+// ---------------------------------------------------------------------------
+
+engine::RunResult run_pinned(const std::string& kernel, Index m, Index n, std::uint64_t seed) {
+  const auto a = rand_seq(m, seed);
+  const auto b = rand_seq(n, seed ^ 0xbeef);
+  engine::ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = engine::GridSpec{3, 8, 4, 1};  // strip_rows 32, chunks ~n/3.
+  spec.recurrence = Recurrence::local(paper());
+  spec.kernel_override = kernel;
+  return engine::run_wavefront(spec, engine::Hooks{});
+}
+
+TEST(KernelDispatch, EveryVariantMatchesReferenceOnLocalProblems) {
+  const Index m = 150, n = 170;
+  const auto a = rand_seq(m, 31337);
+  const auto b = rand_seq(n, 31337 ^ 0xbeef);
+  engine::ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = engine::GridSpec{3, 8, 4, 1};
+  spec.recurrence = Recurrence::local(paper());
+  const auto expected = engine::run_reference(spec, engine::Hooks{});
+  for (const KernelVariant& variant : engine::kernel_registry()) {
+    const auto run = run_pinned(variant.name, m, n, 31337);
+    EXPECT_EQ(run.best.score, expected.best.score) << variant.name;
+    EXPECT_EQ(run.best.i, expected.best.i) << variant.name;
+    EXPECT_EQ(run.best.j, expected.best.j) << variant.name;
+    EXPECT_EQ(run.stats.cells, static_cast<WideScore>(m) * n) << variant.name;
+  }
+}
+
+TEST(KernelDispatch, PinnedVariantActuallyRunsAndIsCounted) {
+  const auto run = run_pinned("v16-local+best", 160, 180, 4242);
+  const auto& tally =
+      run.stats.kernels[static_cast<std::size_t>(KernelId::kVec16LocalBest)];
+  EXPECT_GT(tally.tiles, 0);
+  EXPECT_GT(tally.cells, 0);
+  // Tallies are complete: every non-pruned tile is attributed to a variant.
+  Index tiles = 0;
+  WideScore cells = 0;
+  for (const auto& t : run.stats.kernels) {
+    tiles += t.tiles;
+    cells += t.cells;
+  }
+  EXPECT_EQ(tiles, run.stats.tiles - run.stats.pruned_tiles);
+  EXPECT_EQ(cells, run.stats.cells);
+  EXPECT_FALSE(engine::kernel_usage_summary(run.stats).empty());
+}
+
+TEST(KernelDispatch, AutomaticSelectionPrefersVectorKernelOnStage1Tiles) {
+  const auto run = run_pinned("", 160, 180, 555);
+  const auto& v16 =
+      run.stats.kernels[static_cast<std::size_t>(KernelId::kVec16LocalBest)];
+  EXPECT_GT(v16.tiles, 0) << engine::kernel_usage_summary(run.stats);
+}
+
+TEST(KernelDispatch, UnknownOverrideNameIsRejected) {
+  engine::ProblemSpec spec;
+  const auto a = rand_seq(8, 1);
+  spec.a = a.bases();
+  spec.b = a.bases();
+  spec.grid = engine::GridSpec{1, 2, 1, 1};
+  spec.recurrence = Recurrence::local(paper());
+  spec.kernel_override = "no-such-kernel";
+  EXPECT_THROW((void)engine::run_wavefront(spec, engine::Hooks{}), Error);
+  EXPECT_THROW(engine::set_kernel_override("no-such-kernel"), Error);
+}
+
+TEST(KernelDispatch, ProcessOverridePinsSelection) {
+  engine::set_kernel_override("legacy");
+  const auto run = run_pinned("", 100, 120, 777);
+  engine::set_kernel_override("");
+  const auto& legacy = run.stats.kernels[static_cast<std::size_t>(KernelId::kLegacy)];
+  EXPECT_EQ(legacy.tiles, run.stats.tiles - run.stats.pruned_tiles)
+      << engine::kernel_usage_summary(run.stats);
+}
+
+TEST(KernelDispatch, GlobalModeUsesSpecializedScalarSweep) {
+  const auto a = rand_seq(90, 9001);
+  const auto b = rand_seq(110, 9002);
+  engine::ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = engine::GridSpec{2, 8, 2, 1};
+  spec.recurrence = Recurrence::global_start(dp::CellState::kH, paper());
+  const auto run = engine::run_wavefront(spec, engine::Hooks{});
+  const auto& tally =
+      run.stats.kernels[static_cast<std::size_t>(KernelId::kScalarGlobal)];
+  EXPECT_EQ(tally.tiles, run.stats.tiles) << engine::kernel_usage_summary(run.stats);
+}
+
+}  // namespace
+}  // namespace cudalign

@@ -1,7 +1,9 @@
-// Affine-gap scoring scheme semantics.
+// Affine-gap scoring scheme semantics and the precomputed query profile.
 #include <gtest/gtest.h>
 
+#include "scoring/profile.hpp"
 #include "scoring/scoring.hpp"
+#include "seq/generator.hpp"
 
 namespace cudalign::scoring {
 namespace {
@@ -60,6 +62,33 @@ TEST(Scoring, LinearGapModelIsValid) {
   const Scheme s{1, -1, 2, 2};
   EXPECT_NO_THROW(s.validate());
   EXPECT_EQ(s.gap_open(), 0);
+}
+
+TEST(QueryProfile, RowsMatchPairScores) {
+  const auto s = Scheme::paper_defaults();
+  const auto b = seq::random_dna(37, 7, "profile");
+  QueryProfile profile;
+  const Index c0 = 5, c1 = 29;
+  profile.build(b.bases(), c0, c1, s);
+  ASSERT_EQ(profile.width(), c1 - c0);
+  for (seq::Base sym = 0; sym < seq::kAlphabetSize; ++sym) {
+    const Score* row = profile.row(sym);
+    for (Index k = 1; k <= profile.width(); ++k) {
+      EXPECT_EQ(row[k], s.pair(sym, b.bases()[c0 + k - 1]))
+          << "sym=" << int(sym) << " k=" << k;
+    }
+  }
+}
+
+TEST(QueryProfile, RebuildShrinksAndGrows) {
+  const auto s = Scheme::paper_defaults();
+  const auto b = seq::random_dna(64, 11, "profile2");
+  QueryProfile profile;
+  profile.build(b.bases(), 0, 64, s);
+  EXPECT_EQ(profile.width(), 64);
+  profile.build(b.bases(), 10, 13, s);
+  ASSERT_EQ(profile.width(), 3);
+  EXPECT_EQ(profile.row(seq::kA)[1], s.pair(seq::kA, b.bases()[10]));
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "core/pipeline.hpp"
 #include "core/strand.hpp"
 #include "core/stages.hpp"
+#include "engine/kernel_registry.hpp"
 #include "seq/fasta.hpp"
 #include "seq/generator.hpp"
 
@@ -28,9 +29,13 @@ int usage() {
   cudalign align A.fasta B.fasta [--out ALN.bin] [--sra BYTES] [--workdir DIR]
            [--max-partition N] [--match N] [--mismatch N] [--gap-first N]
            [--gap-ext N] [--no-stage3] [--stats] [--prune] [--both-strands]
-           [--cigar FILE]
+           [--cigar FILE] [--kernel NAME]
   cudalign score A.fasta B.fasta [--match N] [--mismatch N] [--gap-first N]
-           [--gap-ext N]
+           [--gap-ext N] [--kernel NAME]
+
+--kernel pins a tile-kernel variant (e.g. legacy, scalar-local+best,
+v16-local+best; equivalent to CUDALIGN_KERNEL); tiles outside the variant's
+envelope fall back to automatic selection, so scores are unaffected.
   cudalign view ALN.bin A.fasta B.fasta [--text FILE] [--tsv FILE] [--plot]
   cudalign generate OUT.fasta --length N [--seed N] [--mutate-of FILE]
            [--substitution R] [--indel R]
@@ -52,8 +57,10 @@ scoring::Scheme scheme_from(const common::Args& args) {
 
 int cmd_align(const common::Args& args) {
   args.check_known({"out", "sra", "workdir", "max-partition", "match", "mismatch", "gap-first",
-                    "gap-ext", "no-stage3", "stats", "prune", "both-strands", "cigar"});
+                    "gap-ext", "no-stage3", "stats", "prune", "both-strands", "cigar",
+                    "kernel"});
   if (args.positional().size() != 2) return usage();
+  if (args.has("kernel")) engine::set_kernel_override(args.str("kernel"));
   const auto s0 = seq::read_single_fasta(args.positional()[0]);
   const auto s1 = seq::read_single_fasta(args.positional()[1]);
   std::printf("aligning %s (%s BP) x %s (%s BP)\n", s0.name().c_str(),
@@ -127,13 +134,20 @@ int cmd_align(const common::Args& args) {
                   format_sci(static_cast<double>(st.cells)).c_str(),
                   static_cast<long long>(st.crosspoints));
     }
+    std::printf("\nkernel usage (tiles/cells):\n");
+    for (int k = 0; k < 6; ++k) {
+      const std::string usage =
+          engine::kernel_usage_summary(result.stages[static_cast<std::size_t>(k)].kernels);
+      if (!usage.empty()) std::printf("  stage %d: %s\n", k + 1, usage.c_str());
+    }
   }
   return 0;
 }
 
 int cmd_score(const common::Args& args) {
-  args.check_known({"match", "mismatch", "gap-first", "gap-ext"});
+  args.check_known({"match", "mismatch", "gap-first", "gap-ext", "kernel"});
   if (args.positional().size() != 2) return usage();
+  if (args.has("kernel")) engine::set_kernel_override(args.str("kernel"));
   const auto s0 = seq::read_single_fasta(args.positional()[0]);
   const auto s1 = seq::read_single_fasta(args.positional()[1]);
   core::Stage1Config config;
@@ -145,6 +159,7 @@ int cmd_score(const common::Args& args) {
               format_sci(static_cast<double>(st1.stats.cells)).c_str(),
               format_seconds(st1.stats.seconds).c_str(),
               static_cast<double>(st1.stats.cells) / st1.stats.seconds / 1e6);
+  std::printf("kernels: %s\n", engine::kernel_usage_summary(st1.stats.kernels).c_str());
   return 0;
 }
 
