@@ -248,7 +248,8 @@ void BM_TileKernel(benchmark::State& state) {
     benchmark::DoNotOptimize(engine::run_tile(bench.job(), scratch));
   }
   state.counters["MCUPS"] = benchmark::Counter(
-      static_cast<double>(rows) * static_cast<double>(cols) * state.iterations() / 1e6,
+      static_cast<double>(rows) * static_cast<double>(cols) *
+          static_cast<double>(state.iterations()) / 1e6,
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TileKernel)->Args({64, 1024})->Args({256, 1024})->Args({64, 8192})->Args({512, 512});
@@ -273,7 +274,7 @@ void register_variant_benchmarks() {
           benchmark::DoNotOptimize(v->run(bench.job(), scratch));
         }
         state.counters["MCUPS"] = benchmark::Counter(
-            256.0 * 512.0 * state.iterations() / 1e6, benchmark::Counter::kIsRate);
+            256.0 * 512.0 * static_cast<double>(state.iterations()) / 1e6, benchmark::Counter::kIsRate);
       });
       break;  // One archetype per variant keeps the default run short.
     }
@@ -289,7 +290,8 @@ void BM_LinearSweep(benchmark::State& state) {
     benchmark::DoNotOptimize(dp::linear_local_best(a, b, scheme));
   }
   state.counters["MCUPS"] = benchmark::Counter(
-      static_cast<double>(n) * static_cast<double>(n) * state.iterations() / 1e6,
+      static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(state.iterations()) / 1e6,
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_LinearSweep)->Arg(1024)->Arg(4096);
@@ -305,7 +307,8 @@ void BM_WavefrontEngine(benchmark::State& state) {
     benchmark::DoNotOptimize(engine::run_wavefront(spec, engine::Hooks{}));
   }
   state.counters["MCUPS"] = benchmark::Counter(
-      static_cast<double>(n) * static_cast<double>(n) * state.iterations() / 1e6,
+      static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(state.iterations()) / 1e6,
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_WavefrontEngine)->Arg(4096)->Arg(16384);

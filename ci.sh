@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 verification, run the way CI does:
-#   1. Release build + full ctest
-#   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer + full ctest
-#   3. ThreadSanitizer build + engine/kernel/common test smoke (the concurrent
-#      paths: thread pool, wavefront executor, kernel dispatch)
+#   0. Lint: repo lint rules (tools/lint.sh), clang-tidy and clang-format
+#      --check (the clang stages skip with a notice when the toolchain is
+#      absent)
+#   1. Release build with the strict zero-warning wall (-DCUDALIGN_STRICT=ON:
+#      -Wall -Wextra -Wconversion -Wshadow -Werror) + full ctest
+#   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer + full
+#      ctest (contract DCHECKs compiled in)
+#   3. ThreadSanitizer build + full ctest, suppressions in tsan.supp (kept
+#      empty: a race in cudalign code is a bug, not a suppression)
 #
-# Usage: ./ci.sh [jobs]   (defaults to nproc)
+# Usage: ./ci.sh [--fast] [jobs]   (jobs defaults to nproc)
+#   --fast  lint + Release suite only: the quick pre-push loop.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+  shift
+fi
 JOBS="${1:-$(nproc)}"
 
 run_suite() {
@@ -20,24 +31,38 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS" >/dev/null
 }
 
-# 1. Release: the performance configuration users build.
-run_suite release build-ci-release -DCMAKE_BUILD_TYPE=Release
+# 0. Lint wall: cheap, runs first so style/contract violations fail fast.
+echo "=== [lint] repo rules + clang-tidy ==="
+./tools/lint.sh
+echo "=== [lint] clang-format check ==="
+./tools/format.sh --check
+
+# 1. Release: the performance configuration users build, with warnings as
+# errors — the tree must stay zero-warning under -Wconversion -Wshadow.
+run_suite release build-ci-release -DCMAKE_BUILD_TYPE=Release -DCUDALIGN_STRICT=ON
 echo "=== [release] ctest ==="
 (cd build-ci-release && ctest --output-on-failure -j "$JOBS")
 
-# 2. Debug + ASan/UBSan: assertions on, every allocation and UB checked.
+if [[ "$FAST" -eq 1 ]]; then
+  echo "ci.sh: fast mode — lint + release suite passed"
+  exit 0
+fi
+
+# 2. Debug + ASan/UBSan: assertions and DCHECKs on, every allocation and UB
+# checked.
 run_suite asan build-ci-asan -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 echo "=== [asan] ctest ==="
 (cd build-ci-asan && ctest --output-on-failure -j "$JOBS")
 
-# 3. TSan smoke: the concurrency-heavy suites only (a full TSan ctest run is
-# several times slower and the remaining suites are single-threaded).
+# 3. TSan: the full suite (not just a concurrency smoke) — single-threaded
+# suites are cheap under TSan and the executor/pool paths hide in many of
+# them via the shared pool.
 run_suite tsan build-ci-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-echo "=== [tsan] engine smoke ==="
-./build-ci-tsan/tests/cudalign_tests \
-  --gtest_filter='Engine*:*/Engine*:Kernel*:ThreadPool*:Stage*'
+echo "=== [tsan] ctest ==="
+(cd build-ci-tsan &&
+  TSAN_OPTIONS="suppressions=$(cd .. && pwd)/tsan.supp" ctest --output-on-failure -j "$JOBS")
 
 echo "ci.sh: all suites passed"

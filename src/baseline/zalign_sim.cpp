@@ -60,8 +60,8 @@ SweepBest timed_local_pass(seq::SequenceView a, seq::SequenceView b,
     const Index k = hi - lo + 1;
     slots += (k + processors - 1) / processors;
   }
-  const double efficiency =
-      static_cast<double>(row_strips) * col_blocks / (static_cast<double>(slots) * processors);
+  const double efficiency = static_cast<double>(row_strips) * static_cast<double>(col_blocks) /
+                            (static_cast<double>(slots) * static_cast<double>(processors));
 
   for (Index i = 1; i <= m; ++i) {
     const seq::Base ai = a[static_cast<std::size_t>(i - 1)];
@@ -90,7 +90,7 @@ SweepBest timed_local_pass(seq::SequenceView a, seq::SequenceView b,
   cells += static_cast<WideScore>(m) * n;
   const double elapsed = total.seconds();
   measured += elapsed;
-  simulated += elapsed / (processors * efficiency);
+  simulated += elapsed / (static_cast<double>(processors) * efficiency);
   return best;
 }
 

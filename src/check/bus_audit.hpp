@@ -1,0 +1,150 @@
+// Bus access auditor: a happens-before checker for the wavefront bus
+// protocol (the race detector the GPU grid model implies).
+//
+// The CUDAlign grid guarantees correctness through a strict hand-off
+// discipline on the two buses (engine/executor.hpp, paper §IV):
+//
+//   * horizontal bus slot j (a column vertex) is owned by one column chunk b;
+//     it is written exactly once per strip pass — by tile (s, b), holding row
+//     r1 — and read exactly once, by the successor tile (s+1, b), strictly
+//     later in external-diagonal order;
+//   * vertical bus boundary k is written by tile (s, k-1) (or seeded by the
+//     executor for k = 0) and read by tile (s, k) within the same strip, one
+//     external diagonal later;
+//   * no tile may read a slot before its writer's diagonal has completed
+//     (read-before-write across external diagonals), and no tile may
+//     overwrite a slot whose previous value has not been consumed.
+//
+// The auditor is an opt-in shadow recorder: the executor reports every bus
+// segment read/write with (strip, block, external diagonal, thread)
+// coordinates, the auditor replays them against per-slot shadow state and
+// records violations with BOTH endpoints (the offending access and the access
+// it conflicts with), like a race detector report. The vertical shadow is
+// double-buffered by strip parity exactly like the executor's bus: tile
+// (s + 1, b) legitimately writes boundary b + 1 on the very diagonal tile
+// (s, b + 1) reads it, and only the parity split makes that hand-off
+// race-free — a single-buffer shadow would report interleaving-dependent
+// false hazards there (the same-diagonal hazard the paper's minimum size
+// requirement addresses).
+//
+// Overhead is O(slots touched) per tile plus one mutex acquisition; it is a
+// debug/verification tool (Engine*Audit tests, `cudalign --audit-bus`), not a
+// production path. One auditor instance audits a sequence of engine runs
+// (begin_run resets shadow state, violations accumulate); concurrent runs
+// must not share an instance.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cudalign::check {
+
+/// One side of a violation: who touched the slot, and where in the schedule.
+struct BusEndpoint {
+  Index strip = 0;
+  Index block = 0;     ///< kSeedBlock for executor boundary seeding.
+  Index diagonal = 0;  ///< External diagonal (kSeedBlock rows: seeding point).
+  std::uint64_t thread_id = 0;  ///< Hashed std::thread::id of the accessor.
+
+  static constexpr Index kSeedBlock = -1;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct BusViolation {
+  enum class Rule : std::uint8_t {
+    kDoubleWrite,        ///< Slot written twice in the same strip pass.
+    kReadBeforeWrite,    ///< Read with no matching write (or a stale pass).
+    kReadAfterOverwrite, ///< Read of a slot its own pass already overwrote.
+    kIllegalReader,      ///< Read by a block that does not own the hand-off.
+    kIllegalWriter,      ///< Write by a block that does not own the slot.
+    kSameDiagonalHazard, ///< Read on the writer's own external diagonal.
+    kOverwriteBeforeRead,///< Write destroying a value never consumed.
+  };
+
+  Rule rule = Rule::kDoubleWrite;
+  bool horizontal = true;  ///< Which bus; vertical otherwise.
+  Index slot = 0;          ///< hbus: column vertex j. vbus: boundary * 10^6 + row.
+  BusEndpoint prior;       ///< The conflicting earlier access (writer, usually).
+  BusEndpoint current;     ///< The access that exposed the violation.
+
+  [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] const char* rule_name(BusViolation::Rule rule);
+
+class BusAuditor {
+ public:
+  explicit BusAuditor(std::size_t max_recorded = 32) : max_recorded_(max_recorded) {}
+
+  /// Resets shadow state for a new engine run over an n-column problem with
+  /// the given chunk boundaries (`cuts`, size blocks + 1). Violations and
+  /// event counts accumulate across runs.
+  void begin_run(Index n, Index strips, Index blocks, Index strip_rows,
+                 std::vector<Index> cuts);
+
+  // --- executor seeding (caller thread, before tiles launch) ---------------
+
+  /// Row-0 horizontal-bus fill: slots [0..n], conceptually strip -1.
+  void seed_horizontal();
+  /// Column-0 vertical-bus fill for `strip`, rows [0..rows]; happens on the
+  /// caller thread at external diagonal == strip, before that diagonal runs.
+  void seed_vertical(Index strip, Index rows);
+
+  // --- tile events (worker threads) ----------------------------------------
+
+  /// Tile (strip, block) on `diagonal` reads its row-r0 input: slots (c0..c1].
+  void read_horizontal(Index strip, Index block, Index diagonal, Index c0, Index c1);
+  /// Tile (strip, block) publishes its row-r1 output: slots (c0..c1].
+  void write_horizontal(Index strip, Index block, Index diagonal, Index c0, Index c1);
+  /// Tile (strip, block) reads vertical boundary `block`, rows [0..rows].
+  void read_vertical(Index strip, Index block, Index diagonal, Index rows);
+  /// Tile (strip, block) writes vertical boundary `block + 1`, rows [0..rows].
+  void write_vertical(Index strip, Index block, Index diagonal, Index rows);
+
+  // --- results -------------------------------------------------------------
+
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::uint64_t violation_count() const;
+  [[nodiscard]] std::uint64_t events_recorded() const;
+  /// The first `max_recorded` violations, with both endpoints each.
+  [[nodiscard]] std::vector<BusViolation> violations() const;
+  /// Human-readable multi-line report ("bus audit: clean, N events" if ok).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  struct Shadow {
+    bool written = false;
+    bool seed = false;          ///< Last write was an executor seed.
+    Index writer_strip = 0;
+    BusEndpoint writer;
+    bool read_since_write = false;
+    BusEndpoint reader;         ///< Last reader (valid if read_since_write).
+  };
+
+  void record(BusViolation::Rule rule, bool horizontal, Index slot,
+              const BusEndpoint& prior, const BusEndpoint& current);
+  void check_read(Shadow& cell, bool horizontal, Index slot, Index expected_writer_strip,
+                  const BusEndpoint& reader);
+  void check_write(Shadow& cell, bool horizontal, Index slot, const BusEndpoint& writer);
+  [[nodiscard]] Index owner_of(Index slot) const;  ///< Chunk owning hbus slot (or -2).
+  /// Vertical shadow cell for the parity plane `strip` uses (writes and reads
+  /// of a strip both target its own plane, mirroring the executor's buffers).
+  [[nodiscard]] Shadow& vcell(Index strip, Index boundary, Index row);
+
+  mutable std::mutex mutex_;
+  std::size_t max_recorded_;
+  Index n_ = 0, strips_ = 0, blocks_ = 0, strip_rows_ = 0;
+  std::vector<Index> cuts_;
+  std::vector<Shadow> hshadow_;  ///< Per hbus slot [0..n].
+  std::vector<Shadow> vshadow_;  ///< 2 x (blocks + 1) x (strip_rows + 1): parity-major.
+  std::vector<BusViolation> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace cudalign::check

@@ -1,0 +1,62 @@
+#include "check/contracts.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cudalign::check {
+
+namespace {
+
+std::atomic<FailurePolicy> g_policy{FailurePolicy::kThrow};
+std::atomic<std::uint64_t> g_logged_failures{0};
+
+std::string render(const char* kind, const char* cond, const char* file, int line,
+                   const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+
+}  // namespace
+
+FailurePolicy failure_policy() noexcept { return g_policy.load(std::memory_order_relaxed); }
+
+void set_failure_policy(FailurePolicy policy) noexcept {
+  g_policy.store(policy, std::memory_order_relaxed);
+}
+
+std::uint64_t logged_failures() noexcept {
+  return g_logged_failures.load(std::memory_order_relaxed);
+}
+
+void reset_logged_failures() noexcept {
+  g_logged_failures.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void fail_check(const char* cond, const char* file, int line, const std::string& msg) {
+  throw Error(render("check", cond, file, line, msg));
+}
+
+void fail_assert(const char* kind, const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  const std::string what = render(kind, cond, file, line, msg);
+  switch (failure_policy()) {
+    case FailurePolicy::kThrow:
+      throw Error(what);
+    case FailurePolicy::kAbort:
+      std::fprintf(stderr, "cudalign: %s\n", what.c_str());
+      std::abort();
+    case FailurePolicy::kLog:
+      std::fprintf(stderr, "cudalign: %s\n", what.c_str());
+      g_logged_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+  }
+  std::abort();  // Unreachable: every policy is handled above.
+}
+
+}  // namespace detail
+}  // namespace cudalign::check

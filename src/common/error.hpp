@@ -1,42 +1,10 @@
-// Error handling: a single exception type plus CHECK-style macros.
+// Error handling shim: the exception type and contract macros now live in
+// check/contracts.hpp (the correctness-analysis layer); this header remains
+// so the historical include path keeps working everywhere.
 //
 // Library code throws cudalign::Error for user-facing failures (bad input,
-// I/O, configuration) and uses CUDALIGN_ASSERT for internal invariants that
-// indicate a bug if violated. Both are active in all build types: alignment
-// correctness bugs are silent-data-corruption bugs, never acceptable.
+// I/O, configuration) via CUDALIGN_CHECK and uses CUDALIGN_ASSERT /
+// CUDALIGN_DCHECK for internal invariants that indicate a bug if violated.
 #pragma once
 
-#include <sstream>
-#include <stdexcept>
-#include <string>
-
-namespace cudalign {
-
-class Error : public std::runtime_error {
- public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
-};
-
-namespace detail {
-[[noreturn]] inline void fail(const char* kind, const char* cond, const char* file, int line,
-                              const std::string& msg) {
-  std::ostringstream os;
-  os << kind << " failed: " << cond << " at " << file << ":" << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
-}
-}  // namespace detail
-
-}  // namespace cudalign
-
-/// Validates user-facing preconditions; throws cudalign::Error on failure.
-#define CUDALIGN_CHECK(cond, msg)                                                   \
-  do {                                                                              \
-    if (!(cond)) ::cudalign::detail::fail("check", #cond, __FILE__, __LINE__, msg); \
-  } while (0)
-
-/// Internal invariant; a failure indicates a library bug.
-#define CUDALIGN_ASSERT(cond)                                                        \
-  do {                                                                               \
-    if (!(cond)) ::cudalign::detail::fail("assert", #cond, __FILE__, __LINE__, ""); \
-  } while (0)
+#include "check/contracts.hpp"  // IWYU pragma: export

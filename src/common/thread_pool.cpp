@@ -25,6 +25,11 @@ ThreadPool::ThreadPool(std::size_t workers) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Serialize shutdown with in-flight parallel_for callers (including a
+  // caller unwinding from a job exception): the stop flag must not interleave
+  // with a job publication, or workers could exit between the publish and
+  // their first claim.
+  std::lock_guard caller_lock(caller_mutex_);
   {
     std::lock_guard lock(mutex_);
     stop_ = true;
@@ -56,15 +61,24 @@ void ThreadPool::worker_loop() {
   std::unique_lock lock(mutex_);
   for (;;) {
     cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    // Shutdown ordering: drain a published job *before* honoring stop_.
+    // Exiting with a job pending would leave workers_active_ above zero
+    // forever and deadlock the parallel_for caller in done_cv_.wait — the
+    // caller still rethrows any job exception after the barrier, even if the
+    // pool is being torn down concurrently.
+    if (generation_ != seen) {
+      seen = generation_;
+      const std::function<void(std::size_t)>* fn = job_fn_;
+      const std::size_t count = job_count_;
+      lock.unlock();
+      std::exception_ptr error = run_job_slice(*fn, count);
+      lock.lock();
+      if (error && !job_error_) job_error_ = error;
+      CUDALIGN_DCHECK(workers_active_ > 0, "barrier underflow");
+      if (--workers_active_ == 0) done_cv_.notify_all();
+      continue;
+    }
     if (stop_) return;
-    seen = generation_;
-    const std::function<void(std::size_t)>* fn = job_fn_;
-    const std::size_t count = job_count_;
-    lock.unlock();
-    std::exception_ptr error = run_job_slice(*fn, count);
-    lock.lock();
-    if (error && !job_error_) job_error_ = error;
-    if (--workers_active_ == 0) done_cv_.notify_all();
   }
 }
 

@@ -33,6 +33,9 @@ class ThreadPool {
   explicit ThreadPool(std::size_t workers = 0);
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Serializes with concurrent parallel_for callers and drains any
+  /// published job before stopping the workers — destruction can never
+  /// strand a caller at the barrier, even mid-exception.
   ~ThreadPool();
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }

@@ -34,6 +34,7 @@ PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
   c1.grid = options.grid_stage1;
   c1.rows_area = options.flush_special_rows ? &rows_area : nullptr;
   c1.block_pruning = options.block_pruning;
+  c1.bus_audit = options.bus_audit;
   if (options.progress) {
     c1.progress = [&](double fraction) { options.progress(1, fraction); };
   }
@@ -66,6 +67,7 @@ PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
   c2.grid = options.grid_stage23;
   c2.rows_area = &rows_area;
   c2.cols_area = options.save_special_columns ? &cols_area : nullptr;
+  c2.bus_audit = options.bus_audit;
   c2.pool = options.pool;
   const Stage2Result st2 = run_stage2(v0, v1, st1.end_point, c2);
   if (options.progress) options.progress(2, 1.0);
@@ -81,6 +83,7 @@ PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
     c3.scheme = options.scheme;
     c3.grid = options.grid_stage23;
     c3.cols_area = &cols_area;
+    c3.bus_audit = options.bus_audit;
     c3.pool = options.pool;
     Stage3Result st3 = run_stage3(v0, v1, st2.crosspoints, c3);
     if (options.progress) options.progress(3, 1.0);

@@ -41,6 +41,11 @@ struct PipelineOptions {
   /// (18.5 h in the paper) and need liveness reporting.
   std::function<void(int stage, double fraction)> progress;
 
+  /// Opt-in bus hand-off auditing for every engine run of Stages 1-3
+  /// (check/bus_audit.hpp; the CLI's --audit-bus). The caller inspects the
+  /// auditor after the pipeline returns.
+  check::BusAuditor* bus_audit = nullptr;
+
   ThreadPool* pool = nullptr;
 };
 

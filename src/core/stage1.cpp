@@ -23,6 +23,7 @@ Stage1Result run_stage1(seq::SequenceView s0, seq::SequenceView s1, const Stage1
   spec.block_pruning = config.block_pruning;
 
   engine::Hooks hooks;
+  hooks.bus_audit = config.bus_audit;
   if (config.progress) {
     hooks.on_progress = [&](Index done, Index total) {
       config.progress(static_cast<double>(done) / static_cast<double>(total));

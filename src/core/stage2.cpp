@@ -110,6 +110,7 @@ Stage2Result run_stage2(seq::SequenceView s0, seq::SequenceView s1, const Crossp
 
     std::optional<MatchHit> hit;
     engine::Hooks hooks;
+    hooks.bus_audit = config.bus_audit;
 
     // Matching vector: the engine problem's final column == original row r*.
     if (row_id) {

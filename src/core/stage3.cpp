@@ -58,6 +58,7 @@ PartitionOutcome split_partition(seq::SequenceView s0, seq::SequenceView s1,
   spec.grid = config.grid;
 
   engine::Hooks hooks;
+  hooks.bus_audit = config.bus_audit;
   std::map<Index, Crosspoint> found;  // Keyed by column, ordered.
   hooks.tap_columns.reserve(columns.size());
   for (const auto& col : columns) hooks.tap_columns.push_back(col.column - part.start.j);

@@ -10,6 +10,7 @@
 #include "alignment/alignment.hpp"
 #include "alignment/gaplist.hpp"
 #include "alignment/render.hpp"
+#include "check/bus_audit.hpp"
 #include "core/crosspoint.hpp"
 #include "engine/executor.hpp"
 #include "sra/sra.hpp"
@@ -52,6 +53,8 @@ struct Stage1Config {
   std::int64_t group = 1;
   /// Liveness: fraction of Stage-1 cells completed (long chromosome runs).
   std::function<void(double fraction)> progress;
+  /// Opt-in bus hand-off verification (engine/executor.hpp Hooks::bus_audit).
+  check::BusAuditor* bus_audit = nullptr;
   ThreadPool* pool = nullptr;
 };
 
@@ -81,6 +84,7 @@ struct Stage2Config {
   sra::SpecialRowsArea* cols_area = nullptr;  ///< Sink for special columns (optional).
   /// Special-column groups are `cols_group_base + partition_index`.
   std::int64_t cols_group_base = 1000;
+  check::BusAuditor* bus_audit = nullptr;
   ThreadPool* pool = nullptr;
 };
 
@@ -103,6 +107,7 @@ struct Stage3Config {
   engine::GridSpec grid = engine::GridSpec::stage23_defaults();
   sra::SpecialRowsArea* cols_area = nullptr;  ///< Stage-2 columns (required).
   std::int64_t cols_group_base = 1000;
+  check::BusAuditor* bus_audit = nullptr;
   ThreadPool* pool = nullptr;
 };
 

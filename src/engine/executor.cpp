@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <map>
 
+#include "check/bus_audit.hpp"
+#include "check/checked.hpp"
 #include "common/timer.hpp"
 #include "dp/linear.hpp"
 #include "engine/kernel_registry.hpp"
@@ -62,8 +64,8 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
                    std::string("unknown kernel variant in CUDALIGN_KERNEL: ") + env);
   }
 
-  const Index m = static_cast<Index>(spec.a.size());
-  const Index n = static_cast<Index>(spec.b.size());
+  const Index m = check::checked_cast<Index>(spec.a.size());
+  const Index n = check::checked_cast<Index>(spec.b.size());
   for (std::size_t t = 0; t < hooks.tap_columns.size(); ++t) {
     const Index c = hooks.tap_columns[t];
     CUDALIGN_CHECK(c >= 1 && c <= n, "tap columns must be in [1, n]");
@@ -102,9 +104,15 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
     cuts[static_cast<std::size_t>(b)] = n * b / blocks;
   }
 
+  check::BusAuditor* audit = hooks.bus_audit;
+  if (audit != nullptr) {
+    audit->begin_run(n, strips, blocks, strip_rows, cuts);
+  }
+
   // Horizontal bus: (H, F) per column vertex, initialized to row 0.
   std::vector<BusCell> hbus(static_cast<std::size_t>(n) + 1);
   for (Index j = 0; j <= n; ++j) hbus[static_cast<std::size_t>(j)] = rec.top_boundary(j);
+  if (audit != nullptr) audit->seed_horizontal();
 
   // Vertical buses: (H, E) per row vertex of the current strip, one buffer
   // per chunk boundary, double-buffered by strip parity (same-diagonal
@@ -144,6 +152,7 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
       for (Index i = r0; i <= r1; ++i) {
         buf[static_cast<std::size_t>(i - r0)] = rec.left_boundary(i);
       }
+      if (audit != nullptr) audit->seed_vertical(s, r1 - r0);
     }
 
     // Launch the diagonal.
@@ -186,6 +195,14 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
       job.track_best = rec.mode == AlignMode::kLocal;
       job.find_value = hooks.find_value;
 
+      // Audit: the tile consumes its row-r0 horizontal segment and its
+      // incoming vertical boundary before publishing anything (both the
+      // kernel and the pruning bound-scan below read them).
+      if (audit != nullptr) {
+        audit->read_horizontal(s, b, d, c0, c1);
+        audit->read_vertical(s, b, d, r1 - r0);
+      }
+
       tile_pruned[static_cast<std::size_t>(b)] = false;
       if (spec.block_pruning && result.best.score > 0) {
         // Best incoming H across the tile's boundary (the corner arrives via
@@ -203,6 +220,10 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
           for (auto& cell : job.vbus_out) cell = BusCell{0, kNegInf};
           tile_results[static_cast<std::size_t>(b)] = TileResult{};
           tile_pruned[static_cast<std::size_t>(b)] = true;
+          if (audit != nullptr) {
+            audit->write_horizontal(s, b, d, c0, c1);
+            audit->write_vertical(s, b, d, r1 - r0);
+          }
           return;
         }
       }
@@ -210,6 +231,10 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
       // Scratch is reused across tiles of the same worker thread.
       static thread_local TileScratch scratch;
       tile_results[static_cast<std::size_t>(b)] = run_tile(job, scratch, forced_kernel);
+      if (audit != nullptr) {
+        audit->write_horizontal(s, b, d, c0, c1);
+        audit->write_vertical(s, b, d, r1 - r0);
+      }
     });
 
     // Deterministic post-processing in ascending strip order.

@@ -31,6 +31,10 @@
 #include "engine/grid.hpp"
 #include "engine/kernels.hpp"
 
+namespace cudalign::check {
+class BusAuditor;
+}
+
 namespace cudalign::engine {
 
 struct ProblemSpec {
@@ -83,6 +87,15 @@ struct Hooks {
   /// Liveness reporting for long runs: called after each external diagonal
   /// with (diagonals done, diagonals total), on the driver thread.
   std::function<void(Index done, Index total)> on_progress;
+
+  /// Opt-in bus access auditor (check/bus_audit.hpp): when set, the executor
+  /// reports every horizontal/vertical bus segment read and write with
+  /// (strip, block, external diagonal, thread) coordinates and the auditor
+  /// verifies the grid model's happens-before relation — write-once per pass,
+  /// legal successor reads only, no read-before-write across diagonals. The
+  /// caller inspects the auditor after the run. Null = no auditing (one
+  /// branch per tile of overhead).
+  check::BusAuditor* bus_audit = nullptr;
 };
 
 /// Per-kernel-variant tally (indexed by KernelId in RunStats::kernels).

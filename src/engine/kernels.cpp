@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "check/contracts.hpp"
 #include "engine/kernel_registry.hpp"
 
 namespace cudalign::engine {
@@ -64,6 +65,11 @@ BusCell Recurrence::left_boundary(Index i) const {
 
 TileResult run_tile(const TileJob& job, TileScratch& scratch, const KernelVariant* forced) {
   const KernelVariant& kernel = select_kernel(job, forced);
+  // Dispatch contract: whatever won selection (forced, pinned or automatic)
+  // must be exact for this job — running outside the envelope is the silent
+  // score-corruption path the registry exists to prevent.
+  CUDALIGN_DCHECK(kernel.can_run(job), "selected kernel '", kernel.name,
+                  "' cannot run this job");
   TileResult result = kernel.run(job, scratch);
   result.kernel = kernel.id;
   return result;

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "check/checked.hpp"
 #include "engine/kernel_detail.hpp"
 
 namespace cudalign::engine::detail {
@@ -60,7 +61,13 @@ LaneT to_lane(Score v) {
   if constexpr (sizeof(LaneT) == sizeof(Score)) {
     return v;
   } else {
-    return is_neg_inf(v) ? LaneTraits<LaneT>::kNinf : static_cast<LaneT>(v);
+    if (is_neg_inf(v)) return LaneTraits<LaneT>::kNinf;
+    // Envelope contract: vector16_can_run admitted every genuine input before
+    // this kernel was selected, so the narrowing below is provably lossless.
+    CUDALIGN_DCHECK(v >= kRealFloor16 && v <= kScoreCeiling16,
+                    "int16 lane input ", v, " outside the admitted envelope [", kRealFloor16,
+                    ", ", kScoreCeiling16, "] — vector16_can_run precheck violated");
+    return static_cast<LaneT>(v);
   }
 }
 
@@ -142,10 +149,12 @@ bool vector16_can_run(const TileJob& job) {
   }
   // Any path gains at most one match per row (entering from the top) or per
   // column (entering from the left), so this bounds every reachable H/E/F.
+  // The bound itself is computed with overflow-checked arithmetic: an
+  // envelope decided by wrapped arithmetic would be no envelope at all.
   const Index rows = job.r1 - job.r0;
   const Index w = job.c1 - job.c0;
-  const WideScore bound =
-      max_h + static_cast<WideScore>(s.match) * std::max(rows, w);
+  const WideScore bound = check::checked_add<WideScore>(
+      max_h, check::checked_mul<WideScore>(s.match, std::max(rows, w)));
   return bound <= kScoreCeiling16;
 }
 
@@ -244,6 +253,13 @@ TileResult run_vector(const TileJob& job, TileScratch& scratch) {
     // Rectified vertical bus: the true column-c1 values, row by row.
     if (d > w) {
       const Index i = d - w;
+      if constexpr (sizeof(LaneT) == sizeof(std::int16_t)) {
+        // Envelope post-condition: a published H above the admitted ceiling
+        // means a score escaped the lanes despite the precheck (overflow
+        // would corrupt downstream tiles silently — the SSW failure mode).
+        CUDALIGN_DCHECK(hc[w] <= kScoreCeiling16, "int16 lane published H ", hc[w],
+                        " above the ceiling ", kScoreCeiling16);
+      }
       job.vbus_out[static_cast<std::size_t>(i)] =
           BusCell{static_cast<Score>(hc[w]), static_cast<Score>(ec[w])};
     }
@@ -252,6 +268,10 @@ TileResult run_vector(const TileJob& job, TileScratch& scratch) {
     // d - rows < d, so the in-place update is hazard-free.
     if (d > rows) {
       const Index j = d - rows;
+      if constexpr (sizeof(LaneT) == sizeof(std::int16_t)) {
+        CUDALIGN_DCHECK(hc[j] <= kScoreCeiling16, "int16 lane published H ", hc[j],
+                        " above the ceiling ", kScoreCeiling16);
+      }
       job.hbus[static_cast<std::size_t>(j)] =
           BusCell{static_cast<Score>(hc[j]), static_cast<Score>(fc[j])};
     }

@@ -87,6 +87,44 @@ TEST(ThreadPool, PropagatesExceptions) {
                Error);
 }
 
+TEST(ThreadPool, ExceptionMidJobDrainsBarrierAndPoolStaysUsable) {
+  // A worker throwing partway through a shared job must still reach the
+  // per-job barrier: the remaining iterations run, the first exception is
+  // rethrown on the caller, and the pool accepts the next job.
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                     ran.fetch_add(1);
+                                     if (i % 9 == 3) throw Error("mid-job failure");
+                                   }),
+                 Error);
+    EXPECT_EQ(ran.load(), 64);
+    std::atomic<int> ok{0};
+    pool.parallel_for(8, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 8);
+  }
+}
+
+TEST(ThreadPool, DestructionDuringExceptionUnwindDoesNotDeadlock) {
+  // Regression: a worker that observed the stop flag alongside a freshly
+  // published job used to exit without reaching the barrier, stranding the
+  // parallel_for caller (typically while it was already unwinding from a job
+  // exception). Shutdown must drain the published job first.
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(4);
+    try {
+      pool.parallel_for(32, [&](std::size_t i) {
+        if (i == 0) throw Error("boom during teardown");
+      });
+      FAIL() << "expected the job exception to propagate";
+    } catch (const Error&) {
+      // The destructor runs below while workers may still be mid-job.
+    }
+  }
+}
+
 TEST(ThreadPool, SingleWorkerRunsInline) {
   ThreadPool pool(1);
   const auto caller = std::this_thread::get_id();

@@ -209,10 +209,15 @@ std::vector<BruteCase> brute_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, GotohVsBruteForce, ::testing::ValuesIn(brute_cases()),
-                         [](const ::testing::TestParamInfo<BruteCase>& info) {
-                           const auto& p = info.param;
-                           return "s" + std::to_string(p.scheme_index) + "_m" +
-                                  std::to_string(p.m) + "_n" + std::to_string(p.n);
+                         [](const ::testing::TestParamInfo<BruteCase>& tpi) {
+                           const auto& p = tpi.param;
+                           std::string name("s");
+                           name += std::to_string(p.scheme_index);
+                           name += "_m";
+                           name += std::to_string(p.m);
+                           name += "_n";
+                           name += std::to_string(p.n);
+                           return name;
                          });
 
 TEST(BruteForce, MemoizedAgreesWithExponentialEnumeration) {

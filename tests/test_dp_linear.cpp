@@ -58,11 +58,16 @@ std::vector<SweepCase> sweep_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, LinearSweep, ::testing::ValuesIn(sweep_cases()),
-                         [](const ::testing::TestParamInfo<SweepCase>& info) {
-                           const auto& p = info.param;
-                           return "s" + std::to_string(p.scheme_index) +
-                                  (p.mode == 0 ? "_local" : "_global") + "_m" +
-                                  std::to_string(p.m) + "_n" + std::to_string(p.n);
+                         [](const ::testing::TestParamInfo<SweepCase>& tpi) {
+                           const auto& p = tpi.param;
+                           std::string name("s");
+                           name += std::to_string(p.scheme_index);
+                           name += p.mode == 0 ? "_local" : "_global";
+                           name += "_m";
+                           name += std::to_string(p.m);
+                           name += "_n";
+                           name += std::to_string(p.n);
+                           return name;
                          });
 
 TEST(LinearLocalBest, AgreesWithFullMatrixSearchIncludingTieBreak) {

@@ -157,12 +157,21 @@ std::vector<EngineCase> engine_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, EngineEquivalence, ::testing::ValuesIn(engine_cases()),
-                         [](const ::testing::TestParamInfo<EngineCase>& info) {
-                           const auto& p = info.param;
-                           return "m" + std::to_string(p.m) + "_n" + std::to_string(p.n) + "_B" +
-                                  std::to_string(p.blocks) + "_T" + std::to_string(p.threads) +
-                                  "_a" + std::to_string(p.alpha) + "_mode" +
-                                  std::to_string(p.mode);
+                         [](const ::testing::TestParamInfo<EngineCase>& tpi) {
+                           const auto& p = tpi.param;
+                           std::string name("m");
+                           name += std::to_string(p.m);
+                           name += "_n";
+                           name += std::to_string(p.n);
+                           name += "_B";
+                           name += std::to_string(p.blocks);
+                           name += "_T";
+                           name += std::to_string(p.threads);
+                           name += "_a";
+                           name += std::to_string(p.alpha);
+                           name += "_mode";
+                           name += std::to_string(p.mode);
+                           return name;
                          });
 
 // Fuzz: random geometry, grids, modes and tap sets, engine vs reference.

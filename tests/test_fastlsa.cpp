@@ -55,11 +55,19 @@ std::vector<LsaCase> lsa_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FastLsa, ::testing::ValuesIn(lsa_cases()),
-                         [](const ::testing::TestParamInfo<LsaCase>& info) {
-                           const auto& p = info.param;
-                           return "s" + std::to_string(p.scheme_index) + "_m" +
-                                  std::to_string(p.m) + "_n" + std::to_string(p.n) + "_k" +
-                                  std::to_string(p.grid) + "_bc" + std::to_string(p.base_cells);
+                         [](const ::testing::TestParamInfo<LsaCase>& tpi) {
+                           const auto& p = tpi.param;
+                           std::string name("s");
+                           name += std::to_string(p.scheme_index);
+                           name += "_m";
+                           name += std::to_string(p.m);
+                           name += "_n";
+                           name += std::to_string(p.n);
+                           name += "_k";
+                           name += std::to_string(p.grid);
+                           name += "_bc";
+                           name += std::to_string(p.base_cells);
+                           return name;
                          });
 
 TEST(FastLsaEdge, EmptyAndDegenerateInputs) {

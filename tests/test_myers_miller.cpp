@@ -56,11 +56,17 @@ std::vector<MmCase> mm_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, MyersMiller, ::testing::ValuesIn(mm_cases()),
-                         [](const ::testing::TestParamInfo<MmCase>& info) {
-                           const auto& p = info.param;
-                           return "s" + std::to_string(p.scheme_index) + "_m" +
-                                  std::to_string(p.m) + "_n" + std::to_string(p.n) + "_bc" +
-                                  std::to_string(p.base_case);
+                         [](const ::testing::TestParamInfo<MmCase>& tpi) {
+                           const auto& p = tpi.param;
+                           std::string name("s");
+                           name += std::to_string(p.scheme_index);
+                           name += "_m";
+                           name += std::to_string(p.m);
+                           name += "_n";
+                           name += std::to_string(p.n);
+                           name += "_bc";
+                           name += std::to_string(p.base_case);
+                           return name;
                          });
 
 TEST(MyersMillerEdge, EmptySequences) {

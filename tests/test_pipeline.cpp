@@ -95,13 +95,20 @@ std::vector<PipelineCase> pipeline_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, PipelineEndToEnd, ::testing::ValuesIn(pipeline_cases()),
-                         [](const ::testing::TestParamInfo<PipelineCase>& info) {
-                           const auto& p = info.param;
-                           return std::string(p.related ? "related" : "unrelated") + "_" +
-                                  std::to_string(p.n0) + "x" + std::to_string(p.n1) + "_s" +
-                                  std::to_string(p.scheme_index) + "_mp" +
-                                  std::to_string(p.max_partition) + "_b" +
-                                  std::to_string(p.rows_budget);
+                         [](const ::testing::TestParamInfo<PipelineCase>& tpi) {
+                           const auto& p = tpi.param;
+                           std::string name = p.related ? "related" : "unrelated";
+                           name += "_";
+                           name += std::to_string(p.n0);
+                           name += "x";
+                           name += std::to_string(p.n1);
+                           name += "_s";
+                           name += std::to_string(p.scheme_index);
+                           name += "_mp";
+                           name += std::to_string(p.max_partition);
+                           name += "_b";
+                           name += std::to_string(p.rows_budget);
+                           return name;
                          });
 
 // Fuzz: random sizes, regimes, budgets, grids and partition caps; the

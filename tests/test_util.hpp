@@ -13,7 +13,9 @@ namespace cudalign::test {
 
 /// Random DNA of length n (deterministic per seed).
 inline seq::Sequence rand_seq(Index n, std::uint64_t seed) {
-  return seq::random_dna(n, seed, "t" + std::to_string(seed));
+  std::string name("t");
+  name += std::to_string(seed);
+  return seq::random_dna(n, seed, name);
 }
 
 /// A related pair (long optimal alignment) sized for unit tests.
@@ -35,8 +37,15 @@ inline std::vector<scoring::Scheme> test_schemes() {
 
 /// Pretty parameter names for TEST_P instantiations.
 inline std::string scheme_name(const scoring::Scheme& s) {
-  return "m" + std::to_string(s.match) + "_mi" + std::to_string(-s.mismatch) + "_gf" +
-         std::to_string(s.gap_first) + "_ge" + std::to_string(s.gap_ext);
+  std::string name("m");
+  name += std::to_string(s.match);
+  name += "_mi";
+  name += std::to_string(-s.mismatch);
+  name += "_gf";
+  name += std::to_string(s.gap_first);
+  name += "_ge";
+  name += std::to_string(s.gap_ext);
+  return name;
 }
 
 }  // namespace cudalign::test

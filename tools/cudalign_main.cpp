@@ -29,13 +29,15 @@ int usage() {
   cudalign align A.fasta B.fasta [--out ALN.bin] [--sra BYTES] [--workdir DIR]
            [--max-partition N] [--match N] [--mismatch N] [--gap-first N]
            [--gap-ext N] [--no-stage3] [--stats] [--prune] [--both-strands]
-           [--cigar FILE] [--kernel NAME]
+           [--cigar FILE] [--kernel NAME] [--audit-bus]
   cudalign score A.fasta B.fasta [--match N] [--mismatch N] [--gap-first N]
-           [--gap-ext N] [--kernel NAME]
+           [--gap-ext N] [--kernel NAME] [--audit-bus]
 
 --kernel pins a tile-kernel variant (e.g. legacy, scalar-local+best,
 v16-local+best; equivalent to CUDALIGN_KERNEL); tiles outside the variant's
 envelope fall back to automatic selection, so scores are unaffected.
+--audit-bus verifies every wavefront bus hand-off against the grid model's
+happens-before relation (check/bus_audit.hpp) and fails the run on violation.
   cudalign view ALN.bin A.fasta B.fasta [--text FILE] [--tsv FILE] [--plot]
   cudalign generate OUT.fasta --length N [--seed N] [--mutate-of FILE]
            [--substitution R] [--indel R]
@@ -58,7 +60,7 @@ scoring::Scheme scheme_from(const common::Args& args) {
 int cmd_align(const common::Args& args) {
   args.check_known({"out", "sra", "workdir", "max-partition", "match", "mismatch", "gap-first",
                     "gap-ext", "no-stage3", "stats", "prune", "both-strands", "cigar",
-                    "kernel"});
+                    "kernel", "audit-bus"});
   if (args.positional().size() != 2) return usage();
   if (args.has("kernel")) engine::set_kernel_override(args.str("kernel"));
   const auto s0 = seq::read_single_fasta(args.positional()[0]);
@@ -76,6 +78,9 @@ int cmd_align(const common::Args& args) {
   options.block_pruning = args.has("prune");
   if (args.has("workdir")) options.workdir = args.str("workdir");
 
+  check::BusAuditor auditor;
+  if (args.has("audit-bus")) options.bus_audit = &auditor;
+
   core::PipelineResult result;
   seq::Sequence aligned_s1 = s1;
   if (args.has("both-strands")) {
@@ -87,6 +92,10 @@ int cmd_align(const common::Args& args) {
     aligned_s1 = std::move(stranded.strand_s1);
   } else {
     result = core::align_pipeline(s0, s1, options);
+  }
+  if (args.has("audit-bus")) {
+    std::printf("%s\n", auditor.report().c_str());
+    if (!auditor.ok()) return 3;
   }
   std::printf("best score %d at (%lld, %lld)\n", result.best_score,
               static_cast<long long>(result.end_point.i),
@@ -145,14 +154,20 @@ int cmd_align(const common::Args& args) {
 }
 
 int cmd_score(const common::Args& args) {
-  args.check_known({"match", "mismatch", "gap-first", "gap-ext", "kernel"});
+  args.check_known({"match", "mismatch", "gap-first", "gap-ext", "kernel", "audit-bus"});
   if (args.positional().size() != 2) return usage();
   if (args.has("kernel")) engine::set_kernel_override(args.str("kernel"));
   const auto s0 = seq::read_single_fasta(args.positional()[0]);
   const auto s1 = seq::read_single_fasta(args.positional()[1]);
   core::Stage1Config config;
   config.scheme = scheme_from(args);
+  check::BusAuditor auditor;
+  if (args.has("audit-bus")) config.bus_audit = &auditor;
   const auto st1 = core::run_stage1(s0.bases(), s1.bases(), config);
+  if (args.has("audit-bus")) {
+    std::printf("%s\n", auditor.report().c_str());
+    if (!auditor.ok()) return 3;
+  }
   std::printf("best score %d at (%lld, %lld); %s cells in %s (%.0f MCUPS)\n",
               st1.end_point.score, static_cast<long long>(st1.end_point.i),
               static_cast<long long>(st1.end_point.j),

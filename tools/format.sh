@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# clang-format wrapper for the repo's C++ sources.
+#
+#   tools/format.sh          reformat in place
+#   tools/format.sh --check  fail if any file deviates (the ci.sh lint stage)
+#
+# Skips with a notice when clang-format is not installed (the container CI
+# image has no clang toolchain); the .clang-format at the repo root is the
+# style contract either way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="format"
+[[ "${1:-}" == "--check" ]] && MODE="check"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format: clang-format not installed — skipping"
+  exit 0
+fi
+
+mapfile -d '' files < <(find src tests bench examples tools \
+  \( -name '*.cpp' -o -name '*.hpp' \) -print0)
+
+if [[ "$MODE" == "check" ]]; then
+  clang-format --style=file --dry-run --Werror "${files[@]}"
+  echo "format: clean (${#files[@]} files)"
+else
+  clang-format --style=file -i "${files[@]}"
+  echo "format: reformatted ${#files[@]} files"
+fi
