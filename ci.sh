@@ -43,6 +43,22 @@ run_suite release build-ci-release -DCMAKE_BUILD_TYPE=Release -DCUDALIGN_STRICT=
 echo "=== [release] ctest ==="
 (cd build-ci-release && ctest --output-on-failure -j "$JOBS")
 
+# Observability smoke: a tiny end-to-end run must produce a run report that
+# the CLI's own validator accepts (schema + internal consistency), and the
+# pipeline bench must emit its trajectory artifact.
+echo "=== [release] run-report smoke ==="
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+CLI=build-ci-release/tools/cudalign
+"$CLI" generate "$OBS_DIR/a.fasta" --length 4000 --seed 5 >/dev/null
+"$CLI" generate "$OBS_DIR/b.fasta" --mutate-of "$OBS_DIR/a.fasta" --seed 6 >/dev/null
+"$CLI" align "$OBS_DIR/a.fasta" "$OBS_DIR/b.fasta" --out "$OBS_DIR/aln.bin" \
+  --report "$OBS_DIR/run.json" >/dev/null
+"$CLI" report-check "$OBS_DIR/run.json"
+echo "=== [release] bench_pipeline --fast ==="
+build-ci-release/bench/bench_pipeline --fast --out "$OBS_DIR/BENCH_pipeline.json" >/dev/null
+test -s "$OBS_DIR/BENCH_pipeline.json"
+
 if [[ "$FAST" -eq 1 ]]; then
   echo "ci.sh: fast mode — lint + release suite passed"
   exit 0

@@ -42,24 +42,29 @@ class Args {
   [[nodiscard]] std::int64_t num(const std::string& name, std::int64_t fallback) const {
     const auto it = flags_.find(name);
     if (it == flags_.end()) return fallback;
+    const std::string& v = it->second;
+    // Only the conversion itself may throw the generic "expects a number";
+    // suffix problems below get their own precise error.
+    std::size_t pos = 0;
+    std::int64_t value = 0;
     try {
-      // Accept size suffixes: K, M, G.
-      const std::string& v = it->second;
-      std::size_t pos = 0;
-      std::int64_t value = std::stoll(v, &pos);
-      if (pos < v.size()) {
-        switch (v[pos]) {
-          case 'k': case 'K': value <<= 10; break;
-          case 'm': case 'M': value <<= 20; break;
-          case 'g': case 'G': value <<= 30; break;
-          default:
-            throw Error("bad numeric suffix in --" + name + "=" + v);
-        }
-      }
-      return value;
+      value = std::stoll(v, &pos);
     } catch (const std::exception&) {
-      throw Error("flag --" + name + " expects a number, got '" + it->second + "'");
+      throw Error("flag --" + name + " expects a number, got '" + v + "'");
     }
+    if (pos == v.size()) return value;
+    // Accept size suffixes: K, M, G — as the final character only ("4KB" is
+    // a typo, not 4096).
+    switch (v[pos]) {
+      case 'k': case 'K': value <<= 10; break;
+      case 'm': case 'M': value <<= 20; break;
+      case 'g': case 'G': value <<= 30; break;
+      default:
+        throw Error("bad numeric suffix in --" + name + "=" + v);
+    }
+    CUDALIGN_CHECK(pos + 1 == v.size(),
+                   "trailing characters after numeric suffix in --" + name + "=" + v);
+    return value;
   }
 
   /// Throws if any flag was not consumed by `known` (typo protection).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/io_util.hpp"
+#include "obs/telemetry.hpp"
 
 namespace cudalign::core {
 
@@ -12,6 +13,9 @@ PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
   PipelineResult result;
   const seq::SequenceView v0 = s0.bases();
   const seq::SequenceView v1 = s1.bases();
+
+  obs::Telemetry* telemetry = options.telemetry;
+  obs::ScopedSpan pipeline_span(telemetry, "pipeline");
 
   // SRA setup. A temp dir keeps benchmark/test runs self-cleaning; an
   // explicit workdir lets users keep the special rows for inspection.
@@ -38,8 +42,13 @@ PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
   if (options.progress) {
     c1.progress = [&](double fraction) { options.progress(1, fraction); };
   }
+  c1.telemetry = telemetry;
   c1.pool = options.pool;
-  const Stage1Result st1 = run_stage1(v0, v1, c1);
+  Stage1Result st1;
+  {
+    obs::ScopedSpan span(telemetry, "stage 1 (score)");
+    st1 = run_stage1(v0, v1, c1);
+  }
   if (options.progress) options.progress(1, 1.0);
   result.stages[0] = st1.stats;
   result.end_point = st1.end_point;
@@ -68,8 +77,13 @@ PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
   c2.rows_area = &rows_area;
   c2.cols_area = options.save_special_columns ? &cols_area : nullptr;
   c2.bus_audit = options.bus_audit;
+  c2.telemetry = telemetry;
   c2.pool = options.pool;
-  const Stage2Result st2 = run_stage2(v0, v1, st1.end_point, c2);
+  Stage2Result st2;
+  {
+    obs::ScopedSpan span(telemetry, "stage 2 (partial traceback)");
+    st2 = run_stage2(v0, v1, st1.end_point, c2);
+  }
   if (options.progress) options.progress(2, 1.0);
   result.stages[1] = st2.stats;
   result.start_point = st2.crosspoints.front();
@@ -84,8 +98,13 @@ PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
     c3.grid = options.grid_stage23;
     c3.cols_area = &cols_area;
     c3.bus_audit = options.bus_audit;
+    c3.telemetry = telemetry;
     c3.pool = options.pool;
-    Stage3Result st3 = run_stage3(v0, v1, st2.crosspoints, c3);
+    Stage3Result st3;
+    {
+      obs::ScopedSpan span(telemetry, "stage 3 (split partitions)");
+      st3 = run_stage3(v0, v1, st2.crosspoints, c3);
+    }
     if (options.progress) options.progress(3, 1.0);
     result.stages[2] = st3.stats;
     l3 = std::move(st3.crosspoints);
@@ -103,8 +122,13 @@ PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
   c4.max_partition_size = options.max_partition_size;
   c4.balanced_splitting = options.balanced_splitting;
   c4.orthogonal = options.orthogonal_stage4;
+  c4.telemetry = telemetry;
   c4.pool = options.pool;
-  Stage4Result st4 = run_stage4(v0, v1, l3, c4);
+  Stage4Result st4;
+  {
+    obs::ScopedSpan span(telemetry, "stage 4 (Myers-Miller)");
+    st4 = run_stage4(v0, v1, l3, c4);
+  }
   if (options.progress) options.progress(4, 1.0);
   result.stages[3] = st4.stats;
   result.stage4_iterations = std::move(st4.iterations);
@@ -114,14 +138,22 @@ PipelineResult align_pipeline(const seq::Sequence& s0, const seq::Sequence& s1,
   Stage5Config c5;
   c5.scheme = options.scheme;
   c5.pool = options.pool;
-  Stage5Result st5 = run_stage5(v0, v1, st4.crosspoints, c5);
+  Stage5Result st5;
+  {
+    obs::ScopedSpan span(telemetry, "stage 5 (full alignment)");
+    st5 = run_stage5(v0, v1, st4.crosspoints, c5);
+  }
   if (options.progress) options.progress(5, 1.0);
   result.stages[4] = st5.stats;
+  result.stage5_partitions = st5.partitions;
+  result.stage5_h_max = st5.h_max;
+  result.stage5_w_max = st5.w_max;
   result.alignment = std::move(st5.alignment);
   result.binary = std::move(st5.binary);
 
   // Stage 6 — visualization (optional, like the paper's).
   if (options.run_stage6) {
+    obs::ScopedSpan span(telemetry, "stage 6 (visualization)");
     Stage6Result st6 = run_stage6(v0, v1, result.binary, options.scheme);
     result.stages[5] = st6.stats;
     result.visualization = std::move(st6);

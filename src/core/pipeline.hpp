@@ -46,6 +46,13 @@ struct PipelineOptions {
   /// auditor after the pipeline returns.
   check::BusAuditor* bus_audit = nullptr;
 
+  /// Opt-in span telemetry (obs/telemetry.hpp; the CLI's --report): the
+  /// pipeline records a "pipeline" span with one child per stage, Stage 1
+  /// bucketing its external diagonals below that. Driver-thread only; the
+  /// caller reads the tree after the pipeline returns (obs/report.hpp turns
+  /// it plus this result into the versioned JSON run report).
+  obs::Telemetry* telemetry = nullptr;
+
   ThreadPool* pool = nullptr;
 };
 
@@ -76,6 +83,11 @@ struct PipelineResult {
   Index special_cols_saved = 0;
   Index flush_interval = 0;
   std::int64_t sra_peak_bytes = 0;
+
+  /// Stage-5 partition statistics (run report).
+  Index stage5_partitions = 0;
+  Index stage5_h_max = 0;
+  Index stage5_w_max = 0;
 
   [[nodiscard]] double total_seconds() const noexcept {
     double total = 0;

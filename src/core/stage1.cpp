@@ -24,6 +24,7 @@ Stage1Result run_stage1(seq::SequenceView s0, seq::SequenceView s1, const Stage1
 
   engine::Hooks hooks;
   hooks.bus_audit = config.bus_audit;
+  hooks.telemetry = config.telemetry;
   if (config.progress) {
     hooks.on_progress = [&](Index done, Index total) {
       config.progress(static_cast<double>(done) / static_cast<double>(total));
@@ -39,13 +40,16 @@ Stage1Result run_stage1(seq::SequenceView s0, seq::SequenceView s1, const Stage1
     };
   }
 
+  const std::int64_t flushed_before =
+      config.rows_area != nullptr ? config.rows_area->total_bytes_written() : 0;
   const engine::RunResult run = engine::run_wavefront(spec, hooks, config.pool);
   result.end_point = Crosspoint{run.best.i, run.best.j, run.best.score, dp::CellState::kH};
   result.pruned_cells = run.stats.pruned_cells;
-  result.stats.cells = run.stats.cells;
-  result.stats.blocks_used = run.stats.blocks_used;
-  result.stats.ram_bytes = run.stats.bus_bytes;
-  result.stats.add_kernels(run.stats);
+  result.stats.add_run(run.stats);
+  if (config.rows_area != nullptr) {
+    result.stats.sra_rows_flushed = result.special_rows_saved;
+    result.stats.sra_bytes_flushed = config.rows_area->total_bytes_written() - flushed_before;
+  }
   result.stats.crosspoints = 1;  // L_1 = {*, C_1}.
   result.stats.seconds = timer.seconds();
   return result;

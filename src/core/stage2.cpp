@@ -25,6 +25,7 @@
 
 #include "common/timer.hpp"
 #include "core/stages.hpp"
+#include "obs/telemetry.hpp"
 
 namespace cudalign::core {
 
@@ -72,7 +73,13 @@ Stage2Result run_stage2(seq::SequenceView s0, seq::SequenceView s1, const Crossp
   CUDALIGN_CHECK(cur.score > 0, "stage 2 needs a positive best score (empty alignments are "
                                 "resolved by the pipeline before stage 2)");
 
+  const std::int64_t rows_read_before = config.rows_area->total_bytes_read();
+  const Index rows_count_before = config.rows_area->rows_read();
+  const std::int64_t cols_flushed_before =
+      config.cols_area != nullptr ? config.cols_area->total_bytes_written() : 0;
+
   while (cur.score > 0) {
+    obs::ScopedSpan iter_span(config.telemetry, "iteration " + std::to_string(iteration));
     // Nearest special row strictly above the current crosspoint.
     Index r_star = 0;
     std::optional<std::size_t> row_id;
@@ -163,10 +170,7 @@ Stage2Result run_stage2(seq::SequenceView s0, seq::SequenceView s1, const Crossp
     }
 
     const engine::RunResult run = engine::run_wavefront(spec, hooks, config.pool);
-    result.stats.cells += run.stats.cells;
-    result.stats.blocks_used = std::max(result.stats.blocks_used, run.stats.blocks_used);
-    result.stats.ram_bytes = std::max(result.stats.ram_bytes, run.stats.bus_bytes);
-    result.stats.add_kernels(run.stats);
+    result.stats.add_run(run.stats);
 
     if (run.found) {
       // Start point: engine cell (i_t, j_t) maps back to the original vertex
@@ -187,6 +191,13 @@ Stage2Result run_stage2(seq::SequenceView s0, seq::SequenceView s1, const Crossp
 
   result.crosspoints.assign(reverse_chain.rbegin(), reverse_chain.rend());
   result.stats.crosspoints = static_cast<Index>(result.crosspoints.size());
+  result.stats.sra_rows_read = config.rows_area->rows_read() - rows_count_before;
+  result.stats.sra_bytes_read = config.rows_area->total_bytes_read() - rows_read_before;
+  if (config.cols_area != nullptr) {
+    result.stats.sra_rows_flushed = result.special_cols_saved;
+    result.stats.sra_bytes_flushed =
+        config.cols_area->total_bytes_written() - cols_flushed_before;
+  }
   result.stats.seconds = timer.seconds();
   return result;
 }

@@ -19,6 +19,7 @@
 
 #include "common/timer.hpp"
 #include "core/stages.hpp"
+#include "obs/telemetry.hpp"
 
 namespace cudalign::core {
 
@@ -33,10 +34,7 @@ struct ReverseColumn {
 
 struct PartitionOutcome {
   std::vector<Crosspoint> crosspoints;  ///< New crosspoints, ascending column.
-  WideScore cells = 0;
-  Index blocks_used = 0;
-  std::size_t ram_bytes = 0;
-  std::array<engine::KernelTally, engine::kKernelIdCount> kernels{};
+  engine::RunStats run;                 ///< The partition's engine run stats.
 };
 
 PartitionOutcome split_partition(seq::SequenceView s0, seq::SequenceView s1,
@@ -97,10 +95,7 @@ PartitionOutcome split_partition(seq::SequenceView s0, seq::SequenceView s1,
   };
 
   const engine::RunResult run = engine::run_wavefront(spec, hooks, config.pool);
-  outcome.cells = run.stats.cells;
-  outcome.blocks_used = run.stats.blocks_used;
-  outcome.ram_bytes = run.stats.bus_bytes;
-  outcome.kernels = run.stats.kernels;
+  outcome.run = run.stats;
   CUDALIGN_CHECK(found.size() == columns.size(),
                  "stage 3 failed to intercept every special column of a partition");
   for (const auto& [col, cp] : found) outcome.crosspoints.push_back(cp);
@@ -119,41 +114,46 @@ Stage3Result run_stage3(seq::SequenceView s0, seq::SequenceView s1, const Crossp
   const std::vector<Partition> parts = partitions_of(l2);
   const auto part_count = static_cast<std::int64_t>(parts.size());
 
+  const std::int64_t cols_read_before = config.cols_area->total_bytes_read();
+  const Index cols_count_before = config.cols_area->rows_read();
+
   // Gather each partition's stored columns up front (SRA access is not
   // thread-safe by design; the DP work below is the expensive part).
   std::vector<std::vector<ReverseColumn>> per_partition(parts.size());
-  for (std::int64_t p = 0; p < part_count; ++p) {
-    const Partition& part = parts[static_cast<std::size_t>(p)];
-    // Stage 2 iterated from the end point backwards: partition p (from the
-    // start) was produced by iteration part_count - 1 - p.
-    const std::int64_t group = config.cols_group_base + (part_count - 1 - p);
-    for (std::size_t id : config.cols_area->group_members(group)) {
-      const sra::RowKey& key = config.cols_area->key(id);
-      // Only columns strictly inside the partition can carry a crosspoint.
-      if (key.position <= part.start.j || key.position >= part.end.j) continue;
-      per_partition[static_cast<std::size_t>(p)].push_back(
-          ReverseColumn{key.position, key.begin, config.cols_area->get(id)});
+  {
+    obs::ScopedSpan gather_span(config.telemetry, "gather special columns");
+    for (std::int64_t p = 0; p < part_count; ++p) {
+      const Partition& part = parts[static_cast<std::size_t>(p)];
+      // Stage 2 iterated from the end point backwards: partition p (from the
+      // start) was produced by iteration part_count - 1 - p.
+      const std::int64_t group = config.cols_group_base + (part_count - 1 - p);
+      for (std::size_t id : config.cols_area->group_members(group)) {
+        const sra::RowKey& key = config.cols_area->key(id);
+        // Only columns strictly inside the partition can carry a crosspoint.
+        if (key.position <= part.start.j || key.position >= part.end.j) continue;
+        per_partition[static_cast<std::size_t>(p)].push_back(
+            ReverseColumn{key.position, key.begin, config.cols_area->get(id)});
+      }
     }
   }
 
   std::vector<PartitionOutcome> outcomes(parts.size());
-  ThreadPool& pool = config.pool ? *config.pool : ThreadPool::shared();
-  pool.parallel_for(parts.size(), [&](std::size_t p) {
-    outcomes[p] = split_partition(s0, s1, parts[p], std::move(per_partition[p]), config);
-  });
+  {
+    obs::ScopedSpan split_span(config.telemetry, "split partitions");
+    ThreadPool& pool = config.pool ? *config.pool : ThreadPool::shared();
+    pool.parallel_for(parts.size(), [&](std::size_t p) {
+      outcomes[p] = split_partition(s0, s1, parts[p], std::move(per_partition[p]), config);
+    });
+  }
 
   for (std::size_t p = 0; p < parts.size(); ++p) {
     result.crosspoints.push_back(parts[p].start);
     for (const Crosspoint& cp : outcomes[p].crosspoints) result.crosspoints.push_back(cp);
-    result.stats.cells += outcomes[p].cells;
-    result.stats.blocks_used = std::max(result.stats.blocks_used, outcomes[p].blocks_used);
-    result.stats.ram_bytes = std::max(result.stats.ram_bytes, outcomes[p].ram_bytes);
-    for (std::size_t k = 0; k < outcomes[p].kernels.size(); ++k) {
-      result.stats.kernels[k].tiles += outcomes[p].kernels[k].tiles;
-      result.stats.kernels[k].cells += outcomes[p].kernels[k].cells;
-    }
+    result.stats.add_run(outcomes[p].run);
   }
   result.crosspoints.push_back(l2.back());
+  result.stats.sra_rows_read = config.cols_area->rows_read() - cols_count_before;
+  result.stats.sra_bytes_read = config.cols_area->total_bytes_read() - cols_read_before;
 
   result.stats.crosspoints = static_cast<Index>(result.crosspoints.size());
   result.stats.seconds = timer.seconds();

@@ -21,6 +21,7 @@
 #include "common/timer.hpp"
 #include "core/stages.hpp"
 #include "dp/linear.hpp"
+#include "obs/telemetry.hpp"
 
 namespace cudalign::core {
 
@@ -141,6 +142,7 @@ Stage4Result run_stage4(seq::SequenceView s0, seq::SequenceView s1, const Crossp
     it.h_max = h_max;
     it.w_max = w_max;
     it.crosspoints = static_cast<Index>(collected.size());
+    obs::ScopedSpan iter_span(config.telemetry, "iteration " + std::to_string(iteration));
     Timer iter_timer;
 
     // Partitions are independent (paper §IV-E: "they can be processed in

@@ -37,9 +37,12 @@ Stage5Result run_stage5(seq::SequenceView s0, seq::SequenceView s1, const Crossp
     CUDALIGN_CHECK(solved[idx].score == parts[idx].score(),
                    "stage 5: partition alignment score does not match its crosspoints");
   });
+  result.partitions = static_cast<Index>(parts.size());
   for (std::size_t idx = 0; idx < parts.size(); ++idx) {
     result.stats.cells +=
         static_cast<WideScore>(parts[idx].height() + 1) * (parts[idx].width() + 1);
+    result.h_max = std::max(result.h_max, parts[idx].height());
+    result.w_max = std::max(result.w_max, parts[idx].width());
     result.alignment.transcript.append(solved[idx].transcript);
   }
 

@@ -3,6 +3,7 @@
 // (pipeline.hpp) chains them with shared statistics.
 #pragma once
 
+#include <algorithm>
 #include <filesystem>
 #include <optional>
 #include <vector>
@@ -15,18 +16,38 @@
 #include "engine/executor.hpp"
 #include "sra/sra.hpp"
 
+namespace cudalign::obs {
+class Telemetry;
+}
+
 namespace cudalign::core {
 
-/// Per-stage accounting feeding Tables IV, V, VII and VIII.
+/// Per-stage accounting feeding Tables IV, V, VII and VIII and the
+/// observability run report (obs/report.hpp). All counters are always
+/// collected — they are driver-thread tallies, cheap enough to never gate.
 struct StageStats {
   double seconds = 0;
   WideScore cells = 0;       ///< DP cells processed (the paper's Cells_k).
   Index crosspoints = 0;     ///< |L_k| after the stage.
   Index blocks_used = 0;     ///< Max B_k actually used (after min-size fits).
   std::size_t ram_bytes = 0; ///< Peak engine bus memory ("VRAM_k").
+  Index tiles = 0;           ///< Engine tiles dispatched across all runs.
+  Index diagonals = 0;       ///< External diagonals executed across all runs.
+  /// Wavefront bus traffic (engine RunStats semantics, summed over runs).
+  Index hbus_reads = 0, hbus_writes = 0;
+  Index vbus_reads = 0, vbus_writes = 0;
+  std::int64_t hbus_bytes = 0, vbus_bytes = 0;
+  /// SRA traffic attributed to this stage (special rows or columns).
+  Index sra_rows_flushed = 0, sra_rows_read = 0;
+  std::int64_t sra_bytes_flushed = 0, sra_bytes_read = 0;
   /// Tiles/cells per kernel variant, accumulated over the stage's engine
   /// runs (engine/kernel_registry.hpp).
   std::array<engine::KernelTally, engine::kKernelIdCount> kernels{};
+
+  /// The paper's throughput metric (§V-A) at giga scale.
+  [[nodiscard]] double gcups() const noexcept {
+    return seconds > 0 ? static_cast<double>(cells) / seconds / 1e9 : 0;
+  }
 
   /// Folds one engine run's per-variant tallies into this stage's.
   void add_kernels(const engine::RunStats& run) {
@@ -34,6 +55,24 @@ struct StageStats {
       kernels[k].tiles += run.kernels[k].tiles;
       kernels[k].cells += run.kernels[k].cells;
     }
+  }
+
+  /// Folds one complete engine run into this stage: cells, tiles, diagonals,
+  /// bus traffic and kernel tallies accumulate; blocks and bus memory keep
+  /// their high-water marks.
+  void add_run(const engine::RunStats& run) {
+    cells += run.cells;
+    tiles += run.tiles;
+    diagonals += run.diagonals;
+    hbus_reads += run.hbus_reads;
+    hbus_writes += run.hbus_writes;
+    vbus_reads += run.vbus_reads;
+    vbus_writes += run.vbus_writes;
+    hbus_bytes += run.hbus_bytes;
+    vbus_bytes += run.vbus_bytes;
+    blocks_used = std::max(blocks_used, run.blocks_used);
+    ram_bytes = std::max(ram_bytes, run.bus_bytes);
+    add_kernels(run);
   }
 };
 
@@ -55,6 +94,10 @@ struct Stage1Config {
   std::function<void(double fraction)> progress;
   /// Opt-in bus hand-off verification (engine/executor.hpp Hooks::bus_audit).
   check::BusAuditor* bus_audit = nullptr;
+  /// Opt-in span telemetry (obs/telemetry.hpp): Stage 1 forwards it into the
+  /// engine, which records one span per external-diagonal bucket. Driver
+  /// thread only.
+  obs::Telemetry* telemetry = nullptr;
   ThreadPool* pool = nullptr;
 };
 
@@ -85,6 +128,8 @@ struct Stage2Config {
   /// Special-column groups are `cols_group_base + partition_index`.
   std::int64_t cols_group_base = 1000;
   check::BusAuditor* bus_audit = nullptr;
+  /// Opt-in span telemetry: one span per traceback iteration (= partition).
+  obs::Telemetry* telemetry = nullptr;
   ThreadPool* pool = nullptr;
 };
 
@@ -108,6 +153,9 @@ struct Stage3Config {
   sra::SpecialRowsArea* cols_area = nullptr;  ///< Stage-2 columns (required).
   std::int64_t cols_group_base = 1000;
   check::BusAuditor* bus_audit = nullptr;
+  /// Opt-in span telemetry: column gather vs. partition-split phases only
+  /// (partitions run on pool workers, so no per-partition engine spans).
+  obs::Telemetry* telemetry = nullptr;
   ThreadPool* pool = nullptr;
 };
 
@@ -130,6 +178,8 @@ struct Stage4Config {
   Index max_partition_size = 16;  ///< The paper's chromosome run uses 16.
   bool balanced_splitting = true; ///< Off = classic middle-row MM (Figure 10a).
   bool orthogonal = true;         ///< Off = full reverse pass (Table IX Time_1).
+  /// Opt-in span telemetry: one span per splitting iteration.
+  obs::Telemetry* telemetry = nullptr;
   ThreadPool* pool = nullptr;
 };
 
@@ -165,6 +215,10 @@ struct Stage5Config {
 struct Stage5Result {
   alignment::Alignment alignment;
   alignment::BinaryAlignment binary;
+  /// Partition statistics for the run report.
+  Index partitions = 0;
+  Index h_max = 0;  ///< Largest partition height solved.
+  Index w_max = 0;
   StageStats stats;
 };
 

@@ -9,6 +9,7 @@
 #include "common/timer.hpp"
 #include "dp/linear.hpp"
 #include "engine/kernel_registry.hpp"
+#include "obs/telemetry.hpp"
 
 namespace cudalign::engine {
 
@@ -138,8 +139,19 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
   std::vector<std::vector<Index>> tile_taps(static_cast<std::size_t>(blocks));
   std::vector<bool> tile_pruned(static_cast<std::size_t>(blocks));
 
+  // Diagonal-bucket spans: the wavefront phase profile for the run report.
+  obs::Telemetry* telemetry = hooks.telemetry;
   const Index total_diagonals = strips + blocks - 1;
+  const Index bucket_size =
+      telemetry != nullptr
+          ? (total_diagonals + kDiagonalBuckets - 1) / kDiagonalBuckets
+          : 0;
+
   for (Index d = 0; d < total_diagonals && !result.stopped_early; ++d) {
+    if (bucket_size > 0 && d % bucket_size == 0) {
+      const Index last = std::min(d + bucket_size, total_diagonals) - 1;
+      telemetry->begin("diagonals " + std::to_string(d) + "-" + std::to_string(last));
+    }
     const Index s_lo = std::max<Index>(0, d - blocks + 1);
     const Index s_hi = std::min<Index>(strips - 1, d);
 
@@ -259,6 +271,20 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
       const Index c0 = cuts[static_cast<std::size_t>(b)];
       const Index c1 = cuts[static_cast<std::size_t>(b + 1)];
 
+      // Bus traffic accounting (see RunStats): one read + one write per bus
+      // per tile, pruned or not (pruning scans the boundary and publishes
+      // lower bounds).
+      const auto h_seg_bytes =
+          static_cast<std::int64_t>((c1 - c0 + 1) * static_cast<Index>(sizeof(BusCell)));
+      const auto v_seg_bytes =
+          static_cast<std::int64_t>((r1 - r0 + 1) * static_cast<Index>(sizeof(BusCell)));
+      ++result.stats.hbus_reads;
+      ++result.stats.hbus_writes;
+      ++result.stats.vbus_reads;
+      ++result.stats.vbus_writes;
+      result.stats.hbus_bytes += 2 * h_seg_bytes;
+      result.stats.vbus_bytes += 2 * v_seg_bytes;
+
       if (tr.best.score > 0) merge_best(result.best, tr.best);
       if (tr.found && !result.found) {
         result.found = true;
@@ -289,6 +315,9 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
         for (Index j = c0 + 1; j <= c1; ++j) {
           row.cells[static_cast<std::size_t>(j)] = hbus[static_cast<std::size_t>(j)];
         }
+        ++result.stats.hbus_reads;
+        result.stats.hbus_bytes +=
+            static_cast<std::int64_t>((c1 - c0) * static_cast<Index>(sizeof(BusCell)));
         if (++row.chunks_done == blocks) {
           hooks.on_special_row(r1, row.cells);
           pending_rows.erase(it);
@@ -296,6 +325,10 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
       }
     }
     ++result.stats.diagonals;
+    if (bucket_size > 0 &&
+        ((d + 1) % bucket_size == 0 || d + 1 == total_diagonals || result.stopped_early)) {
+      telemetry->end();
+    }
     if (hooks.on_progress) hooks.on_progress(d + 1, total_diagonals);
   }
 

@@ -35,6 +35,10 @@ namespace cudalign::check {
 class BusAuditor;
 }
 
+namespace cudalign::obs {
+class Telemetry;
+}
+
 namespace cudalign::engine {
 
 struct ProblemSpec {
@@ -96,7 +100,18 @@ struct Hooks {
   /// caller inspects the auditor after the run. Null = no auditing (one
   /// branch per tile of overhead).
   check::BusAuditor* bus_audit = nullptr;
+
+  /// Opt-in span telemetry (obs/telemetry.hpp): when set, the executor
+  /// records one child span per bucket of external diagonals (at most
+  /// kDiagonalBuckets of them) under the caller's open span — the wavefront
+  /// phase profile behind the run report. Driver-thread only: never pass a
+  /// shared recorder into engine runs launched from pool workers.
+  obs::Telemetry* telemetry = nullptr;
 };
+
+/// Span-bucket cap for Hooks::telemetry (8 buckets ≈ the short phase, the
+/// plateau and the drain of the paper's Figure 5 wavefront profile).
+inline constexpr Index kDiagonalBuckets = 8;
 
 /// Per-kernel-variant tally (indexed by KernelId in RunStats::kernels).
 struct KernelTally {
@@ -116,6 +131,15 @@ struct RunStats {
   Index blocks_used = 0;      ///< B after the minimum-size fit.
   Index threads_used = 0;     ///< T (unchanged by the fit).
   std::size_t bus_bytes = 0;  ///< Peak bus memory (the engine's "VRAM").
+  /// Bus traffic, tallied per tile on the driver thread (near-zero overhead;
+  /// always on). Each tile performs one read and one write of its horizontal
+  /// segment and of its vertical boundary — pruned tiles included, which
+  /// scan their boundary for the bound and publish safe lower bounds — and
+  /// special-row assembly re-reads each flushed horizontal segment. *_reads /
+  /// *_writes count segments; *_bytes count payload moved in both directions.
+  Index hbus_reads = 0, hbus_writes = 0;
+  Index vbus_reads = 0, vbus_writes = 0;
+  std::int64_t hbus_bytes = 0, vbus_bytes = 0;
   double seconds = 0;
   /// Tiles/cells per kernel variant (pruned tiles are not attributed).
   std::array<KernelTally, kKernelIdCount> kernels{};

@@ -1,0 +1,371 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cudalign::obs {
+
+namespace {
+
+/// Parser depth cap: the run report nests ~6 levels; 64 guards against
+/// adversarial input without limiting any legitimate artifact.
+constexpr int kMaxDepth = 64;
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value(0);
+    skip_ws();
+    check(pos_ == text_.size(), "trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("JSON parse error at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void check(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    check(pos_ < text_.size() && text_[pos_] == c, "unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    check(depth < kMaxDepth, "nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return Json(parse_string());
+    if (c == 't') {
+      check(consume_literal("true"), "bad literal");
+      return Json(true);
+    }
+    if (c == 'f') {
+      check(consume_literal("false"), "bad literal");
+      return Json(false);
+    }
+    if (c == 'n') {
+      check(consume_literal("null"), "bad literal");
+      return Json(nullptr);
+    }
+    return parse_number();
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      check(peek() == '"', "expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(members));
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      check(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        check(static_cast<unsigned char>(c) >= 0x20, "unescaped control character");
+        out += c;
+        continue;
+      }
+      check(pos_ < text_.size(), "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          check(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // Reports only ever escape control characters; encode the code
+          // point as UTF-8 (surrogate pairs are not combined — they do not
+          // occur in any artifact this library writes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0u | (code >> 6));
+            out += static_cast<char>(0x80u | (code & 0x3Fu));
+          } else {
+            out += static_cast<char>(0xE0u | (code >> 12));
+            out += static_cast<char>(0x80u | ((code >> 6) & 0x3Fu));
+            out += static_cast<char>(0x80u | (code & 0x3Fu));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    check(pos_ > start && !(pos_ == start + 1 && text_[start] == '-'), "bad number");
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      if (integral) return Json(static_cast<std::int64_t>(std::stoll(token)));
+      const double d = std::stod(token);
+      check(std::isfinite(d), "non-finite number");
+      return Json(d);
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("bad number '" + token + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json& Json::set(std::string key, Json value) {
+  CUDALIGN_CHECK(is_object(), "Json::set on a non-object value");
+  auto& members = std::get<Object>(value_);
+  for (auto& [k, v] : members) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  CUDALIGN_CHECK(is_array(), "Json::push on a non-array value");
+  std::get<Array>(value_).push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(value_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  CUDALIGN_CHECK(found != nullptr, "JSON object has no key '" + std::string(key) + "'");
+  return *found;
+}
+
+bool Json::as_bool() const {
+  CUDALIGN_CHECK(is_bool(), "JSON value is not a boolean");
+  return std::get<bool>(value_);
+}
+
+std::int64_t Json::as_int() const {
+  CUDALIGN_CHECK(is_int(), "JSON value is not an integer");
+  return std::get<std::int64_t>(value_);
+}
+
+double Json::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+  CUDALIGN_CHECK(is_double(), "JSON value is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  CUDALIGN_CHECK(is_string(), "JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  CUDALIGN_CHECK(is_array(), "JSON value is not an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  CUDALIGN_CHECK(is_object(), "JSON value is not an object");
+  return std::get<Object>(value_);
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int level) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (is_int()) {
+    out += std::to_string(std::get<std::int64_t>(value_));
+  } else if (is_double()) {
+    const double d = std::get<double>(value_);
+    CUDALIGN_CHECK(std::isfinite(d), "cannot serialize a non-finite number to JSON");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+    // Keep the integer/double distinction through a round-trip.
+    if (out.find_first_of(".eE", out.size() - std::char_traits<char>::length(buf)) ==
+        std::string::npos) {
+      out += ".0";
+    }
+  } else if (is_string()) {
+    append_escaped(out, std::get<std::string>(value_));
+  } else if (is_array()) {
+    const Array& items = std::get<Array>(value_);
+    if (items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ',';
+      newline(depth + 1);
+      items[i].dump_to(out, indent, depth + 1);
+    }
+    newline(depth);
+    out += ']';
+  } else {
+    const Object& members = std::get<Object>(value_);
+    if (members.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) out += ',';
+      newline(depth + 1);
+      append_escaped(out, members[i].first);
+      out += indent > 0 ? ": " : ":";
+      members[i].second.dump_to(out, indent, depth + 1);
+    }
+    newline(depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace cudalign::obs

@@ -1,0 +1,87 @@
+// Minimal JSON value tree: enough to emit and re-read the observability
+// artifacts (run reports, bench trajectories) without an external dependency.
+//
+// Objects preserve insertion order so reports diff cleanly across runs;
+// numbers keep their integer/double identity so counters round-trip exactly.
+// Not a general-purpose JSON library: no comments, no NaN/Inf (rejected on
+// write and on read), UTF-8 passed through verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cudalign::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() noexcept : value_(nullptr) {}
+  Json(std::nullptr_t) noexcept : value_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) noexcept : value_(b) {}                // NOLINT(google-explicit-constructor)
+  Json(std::int64_t n) noexcept : value_(n) {}        // NOLINT(google-explicit-constructor)
+  Json(int n) noexcept : value_(static_cast<std::int64_t>(n)) {}  // NOLINT
+  Json(double d) : value_(d) {}                       // NOLINT(google-explicit-constructor)
+  Json(std::string s) : value_(std::move(s)) {}       // NOLINT(google-explicit-constructor)
+  Json(const char* s) : value_(std::string(s)) {}     // NOLINT(google-explicit-constructor)
+  Json(Array a) : value_(std::move(a)) {}             // NOLINT(google-explicit-constructor)
+  Json(Object o) : value_(std::move(o)) {}            // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] bool is_null() const noexcept { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const noexcept { return holds<bool>(); }
+  [[nodiscard]] bool is_int() const noexcept { return holds<std::int64_t>(); }
+  [[nodiscard]] bool is_double() const noexcept { return holds<double>(); }
+  [[nodiscard]] bool is_number() const noexcept { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const noexcept { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const noexcept { return holds<Array>(); }
+  [[nodiscard]] bool is_object() const noexcept { return holds<Object>(); }
+
+  /// Object builder: sets (or replaces) `key`; returns *this for chaining.
+  Json& set(std::string key, Json value);
+  /// Array builder: appends `value`; returns *this for chaining.
+  Json& push(Json value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  /// Object lookup; throws Error naming the key when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Accepts both integer and double values.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Serializes with `indent` spaces per level (0 = single line).
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document; throws Error with a byte offset on any
+  /// syntax problem or trailing garbage.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const noexcept {
+    return std::holds_alternative<T>(value_);
+  }
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> value_;
+};
+
+}  // namespace cudalign::obs

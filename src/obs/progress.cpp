@@ -1,0 +1,55 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+
+#include "common/format.hpp"
+
+namespace cudalign::obs {
+
+ProgressMeter::ProgressMeter(std::FILE* out, double min_interval_s)
+    : out_(out), min_interval_(min_interval_s) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::update(int stage, double fraction) {
+  if (finished_) return;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const bool stage_changed = stage != current_stage_;
+  if (stage_changed) {
+    current_stage_ = stage;
+    stage_clock_.reset();
+  }
+  if (!stage_changed && fraction < 1.0 && since_print_.seconds() < min_interval_) return;
+  render(stage, fraction);
+  since_print_.reset();
+}
+
+void ProgressMeter::render(int stage, double fraction) {
+  constexpr int kBarWidth = 24;
+  const int filled = static_cast<int>(fraction * kBarWidth);
+  char bar[kBarWidth + 1];
+  for (int k = 0; k < kBarWidth; ++k) bar[k] = k < filled ? '#' : '.';
+  bar[kBarWidth] = '\0';
+
+  // Stage ETA from the fraction completed so far; unknowable until the stage
+  // has made measurable progress.
+  std::string eta = "--";
+  if (fraction > 0 && fraction < 1) {
+    eta = format_seconds(stage_clock_.seconds() * (1.0 - fraction) / fraction) + "s";
+  }
+  std::fprintf(out_, "\rstage %d/6 [%s] %5.1f%%  elapsed %ss  eta %s   ", stage, bar,
+               fraction * 100.0, format_seconds(elapsed_.seconds()).c_str(), eta.c_str());
+  std::fflush(out_);
+  dirty_line_ = true;
+}
+
+void ProgressMeter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (dirty_line_) {
+    std::fprintf(out_, "\n");
+    std::fflush(out_);
+  }
+}
+
+}  // namespace cudalign::obs

@@ -1,0 +1,252 @@
+#include "obs/report.hpp"
+
+#include "common/io_util.hpp"
+#include "engine/kernel_registry.hpp"
+
+namespace cudalign::obs {
+
+namespace {
+
+Json grid_json(const engine::GridSpec& grid) {
+  return Json::object()
+      .set("blocks", static_cast<std::int64_t>(grid.blocks))
+      .set("threads", static_cast<std::int64_t>(grid.threads))
+      .set("alpha", static_cast<std::int64_t>(grid.alpha))
+      .set("strip_rows", static_cast<std::int64_t>(grid.strip_rows()));
+}
+
+Json crosspoint_json(const core::Crosspoint& cp) {
+  return Json::object()
+      .set("i", static_cast<std::int64_t>(cp.i))
+      .set("j", static_cast<std::int64_t>(cp.j))
+      .set("score", static_cast<std::int64_t>(cp.score))
+      .set("type", static_cast<std::int64_t>(static_cast<int>(cp.type)));
+}
+
+Json stage_json(int stage, const core::StageStats& s) {
+  Json kernels = Json::array();
+  for (std::size_t k = 0; k < s.kernels.size(); ++k) {
+    if (s.kernels[k].tiles == 0) continue;
+    kernels.push(Json::object()
+                     .set("name", engine::kernel_info(static_cast<engine::KernelId>(k)).name)
+                     .set("tiles", static_cast<std::int64_t>(s.kernels[k].tiles))
+                     .set("cells", static_cast<std::int64_t>(s.kernels[k].cells)));
+  }
+  return Json::object()
+      .set("stage", stage)
+      .set("seconds", s.seconds)
+      .set("cells", static_cast<std::int64_t>(s.cells))
+      .set("gcups", s.gcups())
+      .set("crosspoints", static_cast<std::int64_t>(s.crosspoints))
+      .set("tiles", static_cast<std::int64_t>(s.tiles))
+      .set("diagonals", static_cast<std::int64_t>(s.diagonals))
+      .set("blocks_used", static_cast<std::int64_t>(s.blocks_used))
+      .set("bus_ram_bytes", static_cast<std::int64_t>(s.ram_bytes))
+      .set("hbus", Json::object()
+                       .set("reads", static_cast<std::int64_t>(s.hbus_reads))
+                       .set("writes", static_cast<std::int64_t>(s.hbus_writes))
+                       .set("bytes", s.hbus_bytes))
+      .set("vbus", Json::object()
+                       .set("reads", static_cast<std::int64_t>(s.vbus_reads))
+                       .set("writes", static_cast<std::int64_t>(s.vbus_writes))
+                       .set("bytes", s.vbus_bytes))
+      .set("sra", Json::object()
+                      .set("rows_flushed", static_cast<std::int64_t>(s.sra_rows_flushed))
+                      .set("rows_read", static_cast<std::int64_t>(s.sra_rows_read))
+                      .set("bytes_flushed", s.sra_bytes_flushed)
+                      .set("bytes_read", s.sra_bytes_read))
+      .set("kernels", std::move(kernels));
+}
+
+}  // namespace
+
+Json build_run_report(const ReportContext& ctx) {
+  CUDALIGN_CHECK(ctx.options != nullptr && ctx.result != nullptr,
+                 "run report needs the pipeline options and result");
+  const core::PipelineOptions& opt = *ctx.options;
+  const core::PipelineResult& res = *ctx.result;
+
+  Json report = Json::object();
+  report.set("schema", kReportSchemaName);
+  report.set("schema_version", kReportSchemaVersion);
+
+  report.set("inputs",
+             Json::object()
+                 .set("s0", Json::object()
+                                .set("name", ctx.s0_name)
+                                .set("length", static_cast<std::int64_t>(ctx.s0_length)))
+                 .set("s1", Json::object()
+                                .set("name", ctx.s1_name)
+                                .set("length", static_cast<std::int64_t>(ctx.s1_length))));
+
+  report.set("options",
+             Json::object()
+                 .set("scheme", Json::object()
+                                    .set("match", static_cast<std::int64_t>(opt.scheme.match))
+                                    .set("mismatch",
+                                         static_cast<std::int64_t>(opt.scheme.mismatch))
+                                    .set("gap_first",
+                                         static_cast<std::int64_t>(opt.scheme.gap_first))
+                                    .set("gap_ext",
+                                         static_cast<std::int64_t>(opt.scheme.gap_ext)))
+                 .set("sra_rows_budget", opt.sra_rows_budget)
+                 .set("sra_cols_budget", opt.sra_cols_budget)
+                 .set("grid_stage1", grid_json(opt.grid_stage1))
+                 .set("grid_stage23", grid_json(opt.grid_stage23))
+                 .set("max_partition_size", static_cast<std::int64_t>(opt.max_partition_size))
+                 .set("flush_special_rows", opt.flush_special_rows)
+                 .set("block_pruning", opt.block_pruning)
+                 .set("save_special_columns", opt.save_special_columns)
+                 .set("balanced_splitting", opt.balanced_splitting)
+                 .set("orthogonal_stage4", opt.orthogonal_stage4)
+                 .set("run_stage6", opt.run_stage6));
+
+  report.set("result", Json::object()
+                           .set("empty", res.empty)
+                           .set("best_score", static_cast<std::int64_t>(res.best_score))
+                           .set("end", crosspoint_json(res.end_point))
+                           .set("start", crosspoint_json(res.start_point)));
+
+  Json stages = Json::array();
+  for (std::size_t k = 0; k < res.stages.size(); ++k) {
+    stages.push(stage_json(static_cast<int>(k) + 1, res.stages[k]));
+  }
+  report.set("stages", std::move(stages));
+
+  report.set("stage1", Json::object()
+                           .set("pruned_cells", static_cast<std::int64_t>(res.stage1_pruned_cells))
+                           .set("special_rows_saved",
+                                static_cast<std::int64_t>(res.special_rows_saved))
+                           .set("flush_interval", static_cast<std::int64_t>(res.flush_interval)));
+
+  Json iterations = Json::array();
+  for (const core::Stage4Iteration& it : res.stage4_iterations) {
+    iterations.push(Json::object()
+                        .set("iteration", static_cast<std::int64_t>(it.iteration))
+                        .set("h_max", static_cast<std::int64_t>(it.h_max))
+                        .set("w_max", static_cast<std::int64_t>(it.w_max))
+                        .set("crosspoints", static_cast<std::int64_t>(it.crosspoints))
+                        .set("seconds", it.seconds)
+                        .set("cells", static_cast<std::int64_t>(it.cells)));
+  }
+  report.set("stage4", Json::object().set("iterations", std::move(iterations)));
+
+  report.set("stage5", Json::object()
+                           .set("partitions", static_cast<std::int64_t>(res.stage5_partitions))
+                           .set("h_max", static_cast<std::int64_t>(res.stage5_h_max))
+                           .set("w_max", static_cast<std::int64_t>(res.stage5_w_max)));
+
+  report.set("sra", Json::object()
+                        .set("rows_budget", opt.sra_rows_budget)
+                        .set("cols_budget", opt.sra_cols_budget)
+                        .set("peak_bytes", res.sra_peak_bytes)
+                        .set("special_rows_saved",
+                             static_cast<std::int64_t>(res.special_rows_saved))
+                        .set("special_cols_saved",
+                             static_cast<std::int64_t>(res.special_cols_saved)));
+
+  Json counts = Json::array();
+  for (const Index c : res.crosspoint_counts) counts.push(static_cast<std::int64_t>(c));
+  report.set("crosspoint_counts", std::move(counts));
+  report.set("partition_h_max_after_stage3",
+             static_cast<std::int64_t>(res.h_max_after_stage3));
+  report.set("partition_w_max_after_stage3",
+             static_cast<std::int64_t>(res.w_max_after_stage3));
+
+  WideScore total_cells = 0;
+  for (const core::StageStats& s : res.stages) total_cells += s.cells;
+  const double total_seconds = res.total_seconds();
+  report.set("totals",
+             Json::object()
+                 .set("seconds", total_seconds)
+                 .set("cells", static_cast<std::int64_t>(total_cells))
+                 .set("gcups", total_seconds > 0
+                                   ? static_cast<double>(total_cells) / total_seconds / 1e9
+                                   : 0.0));
+
+  if (ctx.telemetry != nullptr) report.set("spans", ctx.telemetry->to_json());
+  return report;
+}
+
+void write_report_file(const Json& report, const std::filesystem::path& path) {
+  write_file(path, report.dump(2) + "\n");
+}
+
+std::vector<std::string> validate_run_report(const Json& report) {
+  std::vector<std::string> problems;
+  auto require = [&](bool ok, const std::string& what) {
+    if (!ok) problems.push_back(what);
+    return ok;
+  };
+
+  if (!require(report.is_object(), "report is not a JSON object")) return problems;
+
+  const Json* schema = report.find("schema");
+  require(schema != nullptr && schema->is_string() && schema->as_string() == kReportSchemaName,
+          std::string("schema is not \"") + kReportSchemaName + "\"");
+  const Json* version = report.find("schema_version");
+  require(version != nullptr && version->is_int() &&
+              version->as_int() == kReportSchemaVersion,
+          "schema_version is not " + std::to_string(kReportSchemaVersion));
+
+  for (const char* key : {"inputs", "options", "result", "stages", "stage1", "stage4",
+                          "stage5", "sra", "crosspoint_counts", "totals"}) {
+    require(report.find(key) != nullptr, std::string("missing key \"") + key + "\"");
+  }
+
+  const Json* stages = report.find("stages");
+  if (!require(stages != nullptr && stages->is_array() && stages->as_array().size() == 6,
+               "stages is not an array of 6 entries")) {
+    return problems;
+  }
+  WideScore total_cells = 0;
+  for (const Json& stage : stages->as_array()) {
+    if (!require(stage.is_object(), "stage entry is not an object")) continue;
+    for (const char* key :
+         {"stage", "seconds", "cells", "gcups", "tiles", "diagonals", "hbus", "vbus", "sra"}) {
+      require(stage.find(key) != nullptr,
+              std::string("stage entry missing key \"") + key + "\"");
+    }
+    if (const Json* cells = stage.find("cells"); cells != nullptr && cells->is_int()) {
+      total_cells += cells->as_int();
+    }
+  }
+
+  const Json* inputs = report.find("inputs");
+  const Json* stage1 = report.find("stage1");
+  const Json* sra = report.find("sra");
+  const Json* totals = report.find("totals");
+  if (inputs == nullptr || stage1 == nullptr || sra == nullptr || totals == nullptr ||
+      !inputs->is_object() || !stage1->is_object() || !sra->is_object() ||
+      !totals->is_object()) {
+    return problems;
+  }
+
+  // Invariant: Stage 1 visits every cell of the m*n matrix except the pruned
+  // ones — computed + pruned must equal the full grid.
+  const std::int64_t m = inputs->at("s0").at("length").as_int();
+  const std::int64_t n = inputs->at("s1").at("length").as_int();
+  const std::int64_t stage1_cells = stages->as_array()[0].at("cells").as_int();
+  const std::int64_t pruned = stage1->at("pruned_cells").as_int();
+  require(stage1_cells + pruned == m * n,
+          "stage 1 cells (" + std::to_string(stage1_cells) + ") + pruned (" +
+              std::to_string(pruned) + ") != m*n (" + std::to_string(m * n) + ")");
+
+  // Invariant: every special row Stage 1 reported saved is one SRA flush.
+  const std::int64_t rows_flushed =
+      stages->as_array()[0].at("sra").at("rows_flushed").as_int();
+  const std::int64_t rows_saved = sra->at("special_rows_saved").as_int();
+  require(rows_flushed == rows_saved,
+          "stage 1 SRA rows_flushed (" + std::to_string(rows_flushed) +
+              ") != special_rows_saved (" + std::to_string(rows_saved) + ")");
+
+  // Invariant: totals.cells is the sum over the stages array.
+  const std::int64_t reported_total = totals->at("cells").as_int();
+  require(reported_total == total_cells,
+          "totals.cells (" + std::to_string(reported_total) + ") != sum over stages (" +
+              std::to_string(total_cells) + ")");
+
+  return problems;
+}
+
+}  // namespace cudalign::obs

@@ -34,6 +34,9 @@ std::vector<Sequence> read_fasta(std::istream& in) {
       have_record = true;
       const auto ws = line.find_first_of(" \t", 1);
       name = line.substr(1, ws == std::string::npos ? std::string::npos : ws - 1);
+      // A bare '>' (or '> description') header carries no name; synthesize a
+      // stable placeholder so downstream output never shows a blank name.
+      if (name.empty()) name = "unnamed_" + std::to_string(records.size() + 1);
       continue;
     }
     if (line[0] == ';') continue;  // Classic FASTA comment line.
@@ -56,9 +59,13 @@ std::vector<Sequence> read_fasta_file(const std::filesystem::path& path) {
   return read_fasta(in);
 }
 
-Sequence read_single_fasta(const std::filesystem::path& path) {
+Sequence read_single_fasta(const std::filesystem::path& path, bool allow_extra) {
   auto records = read_fasta_file(path);
   CUDALIGN_CHECK(!records.empty(), "FASTA file has no records: " + path.string());
+  CUDALIGN_CHECK(allow_extra || records.size() == 1,
+                 "FASTA file " + path.string() + " has " + std::to_string(records.size()) +
+                     " records where exactly one was expected (pass a single-record file, "
+                     "or opt into first-record semantics explicitly)");
   return std::move(records.front());
 }
 

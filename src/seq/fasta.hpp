@@ -14,14 +14,18 @@
 namespace cudalign::seq {
 
 /// Parses every record of a FASTA stream. Accepts '>' headers (the text up to
-/// the first whitespace becomes the name), ignores blank lines and '\r',
-/// collapses IUPAC ambiguity codes to N, and throws cudalign::Error on any
-/// other content.
+/// the first whitespace becomes the name; a bare '>' gets the placeholder
+/// name "unnamed_<ordinal>"), ignores blank lines and '\r', collapses IUPAC
+/// ambiguity codes to N, and throws cudalign::Error on any other content.
 [[nodiscard]] std::vector<Sequence> read_fasta(std::istream& in);
 [[nodiscard]] std::vector<Sequence> read_fasta_file(const std::filesystem::path& path);
 
-/// Reads exactly one record (throws if the file has none).
-[[nodiscard]] Sequence read_single_fasta(const std::filesystem::path& path);
+/// Reads exactly one record. Throws if the file has none — or, unless
+/// `allow_extra` is set, if it has more than one: silently aligning the first
+/// record of a multi-record file is a classic way to waste a chromosome-scale
+/// run. `allow_extra` opts back into first-record semantics explicitly.
+[[nodiscard]] Sequence read_single_fasta(const std::filesystem::path& path,
+                                         bool allow_extra = false);
 
 /// Writes records with lines wrapped at `width` characters.
 void write_fasta(std::ostream& out, const std::vector<Sequence>& records, int width = 70);

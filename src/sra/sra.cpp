@@ -108,6 +108,8 @@ std::vector<engine::BusCell> SpecialRowsArea::get(std::size_t index) const {
   std::ifstream is(file_for(index), std::ios::binary);
   CUDALIGN_CHECK(is.good(), "cannot open SRA file for reading");
   read_span(is, std::span<engine::BusCell>(cells));
+  read_ += static_cast<std::int64_t>(cells.size() * sizeof(engine::BusCell));
+  ++rows_read_;
   return cells;
 }
 

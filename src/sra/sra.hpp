@@ -72,6 +72,11 @@ class SpecialRowsArea {
   /// High-water mark of bytes simultaneously stored.
   [[nodiscard]] std::int64_t peak_bytes() const noexcept { return peak_; }
   [[nodiscard]] std::int64_t total_bytes_written() const noexcept { return written_; }
+  /// Cumulative read-back traffic (stage 2/3 matching); counts get() calls
+  /// and the bytes they loaded. Observability only — not persisted in the
+  /// manifest, so a reopened store restarts them at zero.
+  [[nodiscard]] std::int64_t total_bytes_read() const noexcept { return read_; }
+  [[nodiscard]] Index rows_read() const noexcept { return rows_read_; }
 
  private:
   [[nodiscard]] std::filesystem::path file_for(std::size_t index) const;
@@ -83,6 +88,9 @@ class SpecialRowsArea {
   std::int64_t used_ = 0;
   std::int64_t peak_ = 0;
   std::int64_t written_ = 0;
+  /// Read-traffic tallies; mutable so the logically-const get() can count.
+  mutable std::int64_t read_ = 0;
+  mutable Index rows_read_ = 0;
   std::vector<RowKey> keys_;
   std::vector<bool> live_;
   std::vector<std::int64_t> sizes_;

@@ -19,6 +19,26 @@ test -s "$DIR/aln.tsv"
 # Both-strands path.
 "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --both-strands --out "$DIR/aln2.bin" \
   | grep -q "strand: forward"
+# Run report + live progress: the report must exist and validate.
+"$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --out "$DIR/aln3.bin" \
+       --report "$DIR/run.json" --progress 2>"$DIR/progress.err" \
+  | grep -q "run report"
+test -s "$DIR/run.json"
+grep -q "stage ./6" "$DIR/progress.err"
+"$CLI" report-check "$DIR/run.json" | grep -q "well-formed"
+# A tampered report must fail validation.
+sed 's/"schema_version": 1/"schema_version": 999/' "$DIR/run.json" > "$DIR/bad.json"
+if "$CLI" report-check "$DIR/bad.json" 2>/dev/null; then
+  echo "tampered report passed validation" >&2
+  exit 1
+fi
+# A multi-record FASTA input must be rejected, naming the record count.
+cat "$DIR/a.fasta" "$DIR/b.fasta" > "$DIR/multi.fasta"
+if "$CLI" score "$DIR/multi.fasta" "$DIR/b.fasta" 2>"$DIR/multi.err"; then
+  echo "multi-record FASTA was accepted" >&2
+  exit 1
+fi
+grep -q "2 records" "$DIR/multi.err"
 # Unknown flag must fail.
 if "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --no-such-flag 2>/dev/null; then
   echo "unknown flag was accepted" >&2

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/args.hpp"
 #include "common/format.hpp"
 #include "common/io_util.hpp"
 #include "common/rng.hpp"
@@ -206,6 +207,58 @@ TEST(Types, NegInfDetection) {
   EXPECT_TRUE(is_neg_inf(kNegInf + 100));
   EXPECT_FALSE(is_neg_inf(0));
   EXPECT_FALSE(is_neg_inf(-1000000));
+}
+
+/// Builds Args from a single `--flag=value` style token.
+common::Args one_flag(const std::string& token) {
+  std::string copy = token;
+  char* argv[] = {copy.data()};
+  return common::Args(1, argv, 0);
+}
+
+TEST(Args, NumPlainAndSuffixes) {
+  EXPECT_EQ(one_flag("--n=123").num("n", 0), 123);
+  EXPECT_EQ(one_flag("--n=-7").num("n", 0), -7);
+  EXPECT_EQ(one_flag("--n=4K").num("n", 0), 4096);
+  EXPECT_EQ(one_flag("--n=4k").num("n", 0), 4096);
+  EXPECT_EQ(one_flag("--n=2M").num("n", 0), 2 << 20);
+  EXPECT_EQ(one_flag("--n=1G").num("n", 0), 1 << 30);
+  EXPECT_EQ(one_flag("--n=-2k").num("n", 0), -2048);
+  EXPECT_EQ(one_flag("--other=5").num("n", 42), 42);  // Fallback when absent.
+}
+
+TEST(Args, NumRejectsTrailingGarbageAfterSuffix) {
+  // The historical bug: "4KB" parsed as 4096, silently dropping the "B".
+  for (const char* bad : {"--n=4KB", "--n=4kib", "--n=1G2", "--n=2MM"}) {
+    EXPECT_THROW((void)one_flag(bad).num("n", 0), Error) << bad;
+  }
+}
+
+TEST(Args, NumBadSuffixErrorNamesTheSuffix) {
+  // The precise error must propagate, not be swallowed into the generic
+  // "expects a number" by the conversion catch block.
+  try {
+    (void)one_flag("--sra-budget=4X").num("sra-budget", 0);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad numeric suffix"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("sra-budget"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Args, NumNonNumericSaysExpectsANumber) {
+  for (const char* bad : {"--n=abc", "--n=", "--n=K"}) {
+    try {
+      (void)one_flag(bad).num("n", 0);
+      FAIL() << "expected Error for " << bad;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("expects a number"), std::string::npos) << e.what();
+    }
+  }
+}
+
+TEST(Args, NumOutOfRangeThrows) {
+  EXPECT_THROW((void)one_flag("--n=99999999999999999999999").num("n", 0), Error);
 }
 
 }  // namespace

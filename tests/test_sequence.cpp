@@ -3,8 +3,10 @@
 
 #include "common/error.hpp"
 
+#include <fstream>
 #include <sstream>
 
+#include "common/io_util.hpp"
 #include "seq/fasta.hpp"
 #include "seq/sequence.hpp"
 
@@ -137,6 +139,57 @@ TEST(Fasta, EmptyRecordAllowed) {
   ASSERT_EQ(records.size(), 2u);
   EXPECT_TRUE(records[0].empty());
   EXPECT_EQ(records[1].to_string(), "AC");
+}
+
+TEST(Fasta, BareHeaderGetsPlaceholderName) {
+  std::stringstream ss;
+  ss << ">\nACGT\n> with description only\nTTTT\n";
+  const auto records = read_fasta(ss);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name(), "unnamed_1");
+  EXPECT_EQ(records[0].to_string(), "ACGT");
+  EXPECT_EQ(records[1].name(), "unnamed_2");
+  EXPECT_EQ(records[1].to_string(), "TTTT");
+}
+
+TEST(Fasta, PlaceholderNameRoundTripsThroughFile) {
+  TempDir dir("fasta-test");
+  const auto path = dir.path() / "bare.fasta";
+  { std::ofstream(path) << ">\nACGTACGT\n"; }
+  const auto back = read_single_fasta(path);
+  EXPECT_EQ(back.name(), "unnamed_1");
+  EXPECT_EQ(back.to_string(), "ACGTACGT");
+}
+
+TEST(Fasta, ReadSingleRejectsMultiRecordFiles) {
+  TempDir dir("fasta-test");
+  const auto path = dir.path() / "multi.fasta";
+  { std::ofstream(path) << ">a\nACGT\n>b\nTTTT\n>c\nCCCC\n"; }
+  // The historical bug: records after the first were silently discarded.
+  try {
+    (void)read_single_fasta(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("multi.fasta"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 records"), std::string::npos) << what;
+  }
+}
+
+TEST(Fasta, ReadSingleAllowExtraKeepsFirstRecord) {
+  TempDir dir("fasta-test");
+  const auto path = dir.path() / "multi.fasta";
+  { std::ofstream(path) << ">a\nACGT\n>b\nTTTT\n"; }
+  const auto first = read_single_fasta(path, /*allow_extra=*/true);
+  EXPECT_EQ(first.name(), "a");
+  EXPECT_EQ(first.to_string(), "ACGT");
+}
+
+TEST(Fasta, ReadSingleAcceptsSingleRecord) {
+  TempDir dir("fasta-test");
+  const auto path = dir.path() / "one.fasta";
+  { std::ofstream(path) << ">solo\nACGTAC\n"; }
+  EXPECT_EQ(read_single_fasta(path).to_string(), "ACGTAC");
 }
 
 TEST(Fasta, LineWrappingWidth) {

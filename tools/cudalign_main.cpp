@@ -4,6 +4,7 @@
 //   cudalign view  ALN.bin A.fasta B.fasta ...   Stage-6 visualization
 //   cudalign generate OUT.fasta [options]        synthetic chromosome data
 //   cudalign score A.fasta B.fasta [options]     Stage 1 only (best score)
+//   cudalign report-check RUN.json               validate a run report
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -13,10 +14,14 @@
 #include "alignment/cigar.hpp"
 #include "common/args.hpp"
 #include "common/format.hpp"
+#include "common/io_util.hpp"
 #include "core/pipeline.hpp"
 #include "core/strand.hpp"
 #include "core/stages.hpp"
 #include "engine/kernel_registry.hpp"
+#include "obs/progress.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "seq/fasta.hpp"
 #include "seq/generator.hpp"
 
@@ -29,7 +34,8 @@ int usage() {
   cudalign align A.fasta B.fasta [--out ALN.bin] [--sra BYTES] [--workdir DIR]
            [--max-partition N] [--match N] [--mismatch N] [--gap-first N]
            [--gap-ext N] [--no-stage3] [--stats] [--prune] [--both-strands]
-           [--cigar FILE] [--kernel NAME] [--audit-bus]
+           [--cigar FILE] [--kernel NAME] [--audit-bus] [--report FILE]
+           [--progress]
   cudalign score A.fasta B.fasta [--match N] [--mismatch N] [--gap-first N]
            [--gap-ext N] [--kernel NAME] [--audit-bus]
 
@@ -41,6 +47,12 @@ happens-before relation (check/bus_audit.hpp) and fails the run on violation.
   cudalign view ALN.bin A.fasta B.fasta [--text FILE] [--tsv FILE] [--plot]
   cudalign generate OUT.fasta --length N [--seed N] [--mutate-of FILE]
            [--substitution R] [--indel R]
+  cudalign report-check RUN.json
+
+--report writes a versioned machine-readable JSON run report (spans, per-stage
+counters, SRA and bus traffic; schema in DESIGN.md "Observability");
+--progress prints a live per-stage ETA line to stderr. report-check validates
+a report's schema and internal consistency (exit 0 = well-formed).
 
 Byte sizes accept K/M/G suffixes (e.g. --sra 2G).
 )");
@@ -60,7 +72,7 @@ scoring::Scheme scheme_from(const common::Args& args) {
 int cmd_align(const common::Args& args) {
   args.check_known({"out", "sra", "workdir", "max-partition", "match", "mismatch", "gap-first",
                     "gap-ext", "no-stage3", "stats", "prune", "both-strands", "cigar",
-                    "kernel", "audit-bus"});
+                    "kernel", "audit-bus", "report", "progress"});
   if (args.positional().size() != 2) return usage();
   if (args.has("kernel")) engine::set_kernel_override(args.str("kernel"));
   const auto s0 = seq::read_single_fasta(args.positional()[0]);
@@ -81,6 +93,13 @@ int cmd_align(const common::Args& args) {
   check::BusAuditor auditor;
   if (args.has("audit-bus")) options.bus_audit = &auditor;
 
+  obs::Telemetry telemetry;
+  if (args.has("report")) options.telemetry = &telemetry;
+  obs::ProgressMeter progress;
+  if (args.has("progress")) {
+    options.progress = [&](int stage, double fraction) { progress.update(stage, fraction); };
+  }
+
   core::PipelineResult result;
   seq::Sequence aligned_s1 = s1;
   if (args.has("both-strands")) {
@@ -92,6 +111,21 @@ int cmd_align(const common::Args& args) {
     aligned_s1 = std::move(stranded.strand_s1);
   } else {
     result = core::align_pipeline(s0, s1, options);
+  }
+  if (args.has("progress")) progress.finish();
+  if (args.has("report")) {
+    telemetry.finish();
+    obs::ReportContext ctx;
+    ctx.s0_name = s0.name();
+    ctx.s0_length = static_cast<Index>(s0.size());
+    ctx.s1_name = aligned_s1.name();
+    ctx.s1_length = static_cast<Index>(aligned_s1.size());
+    ctx.options = &options;
+    ctx.result = &result;
+    ctx.telemetry = &telemetry;
+    const obs::Json report = obs::build_run_report(ctx);
+    obs::write_report_file(report, args.str("report"));
+    std::printf("run report -> %s\n", args.str("report").c_str());
   }
   if (args.has("audit-bus")) {
     std::printf("%s\n", auditor.report().c_str());
@@ -211,6 +245,23 @@ int cmd_view(const common::Args& args) {
   return 0;
 }
 
+int cmd_report_check(const common::Args& args) {
+  args.check_known({});
+  if (args.positional().size() != 1) return usage();
+  const std::string& path = args.positional()[0];
+  const obs::Json report = obs::Json::parse(read_file(path));
+  const std::vector<std::string> problems = obs::validate_run_report(report);
+  if (problems.empty()) {
+    std::printf("%s: well-formed %s v%d\n", path.c_str(), obs::kReportSchemaName,
+                obs::kReportSchemaVersion);
+    return 0;
+  }
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
+  }
+  return 1;
+}
+
 int cmd_generate(const common::Args& args) {
   args.check_known({"length", "seed", "mutate-of", "substitution", "indel"});
   if (args.positional().size() != 1) return usage();
@@ -243,6 +294,7 @@ int main(int argc, char** argv) {
     if (command == "score") return cmd_score(args);
     if (command == "view") return cmd_view(args);
     if (command == "generate") return cmd_generate(args);
+    if (command == "report-check") return cmd_report_check(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cudalign: %s\n", e.what());
