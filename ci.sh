@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification, run the way CI does:
-#   0. Lint: repo lint rules (tools/lint.sh), clang-tidy and clang-format
-#      --check (the clang stages skip with a notice when the toolchain is
-#      absent)
+#   0. Lint: cudalint (the repo-native analyzer, built on demand by
+#      tools/lint.sh) plus clang-tidy and clang-format --check (the clang
+#      stages skip with a notice when the toolchain is absent). Formatting
+#      drift fails CI alongside lint. cudalint also runs as a ctest test in
+#      every suite below, so a lint violation is a test failure too.
 #   1. Release build with the strict zero-warning wall (-DCUDALIGN_STRICT=ON:
 #      -Wall -Wextra -Wconversion -Wshadow -Werror) + full ctest
 #   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer + full
@@ -31,8 +33,10 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS" >/dev/null
 }
 
-# 0. Lint wall: cheap, runs first so style/contract violations fail fast.
-echo "=== [lint] repo rules + clang-tidy ==="
+# 0. Lint wall: runs first so style/contract violations fail fast. lint.sh
+# builds the cudalint binary on demand (reusing a configured build tree when
+# one exists) and runs it over src/; formatting drift is part of the stage.
+echo "=== [lint] cudalint + clang-tidy ==="
 ./tools/lint.sh
 echo "=== [lint] clang-format check ==="
 ./tools/format.sh --check

@@ -1,94 +1,19 @@
-// Alignment transcripts: run-length-encoded edit operations.
+// Alignment transcript vocabulary, re-exported for alignment/ consumers.
 //
-// A 33 MBP optimal alignment (paper Table III, last row) has tens of millions
-// of columns; run-length encoding keeps transcripts linear in the number of
-// *events*, which is what the Stage-5 binary format exploits.
+// The types themselves live in dp/transcript.hpp — the DP solvers produce
+// transcripts, alignment/ renders and serializes them, and keeping the
+// vocabulary below both modules is what breaks the historical
+// dp <-> alignment include cycle (enforced by tools/cudalint/layering.manifest).
+// This header remains so the established cudalign::alignment::Transcript
+// spelling keeps working everywhere above dp/.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "common/error.hpp"
-#include "common/types.hpp"
+#include "dp/transcript.hpp"  // IWYU pragma: export
 
 namespace cudalign::alignment {
 
-/// One alignment column class. Diagonal columns are not split into
-/// match/mismatch here — that distinction is recomputed against the sequences
-/// when needed (rendering, statistics), exactly as the paper's gap-list
-/// binary format implies (it stores only gap events).
-enum class Op : std::uint8_t {
-  kDiagonal = 0,  ///< S0[i] aligned with S1[j].
-  kGapS0 = 1,     ///< Gap in S0: consumes one S1 base (horizontal edge, state E).
-  kGapS1 = 2,     ///< Gap in S1: consumes one S0 base (vertical edge, state F).
-};
-
-struct OpRun {
-  Op op = Op::kDiagonal;
-  Index len = 0;
-
-  friend bool operator==(const OpRun&, const OpRun&) = default;
-};
-
-/// RLE transcript with coalescing append.
-class Transcript {
- public:
-  Transcript() = default;
-
-  void append(Op op, Index len) {
-    if (len == 0) return;
-    CUDALIGN_CHECK(len > 0, "transcript run length must be non-negative");
-    if (!runs_.empty() && runs_.back().op == op) {
-      runs_.back().len += len;
-    } else {
-      runs_.push_back(OpRun{op, len});
-    }
-  }
-
-  /// Appends a whole transcript (coalescing at the seam).
-  void append(const Transcript& other) {
-    for (const auto& run : other.runs_) append(run.op, run.len);
-  }
-
-  [[nodiscard]] const std::vector<OpRun>& runs() const noexcept { return runs_; }
-  [[nodiscard]] bool empty() const noexcept { return runs_.empty(); }
-
-  /// Number of alignment columns (sum of run lengths).
-  [[nodiscard]] Index columns() const noexcept {
-    Index total = 0;
-    for (const auto& run : runs_) total += run.len;
-    return total;
-  }
-
-  /// Rows consumed in S0 (diagonal + vertical runs).
-  [[nodiscard]] Index rows_consumed() const noexcept {
-    Index total = 0;
-    for (const auto& run : runs_) {
-      if (run.op != Op::kGapS0) total += run.len;
-    }
-    return total;
-  }
-
-  /// Columns consumed in S1 (diagonal + horizontal runs).
-  [[nodiscard]] Index cols_consumed() const noexcept {
-    Index total = 0;
-    for (const auto& run : runs_) {
-      if (run.op != Op::kGapS1) total += run.len;
-    }
-    return total;
-  }
-
-  /// Reverses the transcript in place (used when a traceback is collected
-  /// back-to-front).
-  void reverse() {
-    std::vector<OpRun> reversed(runs_.rbegin(), runs_.rend());
-    runs_ = std::move(reversed);
-  }
-
-  friend bool operator==(const Transcript&, const Transcript&) = default;
-
- private:
-  std::vector<OpRun> runs_;
-};
+using Op = dp::Op;
+using OpRun = dp::OpRun;
+using Transcript = dp::Transcript;
 
 }  // namespace cudalign::alignment

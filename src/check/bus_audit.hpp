@@ -39,9 +39,12 @@
 #include <string>
 #include <vector>
 
-#include "common/types.hpp"
-
 namespace cudalign::check {
+
+/// Grid coordinate / slot index. Mirrors cudalign::Index (common/types.hpp)
+/// without including it: check/ is the base layer of the module DAG and may
+/// not reach up into common/ (see tools/cudalint/layering.manifest).
+using Index = std::int64_t;
 
 /// One side of a violation: who touched the slot, and where in the schedule.
 struct BusEndpoint {

@@ -6,8 +6,7 @@ namespace cudalign::dp {
 
 namespace {
 
-using alignment::Op;
-using alignment::Transcript;
+// Op and Transcript are dp-local (dp/transcript.hpp).
 
 /// Traceback by value inspection: from (i, j) in `state`, walk predecessors
 /// until the stop condition, emitting ops back-to-front.

@@ -9,7 +9,7 @@
 
 #include <vector>
 
-#include "alignment/ops.hpp"
+#include "dp/transcript.hpp"
 #include "dp/dp_common.hpp"
 #include "seq/sequence.hpp"
 
@@ -52,7 +52,7 @@ struct LocalBest {
 
 struct GlobalResult {
   Score score = 0;
-  alignment::Transcript transcript;
+  Transcript transcript;
 };
 
 /// Global alignment with a traceback, entering in state `start` (gap-open
@@ -67,7 +67,7 @@ struct LocalResult {
   Score score = 0;
   Index i0 = 0, j0 = 0;  ///< Start vertex of the optimal local alignment.
   Index i1 = 0, j1 = 0;  ///< End vertex.
-  alignment::Transcript transcript;
+  Transcript transcript;
 };
 
 /// Best local alignment with a traceback (Smith-Waterman phase 2, Figure 2).

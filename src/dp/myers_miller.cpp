@@ -16,7 +16,7 @@ struct Recursion {
     if (stats) stats->cells += static_cast<WideScore>(m + 1) * (n + 1);
   }
 
-  alignment::Transcript solve(Index i0, Index j0, Index i1, Index j1, CellState start,
+  Transcript solve(Index i0, Index j0, Index i1, Index j1, CellState start,
                               CellState end, Index depth) {
     const Index m = i1 - i0;
     const Index n = j1 - j0;
@@ -40,9 +40,9 @@ struct Recursion {
     const MiddleRow rev = reverse_to_row(sub_a, sub_b, mid, scheme, end);
     const RowMatch match = match_row(fwd.cc, fwd.dd, rev.cc, rev.dd, scheme);
 
-    alignment::Transcript left =
+    Transcript left =
         solve(i0, j0, i0 + mid, j0 + match.j, start, match.state, depth + 1);
-    const alignment::Transcript right =
+    const Transcript right =
         solve(i0 + mid, j0 + match.j, i1, j1, match.state, end, depth + 1);
     left.append(right);
     return left;
@@ -59,7 +59,7 @@ GlobalResult myers_miller(seq::SequenceView a, seq::SequenceView b, const scorin
   Recursion rec{a, b, scheme, options, stats};
   const Index m = static_cast<Index>(a.size());
   const Index n = static_cast<Index>(b.size());
-  alignment::Transcript transcript = rec.solve(0, 0, m, n, start, end, 0);
+  Transcript transcript = rec.solve(0, 0, m, n, start, end, 0);
 
   // The score is recovered by one linear-space sweep (the recursion never
   // needs it globally, but callers do).

@@ -1,6 +1,7 @@
 #include "engine/executor.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 
@@ -137,7 +138,10 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
 
   std::vector<TileResult> tile_results(static_cast<std::size_t>(blocks));
   std::vector<std::vector<Index>> tile_taps(static_cast<std::size_t>(blocks));
-  std::vector<bool> tile_pruned(static_cast<std::size_t>(blocks));
+  // std::uint8_t, not bool: tiles on one diagonal write distinct slots
+  // concurrently, and vector<bool>'s bit packing would turn those into
+  // read-modify-write races on shared words.
+  std::vector<std::uint8_t> tile_pruned(static_cast<std::size_t>(blocks));
 
   // Diagonal-bucket spans: the wavefront phase profile for the run report.
   obs::Telemetry* telemetry = hooks.telemetry;

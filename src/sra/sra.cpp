@@ -43,7 +43,9 @@ void SpecialRowsArea::save_manifest() const {
     for (std::size_t i = 0; i < keys_.size(); ++i) {
       write_pod(os, keys_[i]);
       write_pod(os, sizes_[i]);
-      write_pod(os, static_cast<std::uint8_t>(live_[i] ? 1 : 0));
+      // Provably lossless: serializing a bool as a manifest byte, the source
+      // domain is {0, 1}.
+      write_pod(os, static_cast<std::uint8_t>(live_[i] ? 1 : 0));  // cudalint: allow(narrow-cast)
     }
     CUDALIGN_CHECK(os.good(), "error writing SRA manifest");
   }

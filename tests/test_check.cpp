@@ -16,6 +16,11 @@
 namespace cudalign {
 namespace {
 
+// check/ sits below common/ in the module DAG, so bus_audit.hpp declares its
+// own Index instead of including common/types.hpp; the two must stay the same
+// type or every BusEndpoint coordinate silently changes width.
+static_assert(std::is_same_v<check::Index, Index>);
+
 using check::BusAuditor;
 using check::BusEndpoint;
 using check::BusViolation;

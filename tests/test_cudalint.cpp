@@ -1,0 +1,398 @@
+// cudalint fixture suite: good/bad snippet pairs per rule, the lexical edge
+// cases that defeat grep (raw strings, block comments, macro bodies), the
+// layering manifest (parsing, overrides, cycle detection), suppression
+// accounting, and the --json report round-tripped through obs::Json.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cudalint/driver.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using cudalint::Diagnostic;
+using cudalint::LayeringManifest;
+using cudalint::RunResult;
+
+RunResult lint_snippet(std::string_view path, std::string_view content,
+                       const LayeringManifest* manifest = nullptr) {
+  RunResult result;
+  cudalint::lint_content(path, content, manifest, result);
+  return result;
+}
+
+std::vector<std::string> rules_fired(const RunResult& result) {
+  std::vector<std::string> rules;
+  rules.reserve(result.diagnostics.size());
+  for (const Diagnostic& d : result.diagnostics) rules.push_back(d.rule);
+  return rules;
+}
+
+LayeringManifest parse_manifest(std::string_view text) {
+  std::string error;
+  auto manifest = LayeringManifest::parse(text, &error);
+  EXPECT_TRUE(manifest.has_value()) << error;
+  return *manifest;
+}
+
+// ---------------------------------------------------------------------------
+// naked-new
+
+TEST(CudalintNakedNew, FlagsNewExpression) {
+  const RunResult r = lint_snippet("src/core/x.cpp", "void f() { auto* p = new int; }\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "naked-new");
+  EXPECT_EQ(r.diagnostics[0].line, 1);
+}
+
+TEST(CudalintNakedNew, FlagsArrayNew) {
+  const RunResult r = lint_snippet("src/core/x.cpp", "int* p = new int[8];\n");
+  EXPECT_EQ(rules_fired(r), std::vector<std::string>{"naked-new"});
+}
+
+TEST(CudalintNakedNew, CleanOnMakeUniqueAndIdentifiers) {
+  // `renewed` and `new_size` must not match: identifiers are whole tokens.
+  const RunResult r = lint_snippet(
+      "src/core/x.cpp",
+      "auto p = std::make_unique<int>(3);\nint renewed = 1;\nint new_size = 2;\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(CudalintNakedNew, CleanInCommentStringAndRawString) {
+  const RunResult r = lint_snippet("src/core/x.cpp",
+                                   "// new Foo in a comment\n"
+                                   "const char* s = \"new Foo in a string\";\n"
+                                   "const char* t = R\"(new Foo in a raw string)\";\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(CudalintNakedNew, OperatorNewDeclarationExempt) {
+  const RunResult r =
+      lint_snippet("src/core/x.cpp", "void* operator new(std::size_t n);\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// raw-assert
+
+TEST(CudalintRawAssert, FlagsAssertCall) {
+  const RunResult r = lint_snippet("src/core/x.cpp", "void f(int x) { assert(x > 0); }\n");
+  EXPECT_EQ(rules_fired(r), std::vector<std::string>{"raw-assert"});
+}
+
+// Regression for the grep wall's false-negative class: lint.sh rule 2
+// exempted any line containing a `//` comment that mentioned assert, so a
+// REAL assert with a trailing comment passed. The lexer sees the call token
+// and the comment separately; the call is flagged.
+TEST(CudalintRawAssert, TrailingCommentDoesNotExemptRealAssert) {
+  const RunResult r =
+      lint_snippet("src/core/x.cpp", "void f(int x) { assert(x); } // assert is fine here\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "raw-assert");
+}
+
+TEST(CudalintRawAssert, CleanOnStaticAssertFailAssertAndComments) {
+  const RunResult r = lint_snippet("src/core/x.cpp",
+                                   "static_assert(sizeof(int) == 4, \"abi\");\n"
+                                   "// assert(commented_out);\n"
+                                   "/* assert(in_block_comment);\n"
+                                   "   assert(still_in_it); */\n"
+                                   "void fail_assert(const char* msg);\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(CudalintRawAssert, FlagsCassertInclude) {
+  const RunResult r = lint_snippet("src/core/x.cpp", "#include <cassert>\n");
+  EXPECT_EQ(rules_fired(r), std::vector<std::string>{"raw-assert"});
+}
+
+TEST(CudalintRawAssert, FlagsAssertHiddenInMacroBody) {
+  // Macro replacement text is real code as far as the rules care; a
+  // backslash-continued body keeps its line attribution.
+  const RunResult r = lint_snippet("src/core/x.cpp",
+                                   "#define MY_CHECK(x) \\\n"
+                                   "  assert(x)\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "raw-assert");
+  EXPECT_EQ(r.diagnostics[0].line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// narrow-cast
+
+TEST(CudalintNarrowCast, FlagsNarrowTargetsWithAndWithoutStd) {
+  const RunResult r = lint_snippet("src/engine/x.cpp",
+                                   "auto a = static_cast<std::int16_t>(v);\n"
+                                   "auto b = static_cast<uint8_t>(v);\n");
+  EXPECT_EQ(rules_fired(r), (std::vector<std::string>{"narrow-cast", "narrow-cast"}));
+  EXPECT_EQ(r.diagnostics[0].line, 1);
+  EXPECT_EQ(r.diagnostics[1].line, 2);
+}
+
+TEST(CudalintNarrowCast, CleanOnWideCastsAndCheckedCast) {
+  const RunResult r = lint_snippet("src/engine/x.cpp",
+                                   "auto a = static_cast<std::int32_t>(v);\n"
+                                   "auto b = static_cast<std::size_t>(v);\n"
+                                   "auto c = check::checked_cast<std::int16_t>(v);\n"
+                                   "auto d = to_lane<LaneT>(v);\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once / using-namespace-header / stdout-in-src
+
+TEST(CudalintHeaderHygiene, MissingPragmaOnceFlaggedInHeadersOnly) {
+  const RunResult header = lint_snippet("src/core/x.hpp", "int f();\n");
+  EXPECT_EQ(rules_fired(header), std::vector<std::string>{"pragma-once"});
+  const RunResult with = lint_snippet("src/core/y.hpp", "#pragma once\nint f();\n");
+  EXPECT_TRUE(with.diagnostics.empty());
+  const RunResult source = lint_snippet("src/core/x.cpp", "int f() { return 1; }\n");
+  EXPECT_TRUE(source.diagnostics.empty());
+}
+
+TEST(CudalintHeaderHygiene, UsingNamespaceInHeader) {
+  const RunResult bad =
+      lint_snippet("src/core/x.hpp", "#pragma once\nusing namespace std;\n");
+  EXPECT_EQ(rules_fired(bad), std::vector<std::string>{"using-namespace-header"});
+  // Fine in a .cpp, fine commented out, and a using-DECLARATION is fine.
+  const RunResult good = lint_snippet("src/core/x.cpp", "using namespace std;\n");
+  EXPECT_TRUE(good.diagnostics.empty());
+  const RunResult decl =
+      lint_snippet("src/core/y.hpp", "#pragma once\n// using namespace std;\nusing std::swap;\n");
+  EXPECT_TRUE(decl.diagnostics.empty());
+}
+
+TEST(CudalintStdout, FlagsCoutAndPrintfInSrc) {
+  const RunResult r = lint_snippet("src/core/x.cpp",
+                                   "void f() { std::cout << 1; }\n"
+                                   "void g() { printf(\"hi\"); }\n");
+  EXPECT_EQ(rules_fired(r), (std::vector<std::string>{"stdout-in-src", "stdout-in-src"}));
+}
+
+TEST(CudalintStdout, ProgressMeterAndNonSrcExempt) {
+  const RunResult progress =
+      lint_snippet("src/obs/progress.cpp", "void f() { std::cout << 1; }\n");
+  EXPECT_TRUE(progress.diagnostics.empty());
+  const RunResult tool = lint_snippet("tools/x.cpp", "void f() { std::cout << 1; }\n");
+  EXPECT_TRUE(tool.diagnostics.empty());
+}
+
+TEST(CudalintStdout, FprintfToStderrIsFine) {
+  const RunResult r =
+      lint_snippet("src/check/contracts.cpp", "void f() { std::fprintf(stderr, \"x\"); }\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// include-layering
+
+constexpr std::string_view kToyManifest =
+    "module base\n"
+    "module mid : base\n"
+    "module top : base mid\n"
+    "file mid/promoted.hpp top\n";
+
+TEST(CudalintLayering, UpwardIncludeFlaggedDownwardClean) {
+  const LayeringManifest m = parse_manifest(kToyManifest);
+  const RunResult bad =
+      lint_snippet("src/base/x.hpp", "#pragma once\n#include \"mid/y.hpp\"\n", &m);
+  ASSERT_EQ(rules_fired(bad), std::vector<std::string>{"include-layering"});
+  EXPECT_EQ(bad.diagnostics[0].line, 2);
+  const RunResult good =
+      lint_snippet("src/top/x.hpp", "#pragma once\n#include \"mid/y.hpp\"\n", &m);
+  EXPECT_TRUE(good.diagnostics.empty());
+}
+
+TEST(CudalintLayering, SameModuleSystemAndForeignIncludesIgnored) {
+  const LayeringManifest m = parse_manifest(kToyManifest);
+  const RunResult r = lint_snippet("src/base/x.cpp",
+                                   "#include \"base/other.hpp\"\n"
+                                   "#include <vector>\n"
+                                   "#include \"gtest/gtest.h\"\n",
+                                   &m);
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(CudalintLayering, FileWithUndeclaredModuleFlagged) {
+  const LayeringManifest m = parse_manifest(kToyManifest);
+  const RunResult r = lint_snippet("src/rogue/x.cpp", "int x;\n", &m);
+  ASSERT_EQ(rules_fired(r), std::vector<std::string>{"include-layering"});
+  EXPECT_EQ(r.diagnostics[0].line, 1);
+}
+
+TEST(CudalintLayering, FileOverrideReassignsBothSides) {
+  const LayeringManifest m = parse_manifest(kToyManifest);
+  // The override makes mid/promoted.hpp a `top` file: it may include mid...
+  const RunResult promoted =
+      lint_snippet("src/mid/promoted.hpp", "#pragma once\n#include \"mid/y.hpp\"\n", &m);
+  EXPECT_TRUE(promoted.diagnostics.empty());
+  // ...and a genuine mid file including it is a mid -> top violation even
+  // though the path says mid/.
+  const RunResult includer =
+      lint_snippet("src/mid/y.cpp", "#include \"mid/promoted.hpp\"\n", &m);
+  EXPECT_EQ(rules_fired(includer), std::vector<std::string>{"include-layering"});
+}
+
+TEST(CudalintLayering, SkippedEntirelyOutsideSrc) {
+  const LayeringManifest m = parse_manifest(kToyManifest);
+  const RunResult r = lint_snippet("tests/x.cpp", "#include \"mid/y.hpp\"\n", &m);
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// manifest parsing and cycle detection
+
+TEST(CudalintManifest, DetectsDeclaredCycle) {
+  const LayeringManifest m = parse_manifest(
+      "module a : c\n"
+      "module b : a\n"
+      "module c : b\n");
+  const auto cycle = m.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  // A closed walk: first == last, length 4 for a 3-cycle.
+  EXPECT_EQ(cycle->size(), 4u);
+  EXPECT_EQ(cycle->front(), cycle->back());
+}
+
+TEST(CudalintManifest, AcyclicManifestHasNoCycle) {
+  EXPECT_FALSE(parse_manifest(kToyManifest).find_cycle().has_value());
+}
+
+TEST(CudalintManifest, RejectsUndeclaredDepSelfDepAndDuplicates) {
+  std::string error;
+  EXPECT_FALSE(LayeringManifest::parse("module a : ghost\n", &error).has_value());
+  EXPECT_NE(error.find("ghost"), std::string::npos);
+  EXPECT_FALSE(LayeringManifest::parse("module a : a\n", &error).has_value());
+  EXPECT_FALSE(LayeringManifest::parse("module a\nmodule a\n", &error).has_value());
+  EXPECT_FALSE(LayeringManifest::parse("modle a\n", &error).has_value());
+  EXPECT_FALSE(LayeringManifest::parse("file a/x.hpp ghost\n", &error).has_value());
+}
+
+TEST(CudalintManifest, RealRepoManifestParsesAcyclic) {
+  // The checked-in manifest itself must stay well-formed; the binary enforces
+  // this at every run, the test pins it in the suite.
+  cudalint::RunOptions options;
+  options.root = CUDALINT_REPO_ROOT;
+  const RunResult result = cudalint::run(options);
+  EXPECT_TRUE(result.config_errors.empty())
+      << (result.config_errors.empty() ? "" : result.config_errors.front());
+  EXPECT_TRUE(result.diagnostics.empty()) << cudalint::to_text(result);
+  EXPECT_GT(result.files_scanned, 50);
+}
+
+// ---------------------------------------------------------------------------
+// suppression accounting
+
+TEST(CudalintSuppression, SameLineMarkerSuppressesAndIsCounted) {
+  const RunResult r = lint_snippet(
+      "src/core/x.cpp", "auto* p = new int;  // cudalint: allow(naked-new)\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_EQ(r.suppressions[0].rule, "naked-new");
+  EXPECT_EQ(r.suppressions[0].line, 1);
+  EXPECT_EQ(r.suppressions[0].count, 1);
+  EXPECT_EQ(r.suppressed_total, 1);
+}
+
+TEST(CudalintSuppression, MarkerOnlySilencesItsOwnRuleAndLine) {
+  // Wrong rule name: the violation stands AND the marker is unused.
+  const RunResult wrong_rule = lint_snippet(
+      "src/core/x.cpp", "auto* p = new int;  // cudalint: allow(raw-assert)\n");
+  EXPECT_EQ(rules_fired(wrong_rule),
+            (std::vector<std::string>{"naked-new", "unused-suppression"}));
+  // Marker on the line above does not reach the code below (same-line only).
+  const RunResult wrong_line = lint_snippet(
+      "src/core/x.cpp", "// cudalint: allow(naked-new)\nauto* p = new int;\n");
+  EXPECT_EQ(rules_fired(wrong_line),
+            (std::vector<std::string>{"naked-new", "unused-suppression"}));
+}
+
+TEST(CudalintSuppression, UnusedAndUnknownMarkersAreDiagnostics) {
+  const RunResult unused =
+      lint_snippet("src/core/x.cpp", "int x = 1;  // cudalint: allow(naked-new)\n");
+  EXPECT_EQ(rules_fired(unused), std::vector<std::string>{"unused-suppression"});
+  const RunResult unknown =
+      lint_snippet("src/core/x.cpp", "int x = 1;  // cudalint: allow(no-such-rule)\n");
+  ASSERT_EQ(unknown.diagnostics.size(), 1u);
+  EXPECT_NE(unknown.diagnostics[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(CudalintSuppression, OneMarkerListsMultipleRules) {
+  const RunResult r = lint_snippet(
+      "src/core/x.cpp",
+      "auto* p = new int; assert(p);  // cudalint: allow(naked-new, raw-assert)\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(r.suppressed_total, 2);
+  EXPECT_EQ(r.suppressions.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// --json round-trip through obs::Json
+
+TEST(CudalintJson, ReportRoundTripsThroughObsJson) {
+  RunResult result;
+  cudalint::lint_content("src/core/x.cpp",
+                         "auto* p = new int;\n"
+                         "assert(p);  // cudalint: allow(raw-assert)\n",
+                         nullptr, result);
+  const cudalign::obs::Json report = cudalint::to_json(result);
+  const cudalign::obs::Json reparsed = cudalign::obs::Json::parse(report.dump(2));
+  EXPECT_EQ(report, reparsed);
+
+  EXPECT_EQ(reparsed.at("tool").as_string(), "cudalint");
+  EXPECT_FALSE(reparsed.at("clean").as_bool());
+  EXPECT_EQ(reparsed.at("files_scanned").as_int(), 1);
+  EXPECT_EQ(reparsed.at("suppressed_total").as_int(), 1);
+  const auto& diags = reparsed.at("diagnostics").as_array();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].at("rule").as_string(), "naked-new");
+  EXPECT_EQ(diags[0].at("file").as_string(), "src/core/x.cpp");
+  EXPECT_EQ(diags[0].at("line").as_int(), 1);
+  EXPECT_EQ(reparsed.at("diagnostics_by_rule").at("naked-new").as_int(), 1);
+  const auto& sups = reparsed.at("suppressions").as_array();
+  ASSERT_EQ(sups.size(), 1u);
+  EXPECT_EQ(sups[0].at("rule").as_string(), "raw-assert");
+}
+
+// ---------------------------------------------------------------------------
+// lexer edge cases that defeat grep
+
+TEST(CudalintLexer, RawStringWithCustomDelimiterHidesEverything) {
+  const RunResult r = lint_snippet(
+      "src/core/x.cpp",
+      "const char* s = R\"lint(new int; assert(1); using namespace std; )\" )lint\";\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(CudalintLexer, DigitSeparatorIsNotACharLiteral) {
+  // If 1'000'000 were mis-lexed as a char literal, the `new` after it would
+  // vanish into the "literal".
+  const RunResult r = lint_snippet("src/core/x.cpp",
+                                   "int big = 1'000'000; auto* p = new int;\n");
+  EXPECT_EQ(rules_fired(r), std::vector<std::string>{"naked-new"});
+}
+
+TEST(CudalintLexer, EscapedQuotesDoNotLeakCode) {
+  const RunResult r = lint_snippet("src/core/x.cpp",
+                                   "const char* s = \"\\\" new int; \\\"\";\n"
+                                   "char q = '\\''; char w = '\"';\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(CudalintLexer, LineNumbersSurviveMultilineConstructs) {
+  const RunResult r = lint_snippet("src/core/x.cpp",
+                                   "/* line 1\n"
+                                   "   line 2 */\n"
+                                   "const char* s = R\"(\n"
+                                   "multi\n"
+                                   "line\n"
+                                   ")\";\n"
+                                   "auto* p = new int;\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].line, 7);
+}
+
+}  // namespace

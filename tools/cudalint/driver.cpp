@@ -1,0 +1,186 @@
+#include "cudalint/driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace cudalint {
+namespace fs = std::filesystem;
+namespace {
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+[[nodiscard]] std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+}
+
+}  // namespace
+
+void lint_content(std::string_view path, std::string_view content,
+                  const LayeringManifest* manifest, RunResult& result) {
+  const LexedFile lexed = lex(std::string(path), content);
+  std::vector<Diagnostic> diags = run_rules(lexed, manifest);
+
+  // Suppression accounting: same-line markers swallow matching diagnostics.
+  std::map<std::pair<int, std::string>, int> fired;  // (line, rule) -> count
+  std::erase_if(diags, [&](const Diagnostic& d) {
+    for (const AllowComment& allow : lexed.allows) {
+      if (allow.line == d.line && allow.rule == d.rule) {
+        ++fired[{allow.line, allow.rule}];
+        return true;
+      }
+    }
+    return false;
+  });
+  for (const AllowComment& allow : lexed.allows) {
+    const auto it = fired.find({allow.line, allow.rule});
+    if (it != fired.end()) {
+      result.suppressions.push_back(
+          SuppressionUse{lexed.path, allow.line, allow.rule, it->second});
+      result.suppressed_total += it->second;
+      fired.erase(it);  // one marker per (line, rule); don't double-report
+      continue;
+    }
+    const std::string why = is_known_rule(allow.rule)
+                                ? "marker suppressed no '" + allow.rule + "' diagnostic"
+                                : "marker names unknown rule '" + allow.rule + "'";
+    diags.push_back(Diagnostic{lexed.path, allow.line, "unused-suppression", why});
+  }
+  result.diagnostics.insert(result.diagnostics.end(), diags.begin(), diags.end());
+  ++result.files_scanned;
+}
+
+RunResult run(const RunOptions& options) {
+  RunResult result;
+  const fs::path root = options.root.empty() ? fs::path(".") : fs::path(options.root);
+
+  // Manifest: load, parse, cycle-check. Any failure is a config error — a
+  // lint run with no layering rule silently passing would be worse than
+  // failing loudly.
+  const fs::path manifest_path = options.manifest_path.empty()
+                                     ? root / "tools/cudalint/layering.manifest"
+                                     : fs::path(options.manifest_path);
+  std::optional<LayeringManifest> manifest;
+  if (const auto text = read_file(manifest_path); !text.has_value()) {
+    result.config_errors.push_back("cannot read layering manifest: " + manifest_path.string());
+  } else {
+    std::string error;
+    manifest = LayeringManifest::parse(*text, &error);
+    if (!manifest.has_value()) {
+      result.config_errors.push_back(error);
+    } else if (const auto cycle = manifest->find_cycle(); cycle.has_value()) {
+      std::string msg = "layering manifest has a dependency cycle: ";
+      for (std::size_t i = 0; i < cycle->size(); ++i) {
+        if (i > 0) msg += " -> ";
+        msg += (*cycle)[i];
+      }
+      result.config_errors.push_back(msg);
+      manifest.reset();
+    }
+  }
+
+  // Collect files, sorted for deterministic output.
+  std::vector<fs::path> files;
+  std::vector<std::string> paths = options.paths;
+  if (paths.empty()) paths.push_back("src");
+  for (const std::string& p : paths) {
+    const fs::path abs = root / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end; it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && lintable(it->path())) files.push_back(it->path());
+      }
+    } else if (fs::is_regular_file(abs, ec)) {
+      files.push_back(abs);
+    } else {
+      result.config_errors.push_back("no such file or directory: " + abs.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& file : files) {
+    const auto content = read_file(file);
+    if (!content.has_value()) {
+      result.config_errors.push_back("cannot read file: " + file.string());
+      continue;
+    }
+    const std::string rel = file.lexically_relative(root).generic_string();
+    lint_content(rel, *content, manifest.has_value() ? &*manifest : nullptr, result);
+  }
+  sort_diagnostics(result.diagnostics);
+  return result;
+}
+
+cudalign::obs::Json to_json(const RunResult& result) {
+  using cudalign::obs::Json;
+  Json diags = Json::array();
+  for (const Diagnostic& d : result.diagnostics) {
+    diags.push(Json::object()
+                   .set("file", d.file)
+                   .set("line", static_cast<std::int64_t>(d.line))
+                   .set("rule", d.rule)
+                   .set("message", d.message));
+  }
+  Json suppressions = Json::array();
+  for (const SuppressionUse& s : result.suppressions) {
+    suppressions.push(Json::object()
+                          .set("file", s.file)
+                          .set("line", static_cast<std::int64_t>(s.line))
+                          .set("rule", s.rule)
+                          .set("count", static_cast<std::int64_t>(s.count)));
+  }
+  Json by_rule = Json::object();
+  {
+    std::map<std::string, std::int64_t> counts;
+    for (const Diagnostic& d : result.diagnostics) ++counts[d.rule];
+    for (const auto& [rule, count] : counts) by_rule.set(rule, count);
+  }
+  Json errors = Json::array();
+  for (const std::string& e : result.config_errors) errors.push(e);
+  return Json::object()
+      .set("tool", "cudalint")
+      .set("schema_version", 1)
+      .set("files_scanned", static_cast<std::int64_t>(result.files_scanned))
+      .set("diagnostics", std::move(diags))
+      .set("diagnostics_by_rule", std::move(by_rule))
+      .set("suppressions", std::move(suppressions))
+      .set("suppressed_total", static_cast<std::int64_t>(result.suppressed_total))
+      .set("config_errors", std::move(errors))
+      .set("clean", result.clean());
+}
+
+std::string to_text(const RunResult& result) {
+  std::ostringstream out;
+  for (const std::string& e : result.config_errors) out << "cudalint: error: " << e << "\n";
+  for (const Diagnostic& d : result.diagnostics) {
+    out << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message << "\n";
+  }
+  out << "cudalint: " << result.diagnostics.size() << " diagnostic(s) over "
+      << result.files_scanned << " file(s)";
+  if (result.suppressed_total > 0) {
+    out << ", " << result.suppressed_total << " suppressed by " << result.suppressions.size()
+        << " allow marker(s)";
+  }
+  out << "\n";
+  return std::move(out).str();
+}
+
+}  // namespace cudalint

@@ -1,0 +1,61 @@
+// cudalint driver: file discovery, suppression accounting, and report
+// rendering (human text and machine JSON via obs::Json).
+//
+// Suppression policy: a diagnostic of rule R on line L is suppressed by a
+// `// cudalint: allow(R)` marker whose comment STARTS on line L (same-line
+// only — no next-line form, so a marker can never drift away from the code it
+// excuses). Every suppression is counted and reported; a marker that
+// suppresses nothing, or names an unknown rule, is itself a diagnostic
+// (`unused-suppression`), so the allowlist cannot rot silently.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cudalint/layering.hpp"
+#include "cudalint/rules.hpp"
+#include "obs/json.hpp"
+
+namespace cudalint {
+
+struct RunOptions {
+  std::string root = ".";           ///< Repo root; scanned paths are relative to it.
+  std::vector<std::string> paths;   ///< Files or directories; default {"src"}.
+  std::string manifest_path;        ///< Default: <root>/tools/cudalint/layering.manifest.
+};
+
+/// One allow-marker that fired, with how many diagnostics it swallowed.
+struct SuppressionUse {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  int count = 0;
+};
+
+struct RunResult {
+  std::vector<Diagnostic> diagnostics;     ///< Post-suppression, sorted file/line.
+  std::vector<SuppressionUse> suppressions;
+  std::vector<std::string> config_errors;  ///< Manifest / IO problems (exit 2).
+  int files_scanned = 0;
+  int suppressed_total = 0;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return diagnostics.empty() && config_errors.empty();
+  }
+};
+
+/// Lints one in-memory file: rules, then suppression accounting. Appends
+/// fired markers to `result.suppressions` / counts, diagnostics to
+/// `result.diagnostics`. Exposed for the fixture tests.
+void lint_content(std::string_view path, std::string_view content,
+                  const LayeringManifest* manifest, RunResult& result);
+
+/// Full filesystem run: load manifest (cycle-checked), walk `paths` for
+/// *.cpp/*.hpp, lint each file.
+[[nodiscard]] RunResult run(const RunOptions& options);
+
+[[nodiscard]] cudalign::obs::Json to_json(const RunResult& result);
+[[nodiscard]] std::string to_text(const RunResult& result);
+
+}  // namespace cudalint

@@ -1,0 +1,128 @@
+#include "cudalint/layering.hpp"
+
+#include <sstream>
+
+namespace cudalint {
+namespace {
+
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view line) {
+  std::vector<std::string> words;
+  std::istringstream in{std::string(line)};
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+}  // namespace
+
+std::optional<LayeringManifest> LayeringManifest::parse(std::string_view text,
+                                                        std::string* error) {
+  LayeringManifest m;
+  // dep lists are validated after the full pass so forward references work.
+  std::vector<std::pair<std::string, int>> pending_checks;  // (dep or override module, line)
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = "layering manifest line " + std::to_string(line_no) + ": " + msg;
+    return std::nullopt;
+  };
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::vector<std::string> words = split_ws(raw);
+    if (words.empty()) continue;
+    if (words[0] == "module") {
+      if (words.size() < 2) return fail("'module' needs a name");
+      const std::string& name = words[1];
+      if (m.deps_.contains(name)) return fail("module '" + name + "' declared twice");
+      m.order_.push_back(name);
+      std::set<std::string>& deps = m.deps_[name];
+      std::size_t k = 2;
+      if (k < words.size()) {
+        if (words[k] != ":") return fail("expected ':' before dependency list");
+        ++k;
+      }
+      for (; k < words.size(); ++k) {
+        if (words[k] == name) return fail("module '" + name + "' lists itself as a dep");
+        deps.insert(words[k]);
+        pending_checks.emplace_back(words[k], line_no);
+      }
+    } else if (words[0] == "file") {
+      if (words.size() != 3) return fail("'file' needs <src-relative-path> <module>");
+      if (m.file_overrides_.contains(words[1]))
+        return fail("file '" + words[1] + "' overridden twice");
+      m.file_overrides_[words[1]] = words[2];
+      pending_checks.emplace_back(words[2], line_no);
+    } else {
+      return fail("unknown directive '" + words[0] + "'");
+    }
+  }
+  for (const auto& [name, at_line] : pending_checks) {
+    if (!m.deps_.contains(name)) {
+      line_no = at_line;
+      return fail("module '" + name + "' is referenced but never declared");
+    }
+  }
+  return m;
+}
+
+std::optional<std::vector<std::string>> LayeringManifest::find_cycle() const {
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& name : order_) color[name] = Color::kWhite;
+  std::vector<std::string> stack;
+  std::optional<std::vector<std::string>> cycle;
+
+  auto dfs = [&](auto&& self, const std::string& node) -> bool {
+    color[node] = Color::kGray;
+    stack.push_back(node);
+    for (const auto& dep : deps_.at(node)) {
+      if (cycle.has_value()) return true;
+      if (color[dep] == Color::kGray) {
+        // Slice the stack from the first occurrence of `dep` and close it.
+        std::vector<std::string> path;
+        bool in_cycle = false;
+        for (const auto& s : stack) {
+          if (s == dep) in_cycle = true;
+          if (in_cycle) path.push_back(s);
+        }
+        path.push_back(dep);
+        cycle = std::move(path);
+        return true;
+      }
+      if (color[dep] == Color::kWhite && self(self, dep)) return true;
+    }
+    stack.pop_back();
+    color[node] = Color::kBlack;
+    return false;
+  };
+  for (const auto& name : order_) {
+    if (color[name] == Color::kWhite && dfs(dfs, name)) break;
+  }
+  return cycle;
+}
+
+std::string LayeringManifest::module_of(std::string_view src_rel_path) const {
+  const auto it = file_overrides_.find(std::string(src_rel_path));
+  if (it != file_overrides_.end()) return it->second;
+  const std::size_t slash = src_rel_path.find('/');
+  if (slash == std::string_view::npos) return "";
+  const std::string dir(src_rel_path.substr(0, slash));
+  return deps_.contains(dir) ? dir : "";
+}
+
+bool LayeringManifest::allows(std::string_view from, std::string_view to) const {
+  if (from == to) return true;
+  const auto it = deps_.find(std::string(from));
+  return it != deps_.end() && it->second.contains(std::string(to));
+}
+
+const std::set<std::string>& LayeringManifest::deps_of(const std::string& module) const {
+  static const std::set<std::string> kEmpty;
+  const auto it = deps_.find(module);
+  return it == deps_.end() ? kEmpty : it->second;
+}
+
+}  // namespace cudalint

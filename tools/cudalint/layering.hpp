@@ -1,0 +1,64 @@
+// Include-layering manifest: the src/ module DAG, declared once and checked
+// everywhere.
+//
+// The manifest is a checked-in text file (tools/cudalint/layering.manifest):
+//
+//   # comment
+//   module <name>                      # a leaf module (no cross-module deps)
+//   module <name> : <dep> <dep> ...    # may include headers of listed deps
+//   file <src-relative-path> <module>  # override the directory->module map
+//
+// Semantics:
+//   * A file under src/<dir>/... belongs to module <dir> unless a `file`
+//     override reassigns it (e.g. obs/report.* belongs to the `report`
+//     module, mirroring the separate cudalign_report CMake target).
+//   * Deps are DIRECT and NOT transitive: every module lists everything it
+//     may include. Explicitness is the point — adding a dependency edge is a
+//     reviewed manifest change, not an accident.
+//   * The declared dep graph must itself be acyclic; `find_cycle` is run on
+//     every load and a cycle is a configuration error, not a diagnostic.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cudalint {
+
+class LayeringManifest {
+ public:
+  /// Parses manifest text. On success returns the manifest; on any syntax or
+  /// consistency problem (unknown dep, duplicate module, bad override)
+  /// returns std::nullopt and sets `error` to a line-numbered message.
+  [[nodiscard]] static std::optional<LayeringManifest> parse(std::string_view text,
+                                                             std::string* error);
+
+  /// Returns a dependency cycle as a module path (a -> b -> ... -> a) if the
+  /// declared graph has one, std::nullopt otherwise.
+  [[nodiscard]] std::optional<std::vector<std::string>> find_cycle() const;
+
+  /// Module owning the file at `src_rel_path` (path relative to src/, forward
+  /// slashes). Empty string when the file maps to no declared module.
+  [[nodiscard]] std::string module_of(std::string_view src_rel_path) const;
+
+  [[nodiscard]] bool has_module(std::string_view name) const {
+    return deps_.contains(std::string(name));
+  }
+
+  /// True when module `from` may include headers of module `to` (same module
+  /// is always allowed).
+  [[nodiscard]] bool allows(std::string_view from, std::string_view to) const;
+
+  [[nodiscard]] const std::vector<std::string>& modules() const noexcept { return order_; }
+  [[nodiscard]] const std::set<std::string>& deps_of(const std::string& module) const;
+
+ private:
+  std::vector<std::string> order_;                  ///< Declaration order.
+  std::map<std::string, std::set<std::string>> deps_;
+  std::map<std::string, std::string> file_overrides_;  ///< src-relative path -> module.
+};
+
+}  // namespace cudalint

@@ -1,0 +1,345 @@
+#include "cudalint/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace cudalint {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+[[nodiscard]] bool horizontal_ws(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/// Scans comment text for `cudalint: allow(rule-a, rule-b)` markers and
+/// records one AllowComment per listed rule, attributed to `line` (the line
+/// the comment starts on — which, for same-line suppressions, is the line of
+/// the code being suppressed).
+void scan_allow(LexedFile& out, int line, std::string_view comment) {
+  constexpr std::string_view kMarker = "cudalint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    pos += kMarker.size();
+    while (pos < comment.size() && horizontal_ws(comment[pos])) ++pos;
+    constexpr std::string_view kAllow = "allow(";
+    if (comment.substr(pos, kAllow.size()) != kAllow) continue;
+    pos += kAllow.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) break;
+    std::string_view list = comment.substr(pos, close - pos);
+    // Comma-separated rule names; whitespace around names is cosmetic.
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      std::string_view name = list.substr(0, comma);
+      while (!name.empty() && horizontal_ws(name.front())) name.remove_prefix(1);
+      while (!name.empty() && horizontal_ws(name.back())) name.remove_suffix(1);
+      if (!name.empty()) out.allows.push_back(AllowComment{line, std::string(name)});
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+    pos = close + 1;
+  }
+}
+
+/// The tokenizer proper. One instance per (sub-)text; `#define` bodies are
+/// lexed by a nested Lexer with directives disabled so a directive-looking
+/// `#` inside a macro body cannot recurse.
+class Lexer {
+ public:
+  Lexer(LexedFile& out, std::string_view text, int first_line, bool directives)
+      : out_(out), s_(text), line_(first_line), directives_(directives) {}
+
+  void run() {
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\n') {
+        ++line_;
+        line_begin_ = true;
+        ++i_;
+        continue;
+      }
+      if (horizontal_ws(c)) {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && line_begin_ && directives_) {
+        lex_directive();
+        continue;
+      }
+      line_begin_ = false;
+      if (ident_start(c)) {
+        lex_ident_or_prefixed_literal();
+        continue;
+      }
+      if (digit(c) || (c == '.' && digit(peek(1)))) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_string();
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (c == ':' && peek(1) == ':') {
+        push(TokKind::kPunct, "::");
+        i_ += 2;
+        continue;
+      }
+      push(TokKind::kPunct, std::string(1, c));
+      ++i_;
+    }
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const noexcept {
+    return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+  }
+
+  void push(TokKind kind, std::string text) {
+    out_.tokens.push_back(Token{kind, std::move(text), line_});
+  }
+
+  void lex_line_comment() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() && s_[i_] != '\n') ++i_;
+    scan_allow(out_, line_, s_.substr(start, i_ - start));
+  }
+
+  void lex_block_comment() {
+    const int start_line = line_;
+    const std::size_t start = i_;
+    i_ += 2;
+    while (i_ < s_.size() && !(s_[i_] == '*' && peek(1) == '/')) {
+      if (s_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    if (i_ < s_.size()) i_ += 2;  // closing */
+    scan_allow(out_, start_line, s_.substr(start, i_ - start));
+  }
+
+  void lex_ident_or_prefixed_literal() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() && ident_char(s_[i_])) ++i_;
+    const std::string_view id = s_.substr(start, i_ - start);
+    if (i_ < s_.size() && s_[i_] == '"') {
+      if (id == "R" || id == "u8R" || id == "LR" || id == "uR" || id == "UR") {
+        lex_raw_string(start);
+        return;
+      }
+      if (id == "u8" || id == "L" || id == "u" || id == "U") {
+        lex_string(start);
+        return;
+      }
+    }
+    if (i_ < s_.size() && s_[i_] == '\'' && (id == "u8" || id == "L" || id == "u" || id == "U")) {
+      lex_char(start);
+      return;
+    }
+    push(TokKind::kIdent, std::string(id));
+  }
+
+  void lex_number() {
+    const std::size_t start = i_;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (ident_char(c) || c == '.') {
+        ++i_;
+        continue;
+      }
+      if (c == '\'' && ident_char(peek(1))) {  // digit separator: 1'000'000
+        i_ += 2;
+        continue;
+      }
+      if ((c == '+' || c == '-') && i_ > start) {
+        const char prev = s_[i_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    push(TokKind::kNumber, std::string(s_.substr(start, i_ - start)));
+  }
+
+  // `token_start` is where the (possibly prefixed) literal begins.
+  void lex_string(std::size_t token_start = std::string_view::npos) {
+    if (token_start == std::string_view::npos) token_start = i_;
+    const int start_line = line_;
+    ++i_;  // opening quote
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) {
+        if (s_[i_ + 1] == '\n') ++line_;
+        i_ += 2;
+        continue;
+      }
+      if (s_[i_] == '\n') {
+        // Unterminated literal; stop at the line break so the rest of the
+        // file still gets lexed sanely.
+        break;
+      }
+      ++i_;
+    }
+    if (i_ < s_.size() && s_[i_] == '"') ++i_;
+    out_.tokens.push_back(
+        Token{TokKind::kString, std::string(s_.substr(token_start, i_ - token_start)), start_line});
+  }
+
+  void lex_char(std::size_t token_start = std::string_view::npos) {
+    if (token_start == std::string_view::npos) token_start = i_;
+    const int start_line = line_;
+    ++i_;  // opening quote
+    while (i_ < s_.size() && s_[i_] != '\'') {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) {
+        i_ += 2;
+        continue;
+      }
+      if (s_[i_] == '\n') break;
+      ++i_;
+    }
+    if (i_ < s_.size() && s_[i_] == '\'') ++i_;
+    out_.tokens.push_back(
+        Token{TokKind::kChar, std::string(s_.substr(token_start, i_ - token_start)), start_line});
+  }
+
+  void lex_raw_string(std::size_t token_start) {
+    const int start_line = line_;
+    ++i_;  // opening quote
+    const std::size_t delim_start = i_;
+    while (i_ < s_.size() && s_[i_] != '(' && s_[i_] != '\n') ++i_;
+    std::string closer;
+    closer.reserve(i_ - delim_start + 2);
+    closer.push_back(')');
+    closer.append(s_.substr(delim_start, i_ - delim_start));
+    closer.push_back('"');
+    if (i_ < s_.size() && s_[i_] == '(') ++i_;
+    const std::size_t body_end = s_.find(closer, i_);
+    const std::size_t end =
+        body_end == std::string_view::npos ? s_.size() : body_end + closer.size();
+    for (std::size_t k = i_; k < end; ++k) {
+      if (s_[k] == '\n') ++line_;
+    }
+    i_ = end;
+    out_.tokens.push_back(
+        Token{TokKind::kString, std::string(s_.substr(token_start, i_ - token_start)), start_line});
+  }
+
+  /// Consumes one preprocessor logical line (backslash continuations joined),
+  /// records includes / `#pragma once`, and tokenizes `#define` bodies.
+  void lex_directive() {
+    const int start_line = line_;
+    ++i_;  // '#'
+    // Gather the logical line with continuations turned into real newlines so
+    // nested lexing of define bodies keeps line numbers accurate.
+    std::string text;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\\' && peek(1) == '\n') {
+        text += '\n';
+        ++line_;
+        i_ += 2;
+        continue;
+      }
+      if (c == '\n') break;  // newline itself handled by the main loop
+      if (c == '/' && peek(1) == '/') {
+        const std::size_t cstart = i_;
+        while (i_ < s_.size() && s_[i_] != '\n') ++i_;
+        scan_allow(out_, line_, s_.substr(cstart, i_ - cstart));
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        const std::size_t cstart = i_;
+        const int cline = line_;
+        i_ += 2;
+        while (i_ < s_.size() && !(s_[i_] == '*' && peek(1) == '/')) {
+          if (s_[i_] == '\n') ++line_;
+          ++i_;
+        }
+        if (i_ < s_.size()) i_ += 2;
+        scan_allow(out_, cline, s_.substr(cstart, i_ - cstart));
+        text += ' ';
+        continue;
+      }
+      text += c;
+      ++i_;
+    }
+
+    // Parse the directive keyword.
+    std::size_t p = 0;
+    while (p < text.size() && horizontal_ws(text[p])) ++p;
+    const std::size_t kw_start = p;
+    while (p < text.size() && ident_char(text[p])) ++p;
+    const std::string_view keyword = std::string_view(text).substr(kw_start, p - kw_start);
+
+    if (keyword == "include") {
+      while (p < text.size() && horizontal_ws(text[p])) ++p;
+      if (p < text.size() && (text[p] == '<' || text[p] == '"')) {
+        const bool angled = text[p] == '<';
+        const char close = angled ? '>' : '"';
+        const std::size_t t_start = ++p;
+        const std::size_t t_end = text.find(close, t_start);
+        if (t_end != std::string::npos) {
+          out_.includes.push_back(IncludeDirective{
+              start_line, text.substr(t_start, t_end - t_start), angled});
+        }
+      }
+    } else if (keyword == "pragma") {
+      while (p < text.size() && horizontal_ws(text[p])) ++p;
+      if (std::string_view(text).substr(p, 4) == "once") out_.has_pragma_once = true;
+    } else if (keyword == "define") {
+      // Skip the macro name (and parameter list, if function-like: an opening
+      // paren with NO whitespace before it belongs to the parameters).
+      while (p < text.size() && horizontal_ws(text[p])) ++p;
+      while (p < text.size() && ident_char(text[p])) ++p;
+      if (p < text.size() && text[p] == '(') {
+        while (p < text.size() && text[p] != ')') ++p;
+        if (p < text.size()) ++p;
+      }
+      // The replacement text is real code as far as lint rules care.
+      Lexer body(out_, std::string_view(text).substr(p), start_line, /*directives=*/false);
+      body.run();
+    }
+  }
+
+  LexedFile& out_;
+  std::string_view s_;
+  std::size_t i_ = 0;
+  int line_;
+  bool line_begin_ = true;
+  bool directives_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string_view content) {
+  LexedFile out;
+  out.is_header = path.ends_with(".hpp") || path.ends_with(".h");
+  out.path = std::move(path);
+  Lexer lexer(out, content, /*first_line=*/1, /*directives=*/true);
+  lexer.run();
+  return out;
+}
+
+}  // namespace cudalint

@@ -1,0 +1,68 @@
+// cudalint lexer: a small, honest C++ tokenizer.
+//
+// The grep lint wall this tool replaces was comment- and string-blind by
+// construction; the lexer is the fix. It understands exactly the lexical
+// features that defeat grep — line and block comments, string/char literals
+// with escapes, raw strings with custom delimiters, digit separators, and
+// preprocessor logical lines with backslash continuation — and emits a token
+// stream that rules can pattern-match without ever seeing commented-out or
+// quoted code.
+//
+// Deliberately NOT a compiler front end: no keyword table, no trigraphs, no
+// macro expansion. `#define` bodies ARE tokenized (a raw `assert(...)` hidden
+// in a macro is still a raw assert); all other directives only contribute to
+// the include list and the `#pragma once` flag.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cudalint {
+
+enum class TokKind : unsigned char {
+  kIdent,   ///< Identifier or keyword (one token; `static_assert` != `assert`).
+  kNumber,  ///< Numeric literal, digit separators included.
+  kString,  ///< String literal (any prefix, raw or cooked).
+  kChar,    ///< Character literal.
+  kPunct,   ///< Punctuation; `::` is one token, everything else single-char.
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+/// One `#include` directive, quoted or angled.
+struct IncludeDirective {
+  int line = 0;
+  std::string target;  ///< Text between the delimiters.
+  bool angled = false;
+};
+
+/// One `// cudalint: allow(rule)` marker. A marker suppresses diagnostics of
+/// that rule on its own line; the driver counts every use and flags markers
+/// that suppressed nothing.
+struct AllowComment {
+  int line = 0;
+  std::string rule;
+};
+
+struct LexedFile {
+  std::string path;
+  bool is_header = false;
+  bool has_pragma_once = false;
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<AllowComment> allows;
+};
+
+/// Tokenizes `content` (the text of the file at repo-relative `path`).
+/// Never throws on malformed input: an unterminated literal or comment is
+/// consumed to end of file — lint must not die on the code it inspects.
+[[nodiscard]] LexedFile lex(std::string path, std::string_view content);
+
+}  // namespace cudalint

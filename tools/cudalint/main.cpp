@@ -1,0 +1,83 @@
+// cudalint CLI — the repo-native static analyzer.
+//
+//   cudalint [--root DIR] [--manifest FILE] [--json] [paths...]
+//   cudalint --list-rules
+//
+// Paths (default: src) are resolved relative to --root (default: .) and
+// scanned recursively for *.cpp / *.hpp / *.h.
+//
+// Exit codes: 0 clean, 1 diagnostics found, 2 usage or configuration error
+// (unreadable manifest, manifest cycle, bad path).
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cudalint/driver.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fputs(
+      "usage: cudalint [--root DIR] [--manifest FILE] [--json] [paths...]\n"
+      "       cudalint --list-rules\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cudalint::RunOptions options;
+  bool json = false;
+  bool list_rules = false;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "cudalint: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--root") {
+      const std::string* v = value("--root");
+      if (v == nullptr) return 2;
+      options.root = *v;
+    } else if (arg == "--manifest") {
+      const std::string* v = value("--manifest");
+      if (v == nullptr) return 2;
+      options.manifest_path = *v;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg.starts_with("-")) {
+      std::fprintf(stderr, "cudalint: unknown flag %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const cudalint::RuleInfo& rule : cudalint::rule_catalogue()) {
+      std::fprintf(stdout, "%-24s %s\n", std::string(rule.name).c_str(),
+                   std::string(rule.description).c_str());
+    }
+    return 0;
+  }
+
+  const cudalint::RunResult result = cudalint::run(options);
+  if (json) {
+    std::fputs((cudalint::to_json(result).dump(2) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(cudalint::to_text(result).c_str(), stdout);
+  }
+  if (!result.config_errors.empty()) return 2;
+  return result.diagnostics.empty() ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+#include "cudalint/rules.hpp"
+
+#include <array>
+
+namespace cudalint {
+namespace {
+
+constexpr std::string_view kSrcPrefix = "src/";
+
+/// Files exempt from stdout-in-src: the progress meter owns the terminal.
+[[nodiscard]] bool stdout_exempt(std::string_view path) {
+  return path == "src/obs/progress.cpp" || path == "src/obs/progress.hpp";
+}
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+void rule_naked_new(const LexedFile& f, std::vector<Diagnostic>& out) {
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "new")) continue;
+    // `operator new` declarations are not allocations.
+    if (i > 0 && is_ident(toks[i - 1], "operator")) continue;
+    out.push_back(Diagnostic{f.path, toks[i].line, "naked-new",
+                             "naked 'new' (use containers / std::make_unique)"});
+  }
+}
+
+void rule_raw_assert(const LexedFile& f, std::vector<Diagnostic>& out) {
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    // `static_assert` and `fail_assert` are whole tokens and never match.
+    if (is_ident(toks[i], "assert") && is_punct(toks[i + 1], "(")) {
+      out.push_back(Diagnostic{f.path, toks[i].line, "raw-assert",
+                               "raw assert() (use CUDALIGN_ASSERT / CUDALIGN_DCHECK; "
+                               "preconditions use CUDALIGN_CHECK)"});
+    }
+  }
+  for (const auto& inc : f.includes) {
+    if (inc.target == "cassert" || inc.target == "assert.h") {
+      out.push_back(Diagnostic{f.path, inc.line, "raw-assert",
+                               "<" + inc.target + "> include (check/contracts.hpp replaces it)"});
+    }
+  }
+}
+
+void rule_narrow_cast(const LexedFile& f, std::vector<Diagnostic>& out) {
+  constexpr std::array<std::string_view, 4> kNarrow = {"int8_t", "uint8_t", "int16_t",
+                                                       "uint16_t"};
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "static_cast") || !is_punct(toks[i + 1], "<")) continue;
+    std::size_t j = i + 2;
+    if (j + 1 < toks.size() && is_ident(toks[j], "std") && is_punct(toks[j + 1], "::")) j += 2;
+    if (j + 1 >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    for (const std::string_view type : kNarrow) {
+      if (toks[j].text == type && is_punct(toks[j + 1], ">")) {
+        out.push_back(Diagnostic{
+            f.path, toks[i].line, "narrow-cast",
+            "static_cast<" + toks[j].text +
+                "> (use engine to_lane or check::checked_cast so overflow is caught)"});
+        break;
+      }
+    }
+  }
+}
+
+void rule_pragma_once(const LexedFile& f, std::vector<Diagnostic>& out) {
+  if (f.is_header && !f.has_pragma_once) {
+    out.push_back(Diagnostic{f.path, 1, "pragma-once", "header is missing #pragma once"});
+  }
+}
+
+void rule_using_namespace_header(const LexedFile& f, std::vector<Diagnostic>& out) {
+  if (!f.is_header) return;
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_ident(toks[i], "using") && is_ident(toks[i + 1], "namespace")) {
+      out.push_back(Diagnostic{f.path, toks[i].line, "using-namespace-header",
+                               "'using namespace' in a header leaks into every includer"});
+    }
+  }
+}
+
+void rule_stdout_in_src(const LexedFile& f, std::vector<Diagnostic>& out) {
+  if (!f.path.starts_with(kSrcPrefix) || stdout_exempt(f.path)) return;
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (is_ident(toks[i], "cout") && i >= 2 && is_ident(toks[i - 2], "std") &&
+        is_punct(toks[i - 1], "::")) {
+      out.push_back(Diagnostic{f.path, toks[i].line, "stdout-in-src",
+                               "std::cout in src/ (library code must not own the terminal; "
+                               "route output through the CLI or obs/progress)"});
+    }
+    if (is_ident(toks[i], "printf") && i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
+      out.push_back(Diagnostic{f.path, toks[i].line, "stdout-in-src",
+                               "printf in src/ (library code must not own the terminal; "
+                               "route output through the CLI or obs/progress)"});
+    }
+  }
+}
+
+void rule_include_layering(const LexedFile& f, const LayeringManifest& manifest,
+                           std::vector<Diagnostic>& out) {
+  if (!f.path.starts_with(kSrcPrefix)) return;
+  const std::string src_rel = f.path.substr(kSrcPrefix.size());
+  const std::string own = manifest.module_of(src_rel);
+  if (own.empty()) {
+    out.push_back(Diagnostic{f.path, 1, "include-layering",
+                             "file belongs to no module declared in the layering manifest"});
+    return;
+  }
+  for (const auto& inc : f.includes) {
+    if (inc.angled) continue;  // system / third-party headers are out of scope
+    const std::size_t slash = inc.target.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const std::string target_module = inc.target.substr(0, slash);
+    if (!manifest.has_module(target_module)) continue;  // not a src/ module path
+    // The included file may itself be reassigned by a `file` override.
+    const std::string effective = manifest.module_of(inc.target);
+    const std::string& to = effective.empty() ? target_module : effective;
+    if (!manifest.allows(own, to)) {
+      out.push_back(Diagnostic{f.path, inc.line, "include-layering",
+                               "module '" + own + "' may not include '" + inc.target +
+                                   "' (module '" + to + "' is not in its dependency list)"});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> kRules = {
+      {"naked-new", "no `new` expressions in src/ — ownership goes through containers "
+                    "and smart pointers"},
+      {"raw-assert", "no raw `assert(...)` or `<cassert>` in src/ — use CUDALIGN_ASSERT / "
+                     "CUDALIGN_DCHECK (invariants) and CUDALIGN_CHECK (preconditions)"},
+      {"narrow-cast", "no `static_cast` to [u]int8_t/[u]int16_t in src/ — narrow through "
+                      "to_lane or check::checked_cast so overflow is caught, not wrapped"},
+      {"include-layering", "every cross-module `#include` in src/ must be an edge of the "
+                           "module DAG declared in tools/cudalint/layering.manifest"},
+      {"pragma-once", "every header in src/ carries `#pragma once`"},
+      {"using-namespace-header", "no `using namespace` in headers"},
+      {"stdout-in-src", "no `std::cout` / `printf` in src/ outside obs/progress"},
+      {"unused-suppression", "every `// cudalint: allow(rule)` marker must suppress at least "
+                             "one diagnostic of a known rule"},
+  };
+  return kRules;
+}
+
+bool is_known_rule(std::string_view name) {
+  for (const RuleInfo& rule : rule_catalogue()) {
+    if (rule.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> run_rules(const LexedFile& file, const LayeringManifest* manifest) {
+  std::vector<Diagnostic> out;
+  rule_naked_new(file, out);
+  rule_raw_assert(file, out);
+  rule_narrow_cast(file, out);
+  rule_pragma_once(file, out);
+  rule_using_namespace_header(file, out);
+  rule_stdout_in_src(file, out);
+  if (manifest != nullptr) rule_include_layering(file, *manifest, out);
+  return out;
+}
+
+}  // namespace cudalint

@@ -1,0 +1,59 @@
+// cudalint rule engine: each rule is a pure function over one file's token
+// stream (plus the layering manifest), producing file:line:rule diagnostics.
+//
+// Rule catalogue (also via `cudalint --list-rules`):
+//
+//   naked-new               `new` expression in src/ — ownership goes through
+//                           containers and smart pointers.
+//   raw-assert              raw `assert(...)` or `<cassert>` include — internal
+//                           invariants use CUDALIGN_ASSERT / CUDALIGN_DCHECK,
+//                           preconditions use CUDALIGN_CHECK.
+//   narrow-cast             `static_cast` to a narrow integer ([u]int8/16_t) —
+//                           lane narrowing goes through to_lane (envelope
+//                           DCHECKed) or check::checked_cast.
+//   include-layering        cross-module `#include` not allowed by the
+//                           layering manifest, or a file whose module is not
+//                           declared in the manifest.
+//   pragma-once             header without `#pragma once`.
+//   using-namespace-header  `using namespace` in a header.
+//   stdout-in-src           `std::cout` / `printf` in src/ outside
+//                           obs/progress — user-facing output goes through
+//                           the CLI and the progress meter.
+//   unused-suppression      a `// cudalint: allow(...)` marker that suppressed
+//                           nothing, or that names an unknown rule (applied by
+//                           the driver, not per-file).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cudalint/layering.hpp"
+#include "cudalint/lexer.hpp"
+
+namespace cudalint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view description;
+};
+
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+[[nodiscard]] bool is_known_rule(std::string_view name);
+
+/// Runs every per-file rule over `file`. Layering is checked only for files
+/// under src/ and only when `manifest` is non-null. Suppressions are NOT
+/// applied here — the driver owns suppression accounting.
+[[nodiscard]] std::vector<Diagnostic> run_rules(const LexedFile& file,
+                                                const LayeringManifest* manifest);
+
+}  // namespace cudalint

@@ -1,18 +1,17 @@
 #!/usr/bin/env bash
-# Custom lint wall for cudalign, run by the ci.sh lint stage.
+# Lint wall for cudalign, run by the ci.sh lint stage. Since PR 4 this is a
+# thin wrapper: the repo rules live in tools/cudalint/, a real C++ analyzer
+# with a lexer (comment/string/raw-string aware — the grep rules it replaced
+# were blind to all three) and the include-layering manifest
+# (tools/cudalint/layering.manifest).
 #
-#   tools/lint.sh            grep-based repo rules + clang-tidy (if installed)
-#   tools/lint.sh --no-tidy  grep-based repo rules only
+#   tools/lint.sh            cudalint + clang-tidy (if installed)
+#   tools/lint.sh --no-tidy  cudalint only
+#   tools/lint.sh --json     machine-readable cudalint report (implies --no-tidy)
 #
-# Repo rules (always on, no toolchain dependency):
-#   1. No naked `new` / `new[]` in src/ — ownership goes through containers
-#      and smart pointers; the engine is allocation-disciplined by design.
-#   2. No raw `assert(...)` in src/ — internal invariants use CUDALIGN_ASSERT
-#      or CUDALIGN_DCHECK (policy-aware, message-bearing, never compiled out
-#      silently); preconditions use CUDALIGN_CHECK.
-#   3. No explicit narrow-integer static_casts in the kernel files — lane
-#      narrowing must go through to_lane (envelope-DCHECKed) or
-#      check::checked_cast so int16 overflow is caught, not wrapped.
+# Builds the cudalint binary on demand, reusing an already-configured build
+# tree when one exists. `cudalint --list-rules` prints the rule catalogue;
+# DESIGN.md "Static analysis" has the rationale.
 #
 # clang-tidy runs over src/ with the repo .clang-tidy when both clang-tidy
 # and a compile_commands.json are available; otherwise that stage is skipped
@@ -21,50 +20,32 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_TIDY=1
-[[ "${1:-}" == "--no-tidy" ]] && RUN_TIDY=0
+JSON=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-tidy) RUN_TIDY=0 ;;
+    --json) JSON=1; RUN_TIDY=0 ;;
+    *) echo "lint.sh: unknown flag $arg" >&2; exit 2 ;;
+  esac
+done
 
-fail=0
-
-report() {
-  # $1 = rule description, $2 = offending matches (possibly empty)
-  if [[ -n "$2" ]]; then
-    echo "lint: $1"
-    echo "$2" | sed 's/^/  /'
-    fail=1
-  fi
-}
-
-# Rule 1: naked new. Word-boundary match, comments and strings stripped the
-# cheap way (// to end of line); placement/new-expression both count.
-matches="$(grep -rnE '\bnew\b[[:space:]]*[A-Za-z_(]|\bnew\b[[:space:]]*\[' src \
-             --include='*.cpp' --include='*.hpp' \
-           | grep -vE '^[^:]*:[0-9]+:.*//.*\bnew\b' || true)"
-report "naked 'new' in src/ (use containers / make_unique)" "$matches"
-
-# Rule 2: raw assert() in src/. static_assert and the contract machinery are
-# exempt; <cassert> includes are flagged too since they only exist to feed
-# raw asserts.
-matches="$(grep -rnE '(^|[^_[:alnum:]])assert[[:space:]]*\(' src \
-             --include='*.cpp' --include='*.hpp' \
-           | grep -v 'static_assert' | grep -v 'fail_assert' \
-           | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(//|\*)' || true)"
-report "raw assert() in src/ (use CUDALIGN_ASSERT / CUDALIGN_DCHECK)" "$matches"
-matches="$(grep -rn '#include <cassert>' src --include='*.cpp' --include='*.hpp' || true)"
-report "<cassert> include in src/ (contracts.hpp replaces it)" "$matches"
-
-# Rule 3: unchecked narrowing casts in kernels. Narrow lane types are only
-# minted via to_lane / checked_cast there.
-matches="$(grep -rnE 'static_cast<(std::)?u?int(8|16)_t>' \
-             src/engine/kernels_scalar.cpp src/engine/kernels_vector.cpp \
-             src/engine/kernels.cpp src/engine/kernel_registry.cpp || true)"
-report "explicit narrow-integer static_cast in kernel files (use to_lane / check::checked_cast)" \
-       "$matches"
-
-if [[ "$fail" -ne 0 ]]; then
-  echo "lint: repo rules FAILED"
-  exit 1
+# Build cudalint, preferring a build tree that is already configured.
+BUILD_DIR=""
+for d in build build-ci-release build-lint; do
+  [[ -f "$d/CMakeCache.txt" ]] && BUILD_DIR="$d" && break
+done
+if [[ -z "$BUILD_DIR" ]]; then
+  BUILD_DIR=build-lint
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
-echo "lint: repo rules clean"
+cmake --build "$BUILD_DIR" --target cudalint -j "$(nproc)" >/dev/null
+
+CUDALINT="$BUILD_DIR/tools/cudalint/cudalint"
+if [[ "$JSON" -eq 1 ]]; then
+  exec "$CUDALINT" --root . --json src
+fi
+"$CUDALINT" --root . src
 
 # clang-tidy stage (optional by toolchain availability).
 if [[ "$RUN_TIDY" -eq 1 ]]; then
@@ -73,7 +54,7 @@ if [[ "$RUN_TIDY" -eq 1 ]]; then
     exit 0
   fi
   compdb=""
-  for d in build build-ci-release build-strict; do
+  for d in build build-ci-release build-strict build-lint; do
     [[ -f "$d/compile_commands.json" ]] && compdb="$d" && break
   done
   if [[ -z "$compdb" ]]; then
