@@ -7,13 +7,24 @@
 #      every suite below, so a lint violation is a test failure too.
 #   1. Release build with the strict zero-warning wall (-DCUDALIGN_STRICT=ON:
 #      -Wall -Wextra -Wconversion -Wshadow -Werror) + full ctest
-#   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer + full
+#   2. Bench + regression gate: bench_pipeline --fast, then tools/bench_gate
+#      compares it against bench/baseline.json (tolerance
+#      ${CUDALIGN_BENCH_TOLERANCE:-15} percent; the gate's own self-test runs
+#      in both modes, the baseline comparison only in full mode — timing on a
+#      busy dev box is too noisy for the pre-push loop).
+#   3. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer + full
 #      ctest (contract DCHECKs compiled in)
-#   3. ThreadSanitizer build + full ctest, suppressions in tsan.supp (kept
+#   4. ThreadSanitizer build + full ctest, suppressions in tsan.supp (kept
 #      empty: a race in cudalign code is a bug, not a suppression)
 #
+# Every suite's configure step is followed by a stale-cache check: a build
+# tree left over from a differently-configured run (say, sanitizer flags
+# lingering in CMAKE_CXX_FLAGS of build-ci-release) fails the run instead of
+# silently testing the wrong binaries. ccache is used automatically when
+# installed. A per-stage wall-clock table prints on exit, pass or fail.
+#
 # Usage: ./ci.sh [--fast] [jobs]   (jobs defaults to nproc)
-#   --fast  lint + Release suite only: the quick pre-push loop.
+#   --fast  lint + Release suite + gate self-test only: the quick pre-push loop.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,64 +35,162 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 JOBS="${1:-$(nproc)}"
 
+# ccache makes the three build trees nearly free after the first one; CI
+# restores its cache directory between runs.
+LAUNCHER=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  echo "ci.sh: ccache enabled"
+fi
+
+# Wall-clock accounting: stage() closes the previous stage and opens the
+# next; the EXIT trap prints the table whether the run passed or died.
+STAGE_NAMES=()
+STAGE_SECONDS=()
+CURRENT_STAGE=""
+STAGE_T0=0
+stage_end() {
+  if [[ -n "$CURRENT_STAGE" ]]; then
+    STAGE_NAMES+=("$CURRENT_STAGE")
+    STAGE_SECONDS+=($((SECONDS - STAGE_T0)))
+    CURRENT_STAGE=""
+  fi
+}
+stage() {
+  stage_end
+  CURRENT_STAGE="$1"
+  STAGE_T0=$SECONDS
+  echo "=== [$1] ==="
+}
+
+OBS_DIR="$(mktemp -d)"
+finish() {
+  local status=$?
+  stage_end
+  rm -rf "$OBS_DIR"
+  if ((${#STAGE_NAMES[@]} > 0)); then
+    echo
+    echo "ci.sh stage timings:"
+    local i
+    for i in "${!STAGE_NAMES[@]}"; do
+      printf '  %-32s %5ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECONDS[$i]}"
+    done
+    printf '  %-32s %5ss\n' "total" "$SECONDS"
+  fi
+  if [[ "$status" -ne 0 ]]; then
+    echo "ci.sh: FAILED (exit $status)" >&2
+  fi
+}
+trap finish EXIT
+
+# Stale-cache guard. cmake re-applies -D options on reconfigure, but options
+# a suite does NOT pass survive from whatever configured the tree last — the
+# classic way to "pass" Release tests against sanitizer objects. Each suite
+# states every cache variable it depends on and the tree must agree exactly.
+cache_get() {
+  sed -n "s/^$2:[A-Z]*=//p" "$1/CMakeCache.txt" | head -n 1
+}
+check_cache() {
+  local dir="$1" kv key want got
+  shift
+  for kv in "$@"; do
+    key="${kv%%=*}"
+    want="${kv#*=}"
+    got="$(cache_get "$dir" "$key")"
+    if [[ "$got" != "$want" ]]; then
+      echo "ci.sh: stale build cache in $dir: $key is '$got', expected '$want'" >&2
+      echo "ci.sh: remove $dir and re-run" >&2
+      exit 1
+    fi
+  done
+}
+
 run_suite() {
   local name="$1" dir="$2"
   shift 2
-  echo "=== [$name] configure ==="
-  cmake -B "$dir" -S . "$@" >/dev/null
-  echo "=== [$name] build ==="
+  local -a expect=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do
+    expect+=("$1")
+    shift
+  done
+  shift # the --
+  stage "$name: configure"
+  cmake -B "$dir" -S . "${LAUNCHER[@]}" "$@" >/dev/null
+  check_cache "$dir" "${expect[@]}"
+  stage "$name: build"
   cmake --build "$dir" -j "$JOBS" >/dev/null
 }
 
 # 0. Lint wall: runs first so style/contract violations fail fast. lint.sh
 # builds the cudalint binary on demand (reusing a configured build tree when
 # one exists) and runs it over src/; formatting drift is part of the stage.
-echo "=== [lint] cudalint + clang-tidy ==="
+stage "lint: cudalint + clang-tidy"
 ./tools/lint.sh
-echo "=== [lint] clang-format check ==="
+stage "lint: clang-format check"
 ./tools/format.sh --check
 
 # 1. Release: the performance configuration users build, with warnings as
 # errors — the tree must stay zero-warning under -Wconversion -Wshadow.
-run_suite release build-ci-release -DCMAKE_BUILD_TYPE=Release -DCUDALIGN_STRICT=ON
-echo "=== [release] ctest ==="
+run_suite release build-ci-release \
+  CMAKE_BUILD_TYPE=Release CUDALIGN_STRICT=ON CMAKE_CXX_FLAGS= -- \
+  -DCMAKE_BUILD_TYPE=Release -DCUDALIGN_STRICT=ON -DCMAKE_CXX_FLAGS=
+stage "release: ctest"
 (cd build-ci-release && ctest --output-on-failure -j "$JOBS")
 
 # Observability smoke: a tiny end-to-end run must produce a run report that
 # the CLI's own validator accepts (schema + internal consistency), and the
 # pipeline bench must emit its trajectory artifact.
-echo "=== [release] run-report smoke ==="
-OBS_DIR="$(mktemp -d)"
-trap 'rm -rf "$OBS_DIR"' EXIT
+stage "release: run-report smoke"
 CLI=build-ci-release/tools/cudalign
 "$CLI" generate "$OBS_DIR/a.fasta" --length 4000 --seed 5 >/dev/null
 "$CLI" generate "$OBS_DIR/b.fasta" --mutate-of "$OBS_DIR/a.fasta" --seed 6 >/dev/null
 "$CLI" align "$OBS_DIR/a.fasta" "$OBS_DIR/b.fasta" --out "$OBS_DIR/aln.bin" \
   --report "$OBS_DIR/run.json" >/dev/null
 "$CLI" report-check "$OBS_DIR/run.json"
-echo "=== [release] bench_pipeline --fast ==="
+
+# 2. Bench + regression gate. The self-test exercises the comparator with a
+# synthetic 30% slowdown and must detect it; the real comparison pits the
+# fresh numbers against the checked-in baseline.
+stage "bench: bench_pipeline --fast"
 build-ci-release/bench/bench_pipeline --fast --out "$OBS_DIR/BENCH_pipeline.json" >/dev/null
 test -s "$OBS_DIR/BENCH_pipeline.json"
+stage "bench: gate"
+build-ci-release/tools/bench_gate --self-test
+if [[ "$FAST" -eq 1 ]]; then
+  echo "ci.sh: fast mode — baseline comparison skipped (runs in full CI)"
+else
+  # Two more samples: the gate scores each benchmark by its best run
+  # (best-of-3), since a single sample of the tiny --fast problem can read
+  # far below its median on a loaded machine.
+  build-ci-release/bench/bench_pipeline --fast --out "$OBS_DIR/BENCH_pipeline.2.json" >/dev/null
+  build-ci-release/bench/bench_pipeline --fast --out "$OBS_DIR/BENCH_pipeline.3.json" >/dev/null
+  build-ci-release/tools/bench_gate "$OBS_DIR"/BENCH_pipeline*.json bench/baseline.json \
+    --tolerance "${CUDALIGN_BENCH_TOLERANCE:-15}"
+fi
 
 if [[ "$FAST" -eq 1 ]]; then
   echo "ci.sh: fast mode — lint + release suite passed"
   exit 0
 fi
 
-# 2. Debug + ASan/UBSan: assertions and DCHECKs on, every allocation and UB
+# 3. Debug + ASan/UBSan: assertions and DCHECKs on, every allocation and UB
 # checked.
-run_suite asan build-ci-asan -DCMAKE_BUILD_TYPE=Debug \
+run_suite asan build-ci-asan \
+  CMAKE_BUILD_TYPE=Debug "CMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all" -- \
+  -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-echo "=== [asan] ctest ==="
+stage "asan: ctest"
 (cd build-ci-asan && ctest --output-on-failure -j "$JOBS")
 
-# 3. TSan: the full suite (not just a concurrency smoke) — single-threaded
+# 4. TSan: the full suite (not just a concurrency smoke) — single-threaded
 # suites are cheap under TSan and the executor/pool paths hide in many of
 # them via the shared pool.
-run_suite tsan build-ci-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+run_suite tsan build-ci-tsan \
+  CMAKE_BUILD_TYPE=RelWithDebInfo CMAKE_CXX_FLAGS=-fsanitize=thread -- \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-echo "=== [tsan] ctest ==="
+stage "tsan: ctest"
 (cd build-ci-tsan &&
   TSAN_OPTIONS="suppressions=$(cd .. && pwd)/tsan.supp" ctest --output-on-failure -j "$JOBS")
 

@@ -1,0 +1,56 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected, table-driven).
+//
+// Guards every durable artifact the checkpoint/resume subsystem trusts after
+// a crash: Special Rows Area row payloads and the pipeline checkpoint
+// manifest. A CRC mismatch on load means the bytes on disk are not the bytes
+// that were written — the loader refuses them with a diagnostic instead of
+// resuming from corrupt state.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cudalign::common {
+
+namespace detail {
+
+[[nodiscard]] constexpr std::array<std::uint32_t, 256> crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = crc32_table();
+
+}  // namespace detail
+
+/// Incrementally extends `crc` (pass the result of a previous call, or 0 for
+/// the first chunk) over `size` bytes at `data`.
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                                std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = detail::kCrc32Table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte buffer.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  return crc32_update(0, data, size);
+}
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view text) noexcept {
+  return crc32(text.data(), text.size());
+}
+
+}  // namespace cudalign::common

@@ -1,7 +1,12 @@
 #include "common/io_util.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <sstream>
 
 namespace cudalign {
@@ -45,6 +50,74 @@ void write_file(const std::filesystem::path& path, const std::string& contents) 
   CUDALIGN_CHECK(out.good(), "cannot open file for writing: " + path.string());
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   CUDALIGN_CHECK(out.good(), "error while writing file: " + path.string());
+}
+
+namespace {
+
+/// RAII file descriptor: durable writes use raw POSIX I/O because fsync has
+/// no std::ostream equivalent.
+class Fd {
+ public:
+  Fd(const std::filesystem::path& path, int flags, mode_t mode = 0644)
+      : fd_(::open(path.c_str(), flags, mode)), path_(path.string()) {
+    CUDALIGN_CHECK(fd_ >= 0,
+                   "cannot open " + path_ + " for durable I/O: " + std::strerror(errno));
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void write_all(const void* data, std::size_t size) const {
+    const char* p = static_cast<const char*>(data);
+    std::size_t remaining = size;
+    while (remaining > 0) {
+      const ::ssize_t n = ::write(fd_, p, remaining);
+      if (n < 0 && errno == EINTR) continue;
+      CUDALIGN_CHECK(n > 0, "durable write to " + path_ + " failed: " + std::strerror(errno));
+      p += n;
+      remaining -= static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() const {
+    CUDALIGN_CHECK(::fsync(fd_) == 0, "fsync of " + path_ + " failed: " + std::strerror(errno));
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+void fsync_parent_directory(const std::filesystem::path& path) {
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const Fd fd(dir, O_RDONLY | O_DIRECTORY);
+  fd.sync();
+}
+
+}  // namespace
+
+void write_file_durable(const std::filesystem::path& path, const void* data, std::size_t size) {
+  const Fd fd(path, O_WRONLY | O_CREAT | O_TRUNC);
+  fd.write_all(data, size);
+  fd.sync();
+}
+
+void replace_file_durable(const std::filesystem::path& tmp, const std::filesystem::path& path) {
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  CUDALIGN_CHECK(!ec, "atomic rename " + tmp.string() + " -> " + path.string() +
+                          " failed: " + ec.message());
+  fsync_parent_directory(path);
+}
+
+void atomic_write_file_durable(const std::filesystem::path& path, std::string_view contents) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  write_file_durable(tmp, contents.data(), contents.size());
+  replace_file_durable(tmp, path);
 }
 
 }  // namespace cudalign

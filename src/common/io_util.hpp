@@ -10,6 +10,7 @@
 #include <fstream>
 #include <span>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -72,5 +73,32 @@ class TempDir {
 
 /// Writes a string to a file, replacing previous contents.
 void write_file(const std::filesystem::path& path, const std::string& contents);
+
+// --- Durable (crash-safe) writes -------------------------------------------
+//
+// The checkpoint/resume subsystem needs writes that survive a SIGKILL or
+// power loss at any instant. The protocol is the classic one:
+//
+//   1. write the full contents to `<path>.tmp`
+//   2. fsync the tmp file (data is on the platter, not the page cache)
+//   3. rename(tmp, path)   — atomic replacement on POSIX filesystems
+//   4. fsync the parent directory (the rename itself is durable)
+//
+// A reader therefore sees either the complete previous version or the
+// complete new version, never a torn file; a crash can at worst leave a
+// stale `<path>.tmp` behind, which the next durable write replaces.
+
+/// Writes `size` bytes at `data` to `path` and fsyncs the file before
+/// closing. Throws on any I/O failure. Not atomic on its own — combine with
+/// replace_file_durable for the full protocol.
+void write_file_durable(const std::filesystem::path& path, const void* data, std::size_t size);
+
+/// Atomically replaces `path` with `tmp` (rename) and fsyncs the parent
+/// directory so the replacement itself survives a crash.
+void replace_file_durable(const std::filesystem::path& tmp, const std::filesystem::path& path);
+
+/// The full write-fsync-rename-fsync protocol in one call: `contents` lands
+/// at `path` atomically and durably (via `<path>.tmp`).
+void atomic_write_file_durable(const std::filesystem::path& path, std::string_view contents);
 
 }  // namespace cudalign

@@ -1,0 +1,348 @@
+#include "core/checkpoint.hpp"
+
+#include <sstream>
+
+#include "common/crc32.hpp"
+#include "common/io_util.hpp"
+
+namespace cudalign::core {
+
+std::uint64_t sequence_digest(seq::SequenceView bases) noexcept {
+  // FNV-1a 64-bit over the encoded bases.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const seq::Base b : bases) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+/// Digests render as fixed-width hex: JSON integers are signed 64-bit, and a
+/// digest with the top bit set would round-trip as a negative number.
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hex64(const std::string& text) {
+  CUDALIGN_CHECK(text.size() == 16, "checkpoint digest is not 16 hex digits: \"", text, "\"");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      CUDALIGN_CHECK(false, "checkpoint digest has a non-hex character: \"", text, "\"");
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+obs::Json grid_to_json(const engine::GridSpec& grid) {
+  return obs::Json::object()
+      .set("blocks", grid.blocks)
+      .set("threads", grid.threads)
+      .set("alpha", grid.alpha)
+      .set("multiprocessors", grid.multiprocessors);
+}
+
+engine::GridSpec grid_from_json(const obs::Json& json) {
+  engine::GridSpec grid;
+  grid.blocks = json.at("blocks").as_int();
+  grid.threads = json.at("threads").as_int();
+  grid.alpha = json.at("alpha").as_int();
+  grid.multiprocessors = json.at("multiprocessors").as_int();
+  return grid;
+}
+
+obs::Json crosspoint_to_json(const Crosspoint& p) {
+  return obs::Json::object()
+      .set("i", p.i)
+      .set("j", p.j)
+      .set("score", p.score)
+      .set("type", static_cast<std::int64_t>(p.type));
+}
+
+Crosspoint crosspoint_from_json(const obs::Json& json) {
+  Crosspoint p;
+  p.i = json.at("i").as_int();
+  p.j = json.at("j").as_int();
+  p.score = static_cast<Score>(json.at("score").as_int());
+  const std::int64_t type = json.at("type").as_int();
+  CUDALIGN_CHECK(type >= 0 && type <= 2, "checkpoint crosspoint has invalid type ", type);
+  p.type = static_cast<dp::CellState>(type);
+  return p;
+}
+
+obs::Json list_to_json(const CrosspointList& list) {
+  obs::Json array = obs::Json::array();
+  for (const Crosspoint& p : list) array.push(crosspoint_to_json(p));
+  return array;
+}
+
+CrosspointList list_from_json(const obs::Json& json) {
+  CrosspointList list;
+  for (const obs::Json& entry : json.as_array()) list.push_back(crosspoint_from_json(entry));
+  return list;
+}
+
+obs::Json envelope_to_json(const CheckpointEnvelope& e) {
+  return obs::Json::object()
+      .set("s0_digest", hex64(e.s0_digest))
+      .set("s1_digest", hex64(e.s1_digest))
+      .set("s0_length", e.s0_length)
+      .set("s1_length", e.s1_length)
+      .set("scheme", obs::Json::object()
+                         .set("match", e.scheme.match)
+                         .set("mismatch", e.scheme.mismatch)
+                         .set("gap_first", e.scheme.gap_first)
+                         .set("gap_ext", e.scheme.gap_ext))
+      .set("grid_stage1", grid_to_json(e.grid_stage1))
+      .set("grid_stage23", grid_to_json(e.grid_stage23))
+      .set("sra_rows_budget", e.sra_rows_budget)
+      .set("sra_cols_budget", e.sra_cols_budget)
+      .set("max_partition_size", e.max_partition_size)
+      .set("flush_special_rows", e.flush_special_rows)
+      .set("block_pruning", e.block_pruning)
+      .set("save_special_columns", e.save_special_columns)
+      .set("balanced_splitting", e.balanced_splitting)
+      .set("orthogonal_stage4", e.orthogonal_stage4)
+      .set("kernel_override", e.kernel_override);
+}
+
+CheckpointEnvelope envelope_from_json(const obs::Json& json) {
+  CheckpointEnvelope e;
+  e.s0_digest = parse_hex64(json.at("s0_digest").as_string());
+  e.s1_digest = parse_hex64(json.at("s1_digest").as_string());
+  e.s0_length = json.at("s0_length").as_int();
+  e.s1_length = json.at("s1_length").as_int();
+  const obs::Json& scheme = json.at("scheme");
+  e.scheme.match = static_cast<Score>(scheme.at("match").as_int());
+  e.scheme.mismatch = static_cast<Score>(scheme.at("mismatch").as_int());
+  e.scheme.gap_first = static_cast<Score>(scheme.at("gap_first").as_int());
+  e.scheme.gap_ext = static_cast<Score>(scheme.at("gap_ext").as_int());
+  e.grid_stage1 = grid_from_json(json.at("grid_stage1"));
+  e.grid_stage23 = grid_from_json(json.at("grid_stage23"));
+  e.sra_rows_budget = json.at("sra_rows_budget").as_int();
+  e.sra_cols_budget = json.at("sra_cols_budget").as_int();
+  e.max_partition_size = json.at("max_partition_size").as_int();
+  e.flush_special_rows = json.at("flush_special_rows").as_bool();
+  e.block_pruning = json.at("block_pruning").as_bool();
+  e.save_special_columns = json.at("save_special_columns").as_bool();
+  e.balanced_splitting = json.at("balanced_splitting").as_bool();
+  e.orthogonal_stage4 = json.at("orthogonal_stage4").as_bool();
+  e.kernel_override = json.at("kernel_override").as_string();
+  return e;
+}
+
+/// One mismatch line: "<field>: checkpoint has <a>, this run has <b>".
+template <typename T>
+void diff(std::vector<std::string>& out, const char* field, const T& mine, const T& theirs) {
+  if (mine == theirs) return;
+  std::ostringstream os;
+  os << field << ": checkpoint has " << mine << ", this run has " << theirs;
+  out.push_back(os.str());
+}
+
+void diff_grid(std::vector<std::string>& out, const char* field, const engine::GridSpec& mine,
+               const engine::GridSpec& theirs) {
+  auto show = [](const engine::GridSpec& g) {
+    std::ostringstream os;
+    os << "B=" << g.blocks << " T=" << g.threads << " alpha=" << g.alpha
+       << " SMs=" << g.multiprocessors;
+    return os.str();
+  };
+  const std::string a = show(mine), b = show(theirs);
+  if (a != b) diff(out, field, a, b);
+}
+
+}  // namespace
+
+std::vector<std::string> CheckpointEnvelope::mismatches(const CheckpointEnvelope& other) const {
+  std::vector<std::string> out;
+  diff(out, "sequence 0 digest", hex64(s0_digest), hex64(other.s0_digest));
+  diff(out, "sequence 1 digest", hex64(s1_digest), hex64(other.s1_digest));
+  diff(out, "sequence 0 length", s0_length, other.s0_length);
+  diff(out, "sequence 1 length", s1_length, other.s1_length);
+  diff(out, "scheme.match", scheme.match, other.scheme.match);
+  diff(out, "scheme.mismatch", scheme.mismatch, other.scheme.mismatch);
+  diff(out, "scheme.gap_first", scheme.gap_first, other.scheme.gap_first);
+  diff(out, "scheme.gap_ext", scheme.gap_ext, other.scheme.gap_ext);
+  diff_grid(out, "grid_stage1", grid_stage1, other.grid_stage1);
+  diff_grid(out, "grid_stage23", grid_stage23, other.grid_stage23);
+  diff(out, "sra_rows_budget", sra_rows_budget, other.sra_rows_budget);
+  diff(out, "sra_cols_budget", sra_cols_budget, other.sra_cols_budget);
+  diff(out, "max_partition_size", max_partition_size, other.max_partition_size);
+  diff(out, "flush_special_rows", flush_special_rows, other.flush_special_rows);
+  diff(out, "block_pruning", block_pruning, other.block_pruning);
+  diff(out, "save_special_columns", save_special_columns, other.save_special_columns);
+  diff(out, "balanced_splitting", balanced_splitting, other.balanced_splitting);
+  diff(out, "orthogonal_stage4", orthogonal_stage4, other.orthogonal_stage4);
+  diff(out, "kernel_override", std::string("\"") + kernel_override + "\"",
+       std::string("\"") + other.kernel_override + "\"");
+  return out;
+}
+
+void validate_checkpoint_state(const CheckpointState& state) {
+  const CheckpointEnvelope& e = state.envelope;
+  const Index m = e.s0_length, n = e.s1_length;
+  CUDALIGN_CHECK(m >= 0 && n >= 0, "checkpoint envelope has negative sequence lengths");
+  const auto stage = static_cast<std::int64_t>(state.stage);
+  CUDALIGN_CHECK(stage >= 1 && stage <= 6, "checkpoint names an unknown stage ", stage);
+
+  const Stage1Progress& p = state.stage1;
+  CUDALIGN_CHECK(p.last_flushed_row >= 0 && p.last_flushed_row < std::max<Index>(m, 1) &&
+                     p.special_rows_saved >= 0 && p.flush_interval >= 0,
+                 "checkpoint stage-1 progress is out of range");
+  if (p.last_flushed_row > 0) {
+    const Index strip_rows = e.grid_stage1.strip_rows();
+    CUDALIGN_CHECK(p.flush_interval > 0 && p.special_rows_saved > 0,
+                   "checkpoint records a flushed row but no flush interval / saved rows");
+    CUDALIGN_CHECK(p.last_flushed_row % strip_rows == 0,
+                   "checkpoint stage-1 row ", p.last_flushed_row,
+                   " is not on a strip boundary (strip height ", strip_rows, ")");
+    CUDALIGN_CHECK((p.last_flushed_row / strip_rows) % p.flush_interval == 0,
+                   "checkpoint stage-1 row ", p.last_flushed_row,
+                   " is not on a flush boundary (interval ", p.flush_interval, " strips)");
+  }
+
+  if (state.stage >= CheckpointStage::kStage2) {
+    const Crosspoint& end = state.end_point;
+    CUDALIGN_CHECK(end.type == dp::CellState::kH && end.score >= 0 && end.i >= 0 &&
+                       end.i <= m && end.j >= 0 && end.j <= n,
+                   "checkpoint end point is invalid");
+    // Best score 0 = empty optimal alignment: the pipeline short-circuits
+    // after Stage 1 and the crosspoint lists legitimately stay empty.
+    if (end.score > 0) {
+      if (state.stage >= CheckpointStage::kStage3) {
+        CUDALIGN_CHECK(state.l2.size() >= 2 && state.l2.back() == end,
+                       "checkpoint L2 does not chain to the end point");
+        CUDALIGN_CHECK(state.special_cols_saved >= 0,
+                       "checkpoint special-column count is negative");
+      }
+      if (state.stage >= CheckpointStage::kStage4) {
+        CUDALIGN_CHECK(state.l3.size() >= 2 && state.l3.back() == end &&
+                           state.l3.front() == state.l2.front(),
+                       "checkpoint L3 does not chain between the start and end points");
+      }
+      if (state.stage >= CheckpointStage::kStage5) {
+        CUDALIGN_CHECK(state.l4.size() >= 2 && state.l4.back() == end &&
+                           state.l4.front() == state.l2.front(),
+                       "checkpoint L4 does not chain between the start and end points");
+      }
+    }
+  }
+}
+
+obs::Json checkpoint_to_json(const CheckpointState& state) {
+  obs::Json body = obs::Json::object();
+  body.set("envelope", envelope_to_json(state.envelope));
+  body.set("stage", static_cast<std::int64_t>(state.stage));
+  body.set("stage1", obs::Json::object()
+                         .set("last_flushed_row", state.stage1.last_flushed_row)
+                         .set("special_rows_saved", state.stage1.special_rows_saved)
+                         .set("flush_interval", state.stage1.flush_interval)
+                         .set("best", obs::Json::object()
+                                          .set("score", state.stage1.best_score)
+                                          .set("i", state.stage1.best_i)
+                                          .set("j", state.stage1.best_j)));
+  body.set("end_point", crosspoint_to_json(state.end_point));
+  body.set("l2", list_to_json(state.l2));
+  body.set("special_cols_saved", state.special_cols_saved);
+  body.set("l3", list_to_json(state.l3));
+  body.set("l4", list_to_json(state.l4));
+
+  // The CRC covers the canonical (single-line) body serialization: any edit
+  // to the body — manual or bit rot — invalidates it.
+  const std::uint32_t crc = common::crc32(body.dump(0));
+  return obs::Json::object()
+      .set("schema", kCheckpointSchemaName)
+      .set("format_version", kCheckpointFormatVersion)
+      .set("body_crc", static_cast<std::int64_t>(crc))
+      .set("body", std::move(body));
+}
+
+CheckpointState checkpoint_from_json(const obs::Json& document) {
+  const obs::Json& schema = document.at("schema");
+  CUDALIGN_CHECK(schema.is_string() && schema.as_string() == kCheckpointSchemaName,
+                 "not a cudalign checkpoint manifest (schema mismatch)");
+  const std::int64_t version = document.at("format_version").as_int();
+  CUDALIGN_CHECK(version == kCheckpointFormatVersion, "checkpoint manifest has format version ",
+                 version, " but this build reads version ", kCheckpointFormatVersion,
+                 " — refusing to reinterpret it");
+  const obs::Json& body = document.at("body");
+  const auto expected_crc = static_cast<std::uint32_t>(document.at("body_crc").as_int());
+  const std::uint32_t actual_crc = common::crc32(body.dump(0));
+  CUDALIGN_CHECK(actual_crc == expected_crc,
+                 "checkpoint manifest failed its CRC-32 check — the body was altered or "
+                 "corrupted after it was written");
+
+  CheckpointState state;
+  state.envelope = envelope_from_json(body.at("envelope"));
+  const std::int64_t stage = body.at("stage").as_int();
+  CUDALIGN_CHECK(stage >= 1 && stage <= 6, "checkpoint names an unknown stage ", stage);
+  state.stage = static_cast<CheckpointStage>(stage);
+  const obs::Json& stage1 = body.at("stage1");
+  state.stage1.last_flushed_row = stage1.at("last_flushed_row").as_int();
+  state.stage1.special_rows_saved = stage1.at("special_rows_saved").as_int();
+  state.stage1.flush_interval = stage1.at("flush_interval").as_int();
+  const obs::Json& best = stage1.at("best");
+  state.stage1.best_score = static_cast<Score>(best.at("score").as_int());
+  state.stage1.best_i = best.at("i").as_int();
+  state.stage1.best_j = best.at("j").as_int();
+  state.end_point = crosspoint_from_json(body.at("end_point"));
+  state.l2 = list_from_json(body.at("l2"));
+  state.special_cols_saved = body.at("special_cols_saved").as_int();
+  state.l3 = list_from_json(body.at("l3"));
+  state.l4 = list_from_json(body.at("l4"));
+  validate_checkpoint_state(state);
+  return state;
+}
+
+CheckpointManifest::CheckpointManifest(const std::filesystem::path& directory)
+    : file_(directory / kCheckpointFileName) {
+  std::filesystem::create_directories(directory);
+}
+
+CheckpointState CheckpointManifest::load() {
+  CUDALIGN_CHECK(exists(), "no checkpoint manifest at " + file_.string());
+  const std::string text = read_file(file_);
+  bytes_read_ += static_cast<std::int64_t>(text.size());
+  obs::Json document;
+  try {
+    document = obs::Json::parse(text);
+  } catch (const Error& e) {
+    throw Error("checkpoint manifest " + file_.string() +
+                " is not valid JSON (torn or corrupt): " + e.what());
+  }
+  try {
+    return checkpoint_from_json(document);
+  } catch (const Error& e) {
+    throw Error("checkpoint manifest " + file_.string() + " is invalid: " + e.what());
+  }
+}
+
+void CheckpointManifest::save(const CheckpointState& state) {
+  validate_checkpoint_state(state);
+  const std::string text = checkpoint_to_json(state).dump(2) + "\n";
+  atomic_write_file_durable(file_, text);
+  bytes_written_ += static_cast<std::int64_t>(text.size());
+  ++updates_;
+}
+
+void CheckpointManifest::remove() {
+  std::error_code ec;
+  std::filesystem::remove(file_, ec);
+}
+
+}  // namespace cudalign::core

@@ -1,0 +1,158 @@
+// Crash-safe checkpoint manifest (DESIGN.md "Checkpoint & resume").
+//
+// A checkpointed pipeline run keeps two durable artifacts in its checkpoint
+// directory: the SRA stores (sra/sra.hpp, Durability::kDurable) holding the
+// special rows/columns themselves, and this manifest — a small JSON document
+// recording *how far* the pipeline provably got and *which problem* the
+// stores belong to. The manifest is only ever updated via the full
+// write-fsync-rename-fsync protocol (common/io_util.hpp), strictly AFTER the
+// data it references is durable, so at every instant the on-disk state is one
+// of two valid checkpoints — never a torn mixture.
+//
+// Resume refuses to proceed unless the manifest's envelope (sequence digests
+// and lengths, scoring scheme, grid shapes, SRA budgets, stage options, the
+// kernel pin) matches the new invocation exactly: a checkpoint is only
+// byte-reproducible under the configuration that wrote it, and silently
+// recomputing over mismatched state would be worse than failing.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/crosspoint.hpp"
+#include "dp/gotoh.hpp"
+#include "engine/grid.hpp"
+#include "obs/json.hpp"
+
+namespace cudalign::core {
+
+/// Manifest schema identity (mirrors the run-report convention).
+inline constexpr const char* kCheckpointSchemaName = "cudalign-checkpoint";
+inline constexpr std::int64_t kCheckpointFormatVersion = 1;
+/// File name inside the checkpoint directory.
+inline constexpr const char* kCheckpointFileName = "checkpoint.json";
+
+/// FNV-1a 64-bit over the encoded bases: cheap, order-sensitive, and enough
+/// to tell "same sequence" from "different sequence" for resume validation
+/// (combined with the length, which is checked separately).
+[[nodiscard]] std::uint64_t sequence_digest(seq::SequenceView bases) noexcept;
+
+/// Everything that must match bit-for-bit between the run that wrote a
+/// checkpoint and the run that resumes it. Grid shapes matter because special
+/// rows land on strip boundaries (alpha*T); budgets matter because they set
+/// the flush interval; flags matter because they change which artifacts exist
+/// and what the stages recompute.
+struct CheckpointEnvelope {
+  std::uint64_t s0_digest = 0;
+  std::uint64_t s1_digest = 0;
+  Index s0_length = 0;
+  Index s1_length = 0;
+  scoring::Scheme scheme;
+  engine::GridSpec grid_stage1;
+  engine::GridSpec grid_stage23;
+  std::int64_t sra_rows_budget = 0;
+  std::int64_t sra_cols_budget = 0;
+  Index max_partition_size = 0;
+  bool flush_special_rows = true;
+  bool block_pruning = false;
+  bool save_special_columns = true;
+  bool balanced_splitting = true;
+  bool orthogonal_stage4 = true;
+  /// Effective kernel pin when the checkpoint was written ("" = automatic).
+  /// Pinned kernels are exact, so this is an envelope field out of caution:
+  /// resuming under a different pin is refused rather than reasoned about.
+  std::string kernel_override;
+
+  /// Human-readable differences vs `other` (empty = compatible), each naming
+  /// the field and both values — the resume-refusal diagnostic.
+  [[nodiscard]] std::vector<std::string> mismatches(const CheckpointEnvelope& other) const;
+
+  /// Scheme/GridSpec carry no operator==, so equality is defined as "no
+  /// mismatches" — the same predicate resume uses.
+  friend bool operator==(const CheckpointEnvelope& a, const CheckpointEnvelope& b) {
+    return a.mismatches(b).empty();
+  }
+};
+
+/// The pipeline stage a checkpoint has durably *completed up to*. kStage1
+/// with progress means "mid stage 1"; kStage2 means "stage 1 finished, its
+/// outputs durable"; kDone means the run finished (resume refuses — there is
+/// nothing left to do).
+enum class CheckpointStage : std::int64_t {
+  kStage1 = 1,
+  kStage2 = 2,
+  kStage3 = 3,
+  kStage4 = 4,
+  kStage5 = 5,
+  kDone = 6,
+};
+
+/// Mid-Stage-1 progress: everything a resumed wavefront needs beyond the SRA
+/// row itself (engine ProblemSpec::start_row / initial_best).
+struct Stage1Progress {
+  Index last_flushed_row = 0;   ///< 0 = nothing durable yet (restart row 0).
+  Index special_rows_saved = 0; ///< Rows durable at (and below) that point.
+  Index flush_interval = 0;     ///< Strips between flushes when it was written.
+  /// Merged best-so-far covering at least all rows <= last_flushed_row; the
+  /// total-order max merge makes re-merging recomputed candidates idempotent.
+  Score best_score = 0;
+  Index best_i = 0;
+  Index best_j = 0;
+
+  friend bool operator==(const Stage1Progress&, const Stage1Progress&) = default;
+};
+
+/// One complete checkpoint: envelope + stage cursor + the stage outputs that
+/// later stages consume (only the fields the cursor implies are meaningful).
+struct CheckpointState {
+  CheckpointEnvelope envelope;
+  CheckpointStage stage = CheckpointStage::kStage1;
+  Stage1Progress stage1;
+  Crosspoint end_point;          ///< Stage-1 output (stage >= kStage2).
+  CrosspointList l2;             ///< Stage-2 output (stage >= kStage3).
+  Index special_cols_saved = 0;  ///< Stage-2 output (stage >= kStage3).
+  CrosspointList l3;             ///< Stage-3 output (stage >= kStage4).
+  CrosspointList l4;             ///< Stage-4 output (stage >= kStage5).
+
+  friend bool operator==(const CheckpointState&, const CheckpointState&) = default;
+};
+
+/// Structural invariants of a loaded checkpoint (contracts): the stage cursor
+/// only implies data that is present, stage-1 progress is on a strip/flush
+/// boundary, crosspoint lists are non-empty when required. Throws on
+/// violation — a manifest that fails this is corrupt regardless of its CRC.
+void validate_checkpoint_state(const CheckpointState& state);
+
+[[nodiscard]] obs::Json checkpoint_to_json(const CheckpointState& state);
+[[nodiscard]] CheckpointState checkpoint_from_json(const obs::Json& document);
+
+/// The durable manifest file: load/save/remove plus I/O accounting for the
+/// run report's `resume` block. Saving is atomic and fsync'd; loading
+/// verifies schema name, format version and a CRC-32 of the body before
+/// decoding, and runs validate_checkpoint_state on the result.
+class CheckpointManifest {
+ public:
+  explicit CheckpointManifest(const std::filesystem::path& directory);
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return file_; }
+  [[nodiscard]] bool exists() const { return std::filesystem::exists(file_); }
+
+  [[nodiscard]] CheckpointState load();
+  void save(const CheckpointState& state);
+  /// Deletes the manifest (fresh runs clear stale checkpoints up front).
+  void remove();
+
+  [[nodiscard]] std::int64_t bytes_written() const noexcept { return bytes_written_; }
+  [[nodiscard]] std::int64_t bytes_read() const noexcept { return bytes_read_; }
+  [[nodiscard]] Index updates() const noexcept { return updates_; }
+
+ private:
+  std::filesystem::path file_;
+  std::int64_t bytes_written_ = 0;
+  std::int64_t bytes_read_ = 0;
+  Index updates_ = 0;
+};
+
+}  // namespace cudalign::core

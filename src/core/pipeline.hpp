@@ -23,6 +23,27 @@ struct PipelineOptions {
   /// Working directory for SRA files; empty = a fresh temp dir per run.
   std::filesystem::path workdir;
 
+  /// Checkpoint/resume (DESIGN.md "Checkpoint & resume"): when set, the SRA
+  /// stores move under this directory in durable mode and the pipeline keeps
+  /// an atomically-updated manifest there recording stage progress — after
+  /// every stage-1 special-row flush and at every stage boundary. A killed
+  /// run re-invoked with `resume = true` continues from the last durable
+  /// point instead of recomputing from scratch. Takes precedence over
+  /// `workdir` for SRA placement.
+  std::filesystem::path checkpoint_dir;
+  /// Continue the checkpoint in `checkpoint_dir`. Refused (cudalign::Error,
+  /// naming every differing field) when the manifest's envelope — sequences,
+  /// scheme, grids, budgets, stage options, kernel pin — does not match this
+  /// invocation, when no manifest exists, or when the run already completed.
+  /// Without `resume`, a fresh run refuses to start over an existing
+  /// manifest: checkpoints are never silently recomputed over.
+  bool resume = false;
+  /// Fault injection (tests): throw cudalign::Error right after the Nth
+  /// stage-1 checkpoint save (0 = off). The environment variable
+  /// CUDALIGN_CHECKPOINT_CRASH_AFTER does the same but raises SIGKILL — the
+  /// CLI smoke test's kill switch for whole-process crash realism.
+  Index checkpoint_crash_after_flushes = 0;
+
   engine::GridSpec grid_stage1 = engine::GridSpec::stage1_defaults();
   engine::GridSpec grid_stage23 = engine::GridSpec::stage23_defaults();
 
@@ -56,9 +77,28 @@ struct PipelineOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// What resume actually did — the run report's `resume` block.
+struct ResumeInfo {
+  bool enabled = false;         ///< A checkpoint directory was configured.
+  bool resumed = false;         ///< Progress was restored from a manifest.
+  int resumed_stage = 0;        ///< Stage work restarted in (1-6; 0 = fresh).
+  Index resumed_from_row = 0;   ///< Stage-1 restart row (0 unless mid-stage-1).
+  /// Stage-1 DP cells not recomputed: resumed_from_row * n mid-stage-1, m*n
+  /// when stage 1 was already complete.
+  WideScore cells_skipped = 0;
+  /// Special rows restored from the checkpointed SRA instead of reflushed.
+  Index rows_restored = 0;
+  /// Manifest I/O (SRA traffic is accounted in the per-stage stats).
+  std::int64_t checkpoint_bytes_written = 0;
+  std::int64_t checkpoint_bytes_read = 0;
+  Index checkpoint_updates = 0;
+};
+
 struct PipelineResult {
   /// Empty optimal alignment (best score 0) short-circuits after Stage 1.
   bool empty = false;
+
+  ResumeInfo resume;
 
   Crosspoint end_point;
   Crosspoint start_point;

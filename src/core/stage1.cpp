@@ -21,6 +21,9 @@ Stage1Result run_stage1(seq::SequenceView s0, seq::SequenceView s1, const Stage1
   spec.recurrence = engine::Recurrence::local(config.scheme);
   spec.grid = config.grid;
   spec.block_pruning = config.block_pruning;
+  spec.start_row = config.resume_row;
+  spec.initial_hbus = config.resume_hbus;
+  spec.initial_best = config.resume_best;
 
   engine::Hooks hooks;
   hooks.bus_audit = config.bus_audit;
@@ -38,6 +41,13 @@ Stage1Result run_stage1(seq::SequenceView s0, seq::SequenceView s1, const Stage1
       config.rows_area->put(sra::RowKey{row, 0, n, config.group}, cells);
       ++result.special_rows_saved;
     };
+    if (config.on_checkpoint) {
+      // Runs after on_special_row, so the row the checkpoint references is
+      // already durable (SRA-before-manifest write ordering).
+      hooks.after_special_row = [&](Index row, const dp::LocalBest& best) {
+        config.on_checkpoint(row, result.special_rows_saved, best);
+      };
+    }
   }
 
   const std::int64_t flushed_before =

@@ -90,6 +90,19 @@ struct Stage1Config {
   sra::SpecialRowsArea* rows_area = nullptr;
   /// SRA group tag for stage-1 rows.
   std::int64_t group = 1;
+  /// Resume (DESIGN.md "Checkpoint & resume"): start the wavefront at vertex
+  /// row `resume_row` (a flush boundary; 0 = fresh run) with `resume_hbus` —
+  /// the restored special row at that boundary, n+1 (H, F) cells — and
+  /// `resume_best`, the checkpointed best-so-far. Strip numbering stays
+  /// global, so flushes of the resumed run land on the same rows.
+  Index resume_row = 0;
+  std::span<const engine::BusCell> resume_hbus;
+  dp::LocalBest resume_best;
+  /// Checkpoint hand-off: invoked right after each special row is durable in
+  /// `rows_area`, with the row, the rows saved *by this run* and the merged
+  /// best-so-far covering every cell up to that row. Driver thread,
+  /// deterministic order — the pipeline turns each call into a manifest save.
+  std::function<void(Index row, Index rows_saved, const dp::LocalBest& best)> on_checkpoint;
   /// Liveness: fraction of Stage-1 cells completed (long chromosome runs).
   std::function<void(double fraction)> progress;
   /// Opt-in bus hand-off verification (engine/executor.hpp Hooks::bus_audit).

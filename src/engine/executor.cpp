@@ -78,8 +78,21 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
   RunResult result;
   const GridSpec grid = fit_to_width(spec.grid, n);
   const Index strip_rows = grid.strip_rows();
-  const Index strips = (m + strip_rows - 1) / strip_rows;
+  const Index row0 = spec.start_row;
+  if (row0 != 0 || !spec.initial_hbus.empty()) {
+    CUDALIGN_CHECK(row0 >= 0 && row0 < m, "resume start row must lie inside the matrix");
+    CUDALIGN_CHECK(row0 % strip_rows == 0,
+                   "resume start row must be a strip boundary (a flushed special row)");
+    CUDALIGN_CHECK(static_cast<Index>(spec.initial_hbus.size()) == n + 1,
+                   "resume needs the complete restored horizontal bus (n+1 cells)");
+    CUDALIGN_CHECK(hooks.tap_columns.empty() && !hooks.find_value,
+                   "resume cannot be combined with taps or value probes (their row-0 "
+                   "boundary delivery would not reflect the restored bus)");
+  }
+  const Index base_strip = row0 / strip_rows;
+  const Index strips = (m - row0 + strip_rows - 1) / strip_rows;
   const Index blocks = std::max<Index>(1, std::min(grid.blocks, n));
+  result.best = spec.initial_best;
   result.stats.blocks_used = blocks;
   result.stats.threads_used = grid.threads;
 
@@ -111,9 +124,14 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
     audit->begin_run(n, strips, blocks, strip_rows, cuts);
   }
 
-  // Horizontal bus: (H, F) per column vertex, initialized to row 0.
+  // Horizontal bus: (H, F) per column vertex, initialized to row `row0` — the
+  // top boundary for a fresh run, the restored special row for a resume.
   std::vector<BusCell> hbus(static_cast<std::size_t>(n) + 1);
-  for (Index j = 0; j <= n; ++j) hbus[static_cast<std::size_t>(j)] = rec.top_boundary(j);
+  if (!spec.initial_hbus.empty()) {
+    std::copy(spec.initial_hbus.begin(), spec.initial_hbus.end(), hbus.begin());
+  } else {
+    for (Index j = 0; j <= n; ++j) hbus[static_cast<std::size_t>(j)] = rec.top_boundary(j);
+  }
   if (audit != nullptr) audit->seed_horizontal();
 
   // Vertical buses: (H, E) per row vertex of the current strip, one buffer
@@ -128,12 +146,14 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
 
   result.stats.bus_bytes = hbus.size() * sizeof(BusCell) + vbus.size() * vbus_len * sizeof(BusCell);
 
-  // Special-row assembly state.
+  // Special-row assembly state. Strip indices here are *global* (offset by
+  // base_strip), so a resumed run flushes exactly the rows a fresh run would.
   std::map<Index, PendingRow> pending_rows;
   auto strip_is_special = [&](Index s) {
     if (hooks.special_row_interval == 0) return false;
-    const Index r1 = (s + 1) * strip_rows;
-    return (s + 1) % hooks.special_row_interval == 0 && r1 < m;
+    const Index g = base_strip + s;
+    const Index r1 = (g + 1) * strip_rows;
+    return (g + 1) % hooks.special_row_interval == 0 && r1 < m;
   };
 
   std::vector<TileResult> tile_results(static_cast<std::size_t>(blocks));
@@ -162,7 +182,7 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
     // Fill the column-0 vertical bus for the strip entering the wavefront.
     if (d < strips) {
       const Index s = d;
-      const Index r0 = s * strip_rows;
+      const Index r0 = row0 + s * strip_rows;
       const Index r1 = std::min(m, r0 + strip_rows);
       auto& buf = vbus_at(0, s);
       for (Index i = r0; i <= r1; ++i) {
@@ -180,7 +200,7 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
 
     pool->parallel_for(slots.size(), [&](std::size_t idx) {
       const auto [s, b] = slots[idx];
-      const Index r0 = s * strip_rows;
+      const Index r0 = row0 + s * strip_rows;
       const Index r1 = std::min(m, r0 + strip_rows);
       const Index c0 = cuts[static_cast<std::size_t>(b)];
       const Index c1 = cuts[static_cast<std::size_t>(b + 1)];
@@ -261,7 +281,7 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
       ++result.stats.tiles;
       if (tile_pruned[static_cast<std::size_t>(b)]) {
         ++result.stats.pruned_tiles;
-        const Index pr0 = s * strip_rows;
+        const Index pr0 = row0 + s * strip_rows;
         result.stats.pruned_cells +=
             static_cast<WideScore>(std::min(m, pr0 + strip_rows) - pr0) *
             (cuts[static_cast<std::size_t>(b + 1)] - cuts[static_cast<std::size_t>(b)]);
@@ -270,7 +290,7 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
         ++tally.tiles;
         tally.cells += tr.cells;
       }
-      const Index r0 = s * strip_rows;
+      const Index r0 = row0 + s * strip_rows;
       const Index r1 = std::min(m, r0 + strip_rows);
       const Index c0 = cuts[static_cast<std::size_t>(b)];
       const Index c1 = cuts[static_cast<std::size_t>(b + 1)];
@@ -325,6 +345,10 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
         if (++row.chunks_done == blocks) {
           hooks.on_special_row(r1, row.cells);
           pending_rows.erase(it);
+          // Checkpoint hand-off: best-so-far here covers (at least) every
+          // cell of rows <= r1 — all earlier strips have fully completed and
+          // this strip just merged its last chunk.
+          if (hooks.after_special_row) hooks.after_special_row(r1, result.best);
         }
       }
     }
@@ -364,6 +388,8 @@ RunResult run_reference(const ProblemSpec& spec, const Hooks& hooks) {
   if (hooks.find_value) {
     CUDALIGN_CHECK(false, "run_reference does not implement the value probe");
   }
+  CUDALIGN_CHECK(spec.start_row == 0 && spec.initial_hbus.empty(),
+                 "run_reference does not implement resume (start_row / initial_hbus)");
   RunResult result;
   const Index m = static_cast<Index>(spec.a.size());
   const Index n = static_cast<Index>(spec.b.size());

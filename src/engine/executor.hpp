@@ -62,6 +62,22 @@ struct ProblemSpec {
   /// outside the pinned variant's envelope fall back to automatic selection,
   /// so results are identical either way. Empty = automatic.
   std::string kernel_override;
+
+  /// Resume support (checkpoint/resume, DESIGN.md "Checkpoint & resume"):
+  /// start the wavefront at vertex row `start_row` instead of row 0. Must be
+  /// a multiple of the grid's strip height and is only meaningful with
+  /// `initial_hbus` — the complete (H, F) horizontal bus at that row, i.e. a
+  /// restored special row of n+1 cells. Strip numbering stays *global* (strip
+  /// k covers rows [k*strip_rows, (k+1)*strip_rows)), so special-row flushes
+  /// of a resumed run land on exactly the rows an uninterrupted run flushes.
+  Index start_row = 0;
+  std::span<const BusCell> initial_hbus;
+
+  /// Best-so-far carried across a resume (local mode). Merging is a total-
+  /// order max (score desc, then row-major vertex), so re-merging candidates
+  /// from recomputed cells is idempotent: the resumed run's final best is
+  /// bit-identical to an uninterrupted run's.
+  dp::LocalBest initial_best;
 };
 
 /// Hook verdict after observing a special row / tap segment.
@@ -76,6 +92,11 @@ struct Hooks {
   /// strip height, as in the paper). 0 disables flushing.
   Index special_row_interval = 0;
   std::function<void(Index row, std::span<const BusCell>)> on_special_row;
+
+  /// Called immediately after on_special_row returns, with the run's merged
+  /// best-so-far (local mode) at that point — everything a checkpoint needs
+  /// to make the flush durable progress. Driver thread, deterministic order.
+  std::function<void(Index row, const dp::LocalBest& best_so_far)> after_special_row;
 
   /// Column taps (ascending vertex columns in (0..n]): after each strip, the
   /// hook receives the (H, E) values at the tap column; entry k of the span

@@ -145,6 +145,20 @@ Json build_run_report(const ReportContext& ctx) {
                         .set("special_cols_saved",
                              static_cast<std::int64_t>(res.special_cols_saved)));
 
+  if (res.resume.enabled) {
+    report.set("resume",
+               Json::object()
+                   .set("resumed", res.resume.resumed)
+                   .set("resumed_stage", res.resume.resumed_stage)
+                   .set("resumed_from_row", static_cast<std::int64_t>(res.resume.resumed_from_row))
+                   .set("cells_skipped", static_cast<std::int64_t>(res.resume.cells_skipped))
+                   .set("rows_restored", static_cast<std::int64_t>(res.resume.rows_restored))
+                   .set("checkpoint_bytes_written", res.resume.checkpoint_bytes_written)
+                   .set("checkpoint_bytes_read", res.resume.checkpoint_bytes_read)
+                   .set("checkpoint_updates",
+                        static_cast<std::int64_t>(res.resume.checkpoint_updates)));
+  }
+
   Json counts = Json::array();
   for (const Index c : res.crosspoint_counts) counts.push(static_cast<std::int64_t>(c));
   report.set("crosspoint_counts", std::move(counts));
@@ -222,23 +236,45 @@ std::vector<std::string> validate_run_report(const Json& report) {
     return problems;
   }
 
+  // A resumed run accounts the work it did NOT redo in the `resume` block;
+  // the stage-1 invariants below fold those amounts back in.
+  std::int64_t cells_skipped = 0;
+  std::int64_t rows_restored = 0;
+  if (const Json* resume = report.find("resume"); resume != nullptr && resume->is_object()) {
+    for (const char* key : {"resumed", "resumed_stage", "resumed_from_row", "cells_skipped",
+                            "rows_restored", "checkpoint_bytes_written",
+                            "checkpoint_bytes_read", "checkpoint_updates"}) {
+      require(resume->find(key) != nullptr,
+              std::string("resume block missing key \"") + key + "\"");
+    }
+    if (const Json* v = resume->find("cells_skipped"); v != nullptr && v->is_int()) {
+      cells_skipped = v->as_int();
+    }
+    if (const Json* v = resume->find("rows_restored"); v != nullptr && v->is_int()) {
+      rows_restored = v->as_int();
+    }
+  }
+
   // Invariant: Stage 1 visits every cell of the m*n matrix except the pruned
-  // ones — computed + pruned must equal the full grid.
+  // ones and the ones a resume skipped — together they tile the full grid.
   const std::int64_t m = inputs->at("s0").at("length").as_int();
   const std::int64_t n = inputs->at("s1").at("length").as_int();
   const std::int64_t stage1_cells = stages->as_array()[0].at("cells").as_int();
   const std::int64_t pruned = stage1->at("pruned_cells").as_int();
-  require(stage1_cells + pruned == m * n,
+  require(stage1_cells + pruned + cells_skipped == m * n,
           "stage 1 cells (" + std::to_string(stage1_cells) + ") + pruned (" +
-              std::to_string(pruned) + ") != m*n (" + std::to_string(m * n) + ")");
+              std::to_string(pruned) + ") + skipped (" + std::to_string(cells_skipped) +
+              ") != m*n (" + std::to_string(m * n) + ")");
 
-  // Invariant: every special row Stage 1 reported saved is one SRA flush.
+  // Invariant: every saved special row was either flushed by this run's
+  // Stage 1 or restored from the checkpoint.
   const std::int64_t rows_flushed =
       stages->as_array()[0].at("sra").at("rows_flushed").as_int();
   const std::int64_t rows_saved = sra->at("special_rows_saved").as_int();
-  require(rows_flushed == rows_saved,
-          "stage 1 SRA rows_flushed (" + std::to_string(rows_flushed) +
-              ") != special_rows_saved (" + std::to_string(rows_saved) + ")");
+  require(rows_flushed + rows_restored == rows_saved,
+          "stage 1 SRA rows_flushed (" + std::to_string(rows_flushed) + ") + restored (" +
+              std::to_string(rows_restored) + ") != special_rows_saved (" +
+              std::to_string(rows_saved) + ")");
 
   // Invariant: totals.cells is the sum over the stages array.
   const std::int64_t reported_total = totals->at("cells").as_int();

@@ -6,6 +6,13 @@
 // *flush interval* is derived from the budget exactly as in the paper:
 // at least ceil(8*m*n / (alpha*T*|SRA|)) blocks between flushes, i.e. the
 // budget is never exceeded no matter the matrix size.
+//
+// On-disk format (version 2, DESIGN.md "Checkpoint & resume"): every row
+// file is self-describing — magic, format version, its RowKey, cell count
+// and a CRC-32 of the payload — and the store manifest records the same CRC,
+// so truncation and bit rot are detected on load instead of silently
+// corrupting a resumed alignment. Version-1 stores (no CRCs) are refused
+// with a format-version diagnostic, never reinterpreted.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +36,23 @@ struct RowKey {
   std::int64_t group = 0;
 };
 
+/// The SRA on-disk format version this build reads and writes. Bumped when
+/// the row-file or manifest layout changes; a store written by a different
+/// version is refused on open (checkpoints never cross format versions).
+inline constexpr std::uint16_t kSraFormatVersion = 2;
+
+/// How hard the store tries to survive a crash mid-write.
+enum class Durability : std::uint8_t {
+  /// Plain buffered writes (manifest still replaced via rename). The mode
+  /// for self-cleaning temp-dir runs: fast, but a crash may tear files.
+  kFast,
+  /// Every row file and manifest update goes through the full
+  /// write-fsync-rename-fsync protocol (common/io_util.hpp): after put()
+  /// returns, the row survives SIGKILL or power loss. The mode checkpointed
+  /// pipelines use.
+  kDurable,
+};
+
 /// Computes the paper's flush interval: the number of strips between special
 /// rows such that at most `budget` bytes are ever stored. A full special row
 /// costs 8*(n+1) bytes; there are m/strip_rows strip boundaries.
@@ -43,21 +67,30 @@ struct RowKey {
 /// The index is persisted in a manifest file alongside the rows, so a store
 /// reopened on the same directory recovers its contents — chromosome-scale
 /// Stage-1 runs take many hours (18.5 h in the paper) and must not lose
-/// their special rows to a crash or restart.
+/// their special rows to a crash or restart. Opening also sweeps stale
+/// `*.tmp` files (torn durable writes from a previous crash) and validates
+/// that every live row file exists with its full recorded size.
 class SpecialRowsArea {
  public:
-  SpecialRowsArea(std::filesystem::path directory, std::int64_t budget_bytes);
+  SpecialRowsArea(std::filesystem::path directory, std::int64_t budget_bytes,
+                  Durability durability = Durability::kFast);
 
   /// Persists a row; returns its storage index.
   std::size_t put(const RowKey& key, std::span<const engine::BusCell> cells);
 
-  /// Loads a row by storage index.
+  /// Loads a row by storage index, verifying the file header against the
+  /// manifest and the payload against its CRC-32. Throws on any mismatch.
   [[nodiscard]] std::vector<engine::BusCell> get(std::size_t index) const;
   [[nodiscard]] const RowKey& key(std::size_t index) const;
   [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
 
   /// All indices in `group`, sorted by position ascending.
   [[nodiscard]] std::vector<std::size_t> group_members(std::int64_t group) const;
+
+  /// Deletes one row, reclaiming budget. Resume uses this to drop rows that
+  /// were flushed after the last checkpointed one (they are recomputed, and
+  /// keeping them would duplicate positions within the group).
+  void drop_row(std::size_t index);
 
   /// Deletes all rows in `group`, reclaiming budget (stages drop their
   /// intermediate data once consumed, like the paper's constant-|SRA| reuse).
@@ -82,9 +115,11 @@ class SpecialRowsArea {
   [[nodiscard]] std::filesystem::path file_for(std::size_t index) const;
   void load_manifest();
   void save_manifest() const;
+  void remove_row_file(std::size_t index);
 
   std::filesystem::path dir_;
   std::int64_t budget_;
+  Durability durability_;
   std::int64_t used_ = 0;
   std::int64_t peak_ = 0;
   std::int64_t written_ = 0;
@@ -94,6 +129,7 @@ class SpecialRowsArea {
   std::vector<RowKey> keys_;
   std::vector<bool> live_;
   std::vector<std::int64_t> sizes_;
+  std::vector<std::uint32_t> crcs_;
 };
 
 }  // namespace cudalign::sra

@@ -39,6 +39,45 @@ if "$CLI" score "$DIR/multi.fasta" "$DIR/b.fasta" 2>"$DIR/multi.err"; then
   exit 1
 fi
 grep -q "2 records" "$DIR/multi.err"
+# Kill-and-resume: fault injection SIGKILLs the process right after the 2nd
+# stage-1 checkpoint save; the resumed run must produce byte-identical output.
+# No --prune here: pruning keeps the score and endpoint identical but may pick
+# a different co-optimal alignment, which would break the byte comparison.
+"$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --out "$DIR/ref.bin" > "$DIR/ref.out"
+if CUDALIGN_CHECKPOINT_CRASH_AFTER=2 "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" \
+     --checkpoint-dir "$DIR/ckpt" --out "$DIR/crash.bin" >/dev/null 2>&1; then
+  echo "fault-injected run did not crash" >&2
+  exit 1
+fi
+test -s "$DIR/ckpt/checkpoint.json"
+"$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --checkpoint-dir "$DIR/ckpt" --resume \
+       --out "$DIR/resumed.bin" --report "$DIR/resume.json" > "$DIR/resume.out"
+grep -q "resumed from checkpoint" "$DIR/resume.out"
+cmp "$DIR/ref.bin" "$DIR/resumed.bin"
+grep "best score" "$DIR/ref.out" > "$DIR/ref.score"
+grep "best score" "$DIR/resume.out" > "$DIR/resume.score"
+cmp "$DIR/ref.score" "$DIR/resume.score"
+"$CLI" report-check "$DIR/resume.json" | grep -q "well-formed"
+grep '"cells_skipped":' "$DIR/resume.json" | grep -vq ': 0'
+# Resuming a finished checkpoint must be refused, not silently recomputed.
+if "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --checkpoint-dir "$DIR/ckpt" \
+     --resume --out "$DIR/again.bin" 2>"$DIR/done.err"; then
+  echo "resume of a completed checkpoint was accepted" >&2
+  exit 1
+fi
+grep -q "completed" "$DIR/done.err"
+# Resuming with different sequences must be refused with a digest diagnostic.
+if CUDALIGN_CHECKPOINT_CRASH_AFTER=1 "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" \
+     --checkpoint-dir "$DIR/ckpt2" --out "$DIR/crash2.bin" >/dev/null 2>&1; then
+  echo "fault-injected run did not crash" >&2
+  exit 1
+fi
+if "$CLI" align "$DIR/b.fasta" "$DIR/a.fasta" --checkpoint-dir "$DIR/ckpt2" \
+     --resume --out "$DIR/swap.bin" 2>"$DIR/swap.err"; then
+  echo "resume with swapped sequences was accepted" >&2
+  exit 1
+fi
+grep -q "digest" "$DIR/swap.err"
 # Unknown flag must fail.
 if "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --no-such-flag 2>/dev/null; then
   echo "unknown flag was accepted" >&2

@@ -2,6 +2,7 @@
 // special rows, taps and best cells for every grid shape and worker count.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 
 #include "common/rng.hpp"
@@ -368,6 +369,65 @@ TEST(Engine, SpecialRowsNeedSink) {
   Hooks hooks;
   hooks.special_row_interval = 2;
   EXPECT_THROW((void)engine::run_wavefront(spec, hooks), Error);
+}
+
+// The checkpoint/resume contract at the engine layer: restarting from a
+// flushed special row (start_row + initial_hbus + initial_best) must replay
+// the remaining strips exactly — same flushed rows byte for byte, same
+// merged best. The pipeline's crash-recovery correctness reduces to this.
+TEST(Engine, ResumeFromSpecialRowMatchesFullRun) {
+  const auto a = rand_seq(250, 2201);
+  const auto b = rand_seq(240, 2202);
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = tiny_grid(3, 8, 2);  // Strip height 16.
+  spec.recurrence = engine::Recurrence::local(paper());
+
+  struct Flush {
+    Index row;
+    std::vector<BusCell> bus;
+    dp::LocalBest best;
+  };
+  const auto collect = [&](ProblemSpec run_spec) {
+    std::vector<Flush> flushes;
+    Hooks hooks;
+    hooks.special_row_interval = 2;  // Every 32 rows.
+    hooks.on_special_row = [&](Index row, std::span<const BusCell> bus) {
+      flushes.push_back({row, {bus.begin(), bus.end()}, {}});
+    };
+    hooks.after_special_row = [&](Index, const dp::LocalBest& best) {
+      flushes.back().best = best;
+    };
+    const auto run = engine::run_wavefront(run_spec, hooks);
+    return std::pair{flushes, run.best};
+  };
+
+  const auto [full_flushes, full_best] = collect(spec);
+  ASSERT_GE(full_flushes.size(), 3u);
+
+  const Flush& middle = full_flushes[1];
+  ProblemSpec resumed_spec = spec;
+  resumed_spec.start_row = middle.row;
+  resumed_spec.initial_hbus = middle.bus;
+  resumed_spec.initial_best = middle.best;
+  const auto [resumed_flushes, resumed_best] = collect(resumed_spec);
+
+  EXPECT_EQ(resumed_best.score, full_best.score);
+  EXPECT_EQ(resumed_best.i, full_best.i);
+  EXPECT_EQ(resumed_best.j, full_best.j);
+  ASSERT_EQ(resumed_flushes.size(), full_flushes.size() - 2);
+  for (std::size_t k = 0; k < resumed_flushes.size(); ++k) {
+    const Flush& want = full_flushes[k + 2];
+    const Flush& got = resumed_flushes[k];
+    EXPECT_EQ(got.row, want.row);
+    ASSERT_EQ(got.bus.size(), want.bus.size());
+    EXPECT_EQ(std::memcmp(got.bus.data(), want.bus.data(), got.bus.size() * sizeof(BusCell)), 0)
+        << "flushed row " << got.row << " diverged after resume";
+    EXPECT_EQ(got.best.score, want.best.score);
+    EXPECT_EQ(got.best.i, want.best.i);
+    EXPECT_EQ(got.best.j, want.best.j);
+  }
 }
 
 }  // namespace

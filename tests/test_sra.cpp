@@ -157,5 +157,152 @@ TEST(Sra, FilesActuallyOnDisk) {
   EXPECT_EQ(manifests, 1);
 }
 
+// ---------------------------------------------------------------------------
+// Durability edge cases (format v2): every way a crashed or tampered store
+// can disagree with its manifest must be detected on open or read — resume
+// must never silently compute over corrupt special rows.
+// ---------------------------------------------------------------------------
+
+/// Flips one byte at `offset` in `file` (negative = from the end).
+void corrupt_byte(const std::filesystem::path& file, std::int64_t offset) {
+  std::fstream io(file, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(io.good());
+  io.seekg(0, std::ios::end);
+  const std::int64_t size = io.tellg();
+  const std::int64_t pos = offset >= 0 ? offset : size + offset;
+  ASSERT_GE(pos, 0);
+  ASSERT_LT(pos, size);
+  io.seekg(pos);
+  char byte = 0;
+  io.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  io.seekp(pos);
+  io.write(&byte, 1);
+}
+
+std::filesystem::path row_file(const std::filesystem::path& dir, std::size_t index) {
+  return dir / ("sra-" + std::to_string(index) + ".bin");
+}
+
+TEST(SraDurability, TruncatedRowFileDetectedOnReopen) {
+  TempDir dir;
+  const auto store = dir.path() / "persist";
+  {
+    SpecialRowsArea area(store, 1 << 20);
+    (void)area.put(RowKey{64, 0, 31, 1}, make_row(32, 5));
+  }
+  std::filesystem::resize_file(row_file(store, 0), std::filesystem::file_size(row_file(store, 0)) - 8);
+  try {
+    SpecialRowsArea reopened(store, 1 << 20);
+    FAIL() << "truncated row file was not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SraDurability, PayloadCorruptionFailsCrcOnRead) {
+  TempDir dir;
+  const auto store = dir.path() / "persist";
+  SpecialRowsArea area(store, 1 << 20);
+  const auto idx = area.put(RowKey{64, 0, 31, 1}, make_row(32, 5));
+  corrupt_byte(row_file(store, idx), -3);  // Inside the payload.
+  try {
+    (void)area.get(idx);
+    FAIL() << "payload corruption was not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC-32"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SraDurability, RowHeaderCorruptionDetectedOnRead) {
+  TempDir dir;
+  const auto store = dir.path() / "persist";
+  SpecialRowsArea area(store, 1 << 20);
+  const auto idx = area.put(RowKey{64, 0, 31, 1}, make_row(32, 5));
+  corrupt_byte(row_file(store, idx), 0);  // The magic.
+  EXPECT_THROW((void)area.get(idx), Error);
+}
+
+TEST(SraDurability, FormatVersionBumpRefusedOnReopen) {
+  TempDir dir;
+  const auto store = dir.path() / "persist";
+  {
+    SpecialRowsArea area(store, 1 << 20);
+    (void)area.put(RowKey{64, 0, 31, 1}, make_row(32, 5));
+  }
+  // The manifest's version lives right after the 4-byte magic; flipping it
+  // simulates a store written by a different format version.
+  corrupt_byte(store / "manifest.bin", 4);
+  try {
+    SpecialRowsArea reopened(store, 1 << 20);
+    FAIL() << "format-version mismatch was not refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("format version"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SraDurability, PreV2MagicRefusedOnReopen) {
+  TempDir dir;
+  const auto store = dir.path() / "persist";
+  {
+    SpecialRowsArea area(store, 1 << 20);
+    (void)area.put(RowKey{64, 0, 31, 1}, make_row(32, 5));
+  }
+  corrupt_byte(store / "manifest.bin", 0);
+  EXPECT_THROW(SpecialRowsArea(store, 1 << 20), Error);
+}
+
+TEST(SraDurability, ManifestReferencingMissingRowDetected) {
+  TempDir dir;
+  const auto store = dir.path() / "persist";
+  {
+    SpecialRowsArea area(store, 1 << 20);
+    (void)area.put(RowKey{64, 0, 31, 1}, make_row(32, 5));
+    (void)area.put(RowKey{128, 0, 31, 1}, make_row(32, 9));
+  }
+  std::filesystem::remove(row_file(store, 1));
+  try {
+    SpecialRowsArea reopened(store, 1 << 20);
+    FAIL() << "missing row file was not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SraDurability, DropRowRemovesExactlyOne) {
+  TempDir dir;
+  const auto store = dir.path() / "persist";
+  SpecialRowsArea area(store, 1 << 20);
+  (void)area.put(RowKey{64, 0, 31, 1}, make_row(32, 1));
+  const auto idx2 = area.put(RowKey{128, 0, 31, 1}, make_row(32, 2));
+  (void)area.put(RowKey{192, 0, 31, 1}, make_row(32, 3));
+  area.drop_row(idx2);
+  const auto members = area.group_members(1);
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(area.key(members[0]).position, 64);
+  EXPECT_EQ(area.key(members[1]).position, 192);
+  EXPECT_FALSE(std::filesystem::exists(row_file(store, idx2)));
+  // The drop is durable: a reopened store agrees.
+  SpecialRowsArea reopened(store, 1 << 20);
+  EXPECT_EQ(reopened.group_members(1).size(), 2u);
+}
+
+TEST(SraDurability, DurableModeRoundTripsAndSweepsTornTmpFiles) {
+  TempDir dir;
+  const auto store = dir.path() / "persist";
+  const auto row = make_row(32, 5);
+  {
+    SpecialRowsArea area(store, 1 << 20, Durability::kDurable);
+    (void)area.put(RowKey{64, 0, 31, 1}, row);
+  }
+  // A crash between "write tmp" and "rename" leaves only *.tmp files; the
+  // next open must sweep them and keep the referenced rows intact.
+  write_file(store / "sra-99.bin.tmp", "torn half-written row");
+  SpecialRowsArea reopened(store, 1 << 20, Durability::kDurable);
+  EXPECT_FALSE(std::filesystem::exists(store / "sra-99.bin.tmp"));
+  ASSERT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(reopened.get(0), row);
+}
+
 }  // namespace
 }  // namespace cudalign::sra

@@ -35,7 +35,7 @@ int usage() {
            [--max-partition N] [--match N] [--mismatch N] [--gap-first N]
            [--gap-ext N] [--no-stage3] [--stats] [--prune] [--both-strands]
            [--cigar FILE] [--kernel NAME] [--audit-bus] [--report FILE]
-           [--progress]
+           [--progress] [--checkpoint-dir DIR] [--resume]
   cudalign score A.fasta B.fasta [--match N] [--mismatch N] [--gap-first N]
            [--gap-ext N] [--kernel NAME] [--audit-bus]
 
@@ -53,6 +53,10 @@ happens-before relation (check/bus_audit.hpp) and fails the run on violation.
 counters, SRA and bus traffic; schema in DESIGN.md "Observability");
 --progress prints a live per-stage ETA line to stderr. report-check validates
 a report's schema and internal consistency (exit 0 = well-formed).
+--checkpoint-dir keeps durable crash-safe progress (special rows + a stage
+manifest) under DIR; a killed run re-invoked with --resume continues from the
+last checkpoint instead of recomputing (DESIGN.md "Checkpoint & resume").
+Resume refuses mismatched sequences, scoring or grid options.
 
 Byte sizes accept K/M/G suffixes (e.g. --sra 2G).
 )");
@@ -72,7 +76,7 @@ scoring::Scheme scheme_from(const common::Args& args) {
 int cmd_align(const common::Args& args) {
   args.check_known({"out", "sra", "workdir", "max-partition", "match", "mismatch", "gap-first",
                     "gap-ext", "no-stage3", "stats", "prune", "both-strands", "cigar",
-                    "kernel", "audit-bus", "report", "progress"});
+                    "kernel", "audit-bus", "report", "progress", "checkpoint-dir", "resume"});
   if (args.positional().size() != 2) return usage();
   if (args.has("kernel")) engine::set_kernel_override(args.str("kernel"));
   const auto s0 = seq::read_single_fasta(args.positional()[0]);
@@ -89,6 +93,13 @@ int cmd_align(const common::Args& args) {
   options.save_special_columns = !args.has("no-stage3");
   options.block_pruning = args.has("prune");
   if (args.has("workdir")) options.workdir = args.str("workdir");
+  if (args.has("checkpoint-dir")) options.checkpoint_dir = args.str("checkpoint-dir");
+  options.resume = args.has("resume");
+  CUDALIGN_CHECK(!options.resume || !options.checkpoint_dir.empty(),
+                 "--resume requires --checkpoint-dir");
+  CUDALIGN_CHECK(options.checkpoint_dir.empty() || !args.has("both-strands"),
+                 "--checkpoint-dir does not combine with --both-strands (the two strand "
+                 "pipelines would fight over one checkpoint)");
 
   check::BusAuditor auditor;
   if (args.has("audit-bus")) options.bus_audit = &auditor;
@@ -130,6 +141,12 @@ int cmd_align(const common::Args& args) {
   if (args.has("audit-bus")) {
     std::printf("%s\n", auditor.report().c_str());
     if (!auditor.ok()) return 3;
+  }
+  if (result.resume.resumed) {
+    std::printf("resumed from checkpoint: stage %d, row %lld, %lld cells skipped\n",
+                result.resume.resumed_stage,
+                static_cast<long long>(result.resume.resumed_from_row),
+                static_cast<long long>(result.resume.cells_skipped));
   }
   std::printf("best score %d at (%lld, %lld)\n", result.best_score,
               static_cast<long long>(result.end_point.i),
