@@ -58,18 +58,21 @@ std::string BusViolation::describe() const {
 }
 
 void BusAuditor::begin_run(Index n, Index strips, Index blocks, Index strip_rows,
-                           std::vector<Index> cuts) {
+                           std::vector<Index> cuts, OrderModel order, Index vplanes) {
   CUDALIGN_CHECK(static_cast<Index>(cuts.size()) == blocks + 1,
                  "bus audit: cuts must have blocks + 1 entries");
   CUDALIGN_CHECK(strip_rows < kVSlotStride, "bus audit: strip height exceeds the slot encoding");
+  CUDALIGN_CHECK(vplanes >= 2, "bus audit: a run rotates at least two vertical-bus planes");
   std::lock_guard lock(mutex_);
   n_ = n;
   strips_ = strips;
   blocks_ = blocks;
   strip_rows_ = strip_rows;
+  order_ = order;
+  vplanes_ = vplanes;
   cuts_ = std::move(cuts);
   hshadow_.assign(static_cast<std::size_t>(n) + 1, Shadow{});
-  vshadow_.assign(2 * static_cast<std::size_t>(blocks + 1) *
+  vshadow_.assign(static_cast<std::size_t>(vplanes) * static_cast<std::size_t>(blocks + 1) *
                       static_cast<std::size_t>(strip_rows + 1),
                   Shadow{});
 }
@@ -83,7 +86,7 @@ Index BusAuditor::owner_of(Index slot) const {
 }
 
 BusAuditor::Shadow& BusAuditor::vcell(Index strip, Index boundary, Index row) {
-  const std::size_t plane = static_cast<std::size_t>(strip & 1) *
+  const std::size_t plane = static_cast<std::size_t>(strip % vplanes_) *
                             static_cast<std::size_t>(blocks_ + 1) *
                             static_cast<std::size_t>(strip_rows_ + 1);
   return vshadow_[plane +
@@ -104,13 +107,15 @@ void BusAuditor::check_read(Shadow& cell, bool horizontal, Index slot,
   ++events_;
   if (!cell.written || cell.writer_strip < expected_writer_strip) {
     record(BusViolation::Rule::kReadBeforeWrite, horizontal, slot, cell.writer, reader);
-  } else if (cell.writer_strip > expected_writer_strip) {
-    record(BusViolation::Rule::kReadAfterOverwrite, horizontal, slot, cell.writer, reader);
-  } else if (cell.seed ? cell.writer.diagonal > reader.diagonal
-                       : cell.writer.diagonal >= reader.diagonal) {
-    // Tile-to-tile hand-offs must cross an external-diagonal barrier; executor
-    // seeds happen on the caller thread before the diagonal launches, so
-    // equality is legal for them.
+  } else if (order_ == OrderModel::kDiagonalBarrier &&
+             (cell.seed ? cell.writer.diagonal > reader.diagonal
+                        : cell.writer.diagonal >= reader.diagonal)) {
+    // Lockstep only: tile-to-tile hand-offs must cross an external-diagonal
+    // barrier; executor seeds happen on the caller thread before the diagonal
+    // launches, so equality is legal for them. Under kTileHappensBefore the
+    // writer merely has to have published first — the mutex-serialized event
+    // stream IS that order, so a premature read already surfaced above as
+    // read-before-write.
     record(BusViolation::Rule::kSameDiagonalHazard, horizontal, slot, cell.writer, reader);
   }
   cell.read_since_write = true;
@@ -156,8 +161,8 @@ void BusAuditor::seed_vertical(Index strip, Index rows) {
   for (Index t = 0; t <= rows; ++t) {
     Shadow& cell = vcell(strip, 0, t);
     ++events_;
-    // Boundary 0 of this parity plane was last seeded for strip - 2 and
-    // consumed by tile (strip - 2, 0). An unconsumed value is a lost
+    // Boundary 0 of this plane was last seeded for strip - vplanes and
+    // consumed by tile (strip - vplanes, 0). An unconsumed value is a lost
     // hand-off, the same defect overwrite-before-read reports for tiles.
     if (cell.written && !cell.read_since_write) {
       record(BusViolation::Rule::kOverwriteBeforeRead, false, t, cell.writer, seed);

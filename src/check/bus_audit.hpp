@@ -20,12 +20,25 @@
 // coordinates, the auditor replays them against per-slot shadow state and
 // records violations with BOTH endpoints (the offending access and the access
 // it conflicts with), like a race detector report. The vertical shadow is
-// double-buffered by strip parity exactly like the executor's bus: tile
-// (s + 1, b) legitimately writes boundary b + 1 on the very diagonal tile
-// (s, b + 1) reads it, and only the parity split makes that hand-off
-// race-free — a single-buffer shadow would report interleaving-dependent
-// false hazards there (the same-diagonal hazard the paper's minimum size
-// requirement addresses).
+// plane-rotated by strip exactly like the executor's bus (`vplanes` buffers,
+// plane = strip % vplanes): tile (s + 1, b) legitimately writes boundary
+// b + 1 on the very diagonal tile (s, b + 1) reads it, and only the plane
+// split makes that hand-off race-free — a single-buffer shadow would report
+// interleaving-dependent false hazards there (the same-diagonal hazard the
+// paper's minimum size requirement addresses).
+//
+// Two ordering models (OrderModel, chosen per run):
+//
+//   * kDiagonalBarrier (lockstep): tile-to-tile hand-offs must additionally
+//     cross an external-diagonal barrier — a read on its writer's own
+//     diagonal is the same-diagonal hazard, reported even though the values
+//     happen to be correct.
+//   * kTileHappensBefore (dataflow): there is no barrier; the hand-off
+//     contract is per-tile happens-before — each slot's writer must have
+//     published before its unique reader consumes. The auditor's mutex
+//     serializes events in real execution order, so a premature concurrent
+//     read surfaces as read-before-write (or read-after-overwrite) with both
+//     endpoints; the diagonal-barrier rule is deliberately not applied.
 //
 // Overhead is O(slots touched) per tile plus one mutex acquisition; it is a
 // debug/verification tool (Engine*Audit tests, `cudalign --audit-bus`), not a
@@ -80,15 +93,24 @@ struct BusViolation {
 
 [[nodiscard]] const char* rule_name(BusViolation::Rule rule);
 
+/// Which happens-before relation a run is audited against (header comment).
+enum class OrderModel : std::uint8_t {
+  kDiagonalBarrier,    ///< Lockstep: hand-offs must cross a diagonal barrier.
+  kTileHappensBefore,  ///< Dataflow: per-tile publish-before-consume only.
+};
+
 class BusAuditor {
  public:
   explicit BusAuditor(std::size_t max_recorded = 32) : max_recorded_(max_recorded) {}
 
   /// Resets shadow state for a new engine run over an n-column problem with
-  /// the given chunk boundaries (`cuts`, size blocks + 1). Violations and
-  /// event counts accumulate across runs.
+  /// the given chunk boundaries (`cuts`, size blocks + 1). `vplanes` is the
+  /// number of vertical-bus planes the executor rotates (2 for lockstep's
+  /// parity double-buffer; window + 2 for dataflow). Violations and event
+  /// counts accumulate across runs.
   void begin_run(Index n, Index strips, Index blocks, Index strip_rows,
-                 std::vector<Index> cuts);
+                 std::vector<Index> cuts, OrderModel order = OrderModel::kDiagonalBarrier,
+                 Index vplanes = 2);
 
   // --- executor seeding (caller thread, before tiles launch) ---------------
 
@@ -135,16 +157,18 @@ class BusAuditor {
                   const BusEndpoint& reader);
   void check_write(Shadow& cell, bool horizontal, Index slot, const BusEndpoint& writer);
   [[nodiscard]] Index owner_of(Index slot) const;  ///< Chunk owning hbus slot (or -2).
-  /// Vertical shadow cell for the parity plane `strip` uses (writes and reads
-  /// of a strip both target its own plane, mirroring the executor's buffers).
+  /// Vertical shadow cell for the plane `strip` uses (writes and reads of a
+  /// strip both target its own plane, mirroring the executor's buffers).
   [[nodiscard]] Shadow& vcell(Index strip, Index boundary, Index row);
 
   mutable std::mutex mutex_;
   std::size_t max_recorded_;
   Index n_ = 0, strips_ = 0, blocks_ = 0, strip_rows_ = 0;
+  OrderModel order_ = OrderModel::kDiagonalBarrier;
+  Index vplanes_ = 2;
   std::vector<Index> cuts_;
   std::vector<Shadow> hshadow_;  ///< Per hbus slot [0..n].
-  std::vector<Shadow> vshadow_;  ///< 2 x (blocks + 1) x (strip_rows + 1): parity-major.
+  std::vector<Shadow> vshadow_;  ///< vplanes x (blocks + 1) x (strip_rows + 1): plane-major.
   std::vector<BusViolation> violations_;
   std::uint64_t violation_count_ = 0;
   std::uint64_t events_ = 0;

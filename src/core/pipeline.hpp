@@ -51,6 +51,11 @@ struct PipelineOptions {
 
   bool flush_special_rows = true;   ///< Off = score-only (Table IV "No Flush").
   bool block_pruning = false;       ///< Stage-1 block pruning (engine/executor.hpp).
+  /// Stage-1 tile-grid executor (engine/executor.hpp; `--executor`).
+  /// Deliberately NOT part of the checkpoint envelope: both executors
+  /// produce byte-identical results, so a checkpoint taken under one may be
+  /// resumed under the other.
+  engine::ExecutorKind executor = engine::ExecutorKind::kLockstep;
   bool save_special_columns = true; ///< Off = skip Stage 3 (Stage 4 absorbs it).
   bool balanced_splitting = true;   ///< Stage 4 ablation (Figure 10).
   bool orthogonal_stage4 = true;    ///< Stage 4 ablation (Table IX).

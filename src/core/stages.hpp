@@ -33,6 +33,10 @@ struct StageStats {
   std::size_t ram_bytes = 0; ///< Peak engine bus memory ("VRAM_k").
   Index tiles = 0;           ///< Engine tiles dispatched across all runs.
   Index diagonals = 0;       ///< External diagonals executed across all runs.
+  /// Dataflow scheduler counters (engine RunStats semantics; 0 under
+  /// lockstep): stolen tiles and empty-handed idle scans, summed over runs.
+  Index tiles_stolen = 0;
+  Index starvation_waits = 0;
   /// Wavefront bus traffic (engine RunStats semantics, summed over runs).
   Index hbus_reads = 0, hbus_writes = 0;
   Index vbus_reads = 0, vbus_writes = 0;
@@ -64,6 +68,8 @@ struct StageStats {
     cells += run.cells;
     tiles += run.tiles;
     diagonals += run.diagonals;
+    tiles_stolen += run.tiles_stolen;
+    starvation_waits += run.starvation_waits;
     hbus_reads += run.hbus_reads;
     hbus_writes += run.hbus_writes;
     vbus_reads += run.vbus_reads;
@@ -85,6 +91,10 @@ struct Stage1Config {
   engine::GridSpec grid = engine::GridSpec::stage1_defaults();
   /// Block pruning (post-paper CUDAlign optimization; engine/executor.hpp).
   bool block_pruning = false;
+  /// Tile-grid executor for the stage-1 wavefront (engine/executor.hpp).
+  /// Stages 2+ always run lockstep: their engine runs use taps and value
+  /// probes, which the dataflow executor rejects.
+  engine::ExecutorKind executor = engine::ExecutorKind::kLockstep;
   /// Flush special rows to `rows_area` (nullptr disables; Table IV's
   /// "No Flush" column).
   sra::SpecialRowsArea* rows_area = nullptr;

@@ -1,17 +1,28 @@
 // Wavefront executor: the CPU stand-in for the CUDA grid scheduler.
 //
 // The DP matrix is processed as strips (height alpha*T) x chunks (B column
-// chunks); tiles on the same external diagonal are independent and are
-// dispatched to a thread pool, with a barrier per diagonal — exactly the
-// synchronization the GPU grid provides between external diagonals. Hook
-// callbacks run on the caller thread, in deterministic (strip, chunk) order,
-// after each diagonal completes, so results are bit-identical for any worker
-// count.
+// chunks). Two registry-selectable executors cover the same tile grid:
+//
+//   * kLockstep — tiles on the same external diagonal are dispatched to a
+//     thread pool with a barrier per diagonal, exactly the synchronization
+//     the GPU grid provides between external diagonals.
+//   * kDataflow — each tile carries an atomic dependency counter (left-bus +
+//     top-bus inputs) and runs the moment both are published; workers pull
+//     from work-stealing deques (engine/sched.hpp), so a slow tile stalls
+//     only its own successors instead of the whole pool. Hooks are keyed to
+//     the row-completion watermark (strips retire in order on the driver)
+//     rather than to diagonals.
+//
+// Either way, hook callbacks run on the caller thread in deterministic
+// (strip, chunk) order, so results are bit-identical for any worker count —
+// and bit-identical between the two executors (the lockstep schedule is one
+// legal execution of the dataflow dependency graph).
 //
 // Memory is the buses only: O(n) horizontal + O(B * alpha * T) vertical
-// (double-buffered by strip parity to avoid the same-diagonal write/read
-// hazard the paper's minimum size requirement addresses) — the engine is
-// linear-space by construction.
+// (lockstep double-buffers by strip parity to avoid the same-diagonal
+// write/read hazard the paper's minimum size requirement addresses; dataflow
+// rotates window + 2 planes because up to window + 1 strips are in flight) —
+// the engine is linear-space by construction.
 //
 // Cells delegation (paper §III-C) note: on the GPU, delegation skews block
 // shapes so the wavefront never drains between external diagonals. A CPU
@@ -22,9 +33,11 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -41,6 +54,19 @@ class Telemetry;
 
 namespace cudalign::engine {
 
+/// Which tile-grid executor drives the run (see the header comment). Both
+/// produce byte-identical results; lockstep is the reference schedule, the
+/// dataflow executor retires the external-diagonal barrier.
+enum class ExecutorKind : std::uint8_t {
+  kLockstep,
+  kDataflow,
+};
+
+/// Registry name of an executor ("lockstep" / "dataflow").
+[[nodiscard]] const char* executor_name(ExecutorKind kind);
+/// Inverse of executor_name; throws cudalign::Error on unknown names.
+[[nodiscard]] ExecutorKind executor_from_name(std::string_view name);
+
 struct ProblemSpec {
   seq::SequenceView a;  ///< Rows (the problem's local orientation).
   seq::SequenceView b;  ///< Columns.
@@ -50,11 +76,17 @@ struct ProblemSpec {
   /// Block pruning (the optimization the CUDAlign lineage added after this
   /// paper): in local mode, skip a tile when even a perfect-match
   /// continuation of its best incoming bus value cannot *strictly* beat the
-  /// best score found so far. Exact: a tile containing any cell of an
-  /// optimal alignment has bound >= best (the path itself gains best - prefix
-  /// with at most min(m - r0, n - c0) diagonal steps), so it is never
-  /// pruned, and pruned tiles publish valid lower bounds (H = 0) on their
-  /// buses. Only meaningful with kLocal; rejected with taps or probes.
+  /// pruning bound. The bound is the *ancestor closure*: the best tile score
+  /// seen anywhere in the tile's ancestor rectangle (strips <= s, chunks
+  /// <= b), seeded with initial_best on resume — a function of the
+  /// dependency DAG alone, so prune decisions are identical under both
+  /// executors and for any worker count (a global evolving best would make
+  /// them schedule-dependent under dataflow). Exact: a tile containing any
+  /// cell of an optimal alignment has bound >= optimum >= closure (the path
+  /// itself gains optimum - prefix with at most min(m - r0, n - c0) diagonal
+  /// steps), so it is never pruned, and pruned tiles publish valid lower
+  /// bounds (H = 0) on their buses. Only meaningful with kLocal; rejected
+  /// with taps or probes.
   bool block_pruning = false;
 
   /// Pins a kernel variant by registry name for this run (stronger than the
@@ -78,6 +110,13 @@ struct ProblemSpec {
   /// from recomputed cells is idempotent: the resumed run's final best is
   /// bit-identical to an uninterrupted run's.
   dp::LocalBest initial_best;
+
+  /// Tile-grid executor. kDataflow rejects taps and value probes (their
+  /// delivery is keyed to diagonal order); everything else — including
+  /// special rows, checkpointing and resume — behaves identically. The
+  /// choice is deliberately NOT part of the checkpoint envelope: a
+  /// checkpoint taken under one executor may be resumed under the other.
+  ExecutorKind executor = ExecutorKind::kLockstep;
 };
 
 /// Hook verdict after observing a special row / tap segment.
@@ -109,8 +148,11 @@ struct Hooks {
   /// this value, then stop.
   std::optional<Score> find_value;
 
-  /// Liveness reporting for long runs: called after each external diagonal
-  /// with (diagonals done, diagonals total), on the driver thread.
+  /// Liveness reporting for long runs: called on the driver thread with
+  /// (tiles done, tiles total). Tile counts — not diagonals — so the
+  /// completion fraction is monotone and comparable under both executors
+  /// (the dataflow executor completes tiles out of diagonal order; lockstep
+  /// reports after each diagonal, dataflow after each retired strip).
   std::function<void(Index done, Index total)> on_progress;
 
   /// Opt-in bus access auditor (check/bus_audit.hpp): when set, the executor
@@ -147,7 +189,12 @@ struct RunStats {
   WideScore pruned_cells = 0; ///< Cells skipped by block pruning.
   Index pruned_tiles = 0;
   Index tiles = 0;
-  Index diagonals = 0;        ///< External diagonals executed.
+  Index diagonals = 0;        ///< External diagonals executed (lockstep; 0 under dataflow).
+  /// Dataflow scheduler counters (0 under lockstep): tiles executed off
+  /// another worker's deque, and idle scans that found every source empty —
+  /// the report's replacement for the lockstep diagonal-bucket profile.
+  Index tiles_stolen = 0;
+  Index starvation_waits = 0;
   Index strips = 0;           ///< Strips fully completed.
   Index blocks_used = 0;      ///< B after the minimum-size fit.
   Index threads_used = 0;     ///< T (unchanged by the fit).

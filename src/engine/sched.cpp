@@ -1,0 +1,310 @@
+#include "engine/sched.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "check/contracts.hpp"
+
+namespace cudalign::engine::sched {
+
+namespace {
+
+std::size_t ceil_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+WorkStealingDeque::WorkStealingDeque(std::size_t capacity_pow2)
+    : buffer_(ceil_pow2(capacity_pow2)), mask_(static_cast<std::int64_t>(buffer_.size()) - 1) {}
+
+bool WorkStealingDeque::push(std::int64_t value) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  if (b - t > mask_) return false;  // Full; caller reroutes to the injector.
+  buffer_[static_cast<std::size_t>(b & mask_)].store(value, std::memory_order_relaxed);
+  bottom_.store(b + 1, std::memory_order_release);
+  return true;
+}
+
+bool WorkStealingDeque::pop(std::int64_t* out) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+  if (t > b) {  // Was empty: restore bottom.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  *out = buffer_[static_cast<std::size_t>(b & mask_)].load(std::memory_order_relaxed);
+  if (t < b) return true;  // More than one element left: no race possible.
+  // Single element: race the thieves for it via top.
+  const bool won =
+      top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+  return won;
+}
+
+bool WorkStealingDeque::steal(std::int64_t* out) {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return false;
+  const std::int64_t value = buffer_[static_cast<std::size_t>(t & mask_)].load(std::memory_order_relaxed);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return false;  // Lost to the owner's pop or another thief; caller rescans.
+  }
+  *out = value;
+  return true;
+}
+
+namespace {
+
+/// Shared run state. Tiles are identified as s * blocks + b.
+struct GraphRun {
+  SchedOptions opt;
+  std::int64_t total = 0;
+
+  /// Unsatisfied inputs per tile: (s > 0) + (b > 0).
+  std::vector<std::atomic<std::uint8_t>> deps;
+  /// Remaining tiles per strip (for the watermark hand-off to the driver).
+  std::vector<std::atomic<Index>> strip_left;
+
+  /// std::deque, not vector: WorkStealingDeque holds atomics and is immovable.
+  std::deque<WorkStealingDeque> deques;
+
+  /// Injector + window gate, one mutex: deque-overflow spillover, parked
+  /// column-0 tiles, and the published watermark the gate tests against.
+  std::mutex queue_mutex;
+  std::deque<std::int64_t> injector;
+  std::deque<Index> parked;  ///< Ascending (column-0 readiness arrives in order).
+  Index watermark = 0;       ///< Strips retired by the driver.
+
+  /// Quiescence epoch + stop flag (early stop or captured exception).
+  std::atomic<std::int64_t> tiles_done{0};
+  std::atomic<bool> stop{false};
+
+  /// Driver wake-up: strip completion flags and the first captured error.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::vector<std::uint8_t> strip_complete;
+  std::exception_ptr error;
+
+  std::mutex stats_mutex;
+  SchedStats stats;
+
+  const std::function<void(Index, Index, int)>* body = nullptr;
+
+  void fail(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (!error) error = std::move(e);
+    }
+    stop.store(true, std::memory_order_release);
+    done_cv.notify_all();
+  }
+
+  void inject(std::int64_t tile) {
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    injector.push_back(tile);
+  }
+
+  void enqueue(int worker, std::int64_t tile) {
+    if (!deques[static_cast<std::size_t>(worker)].push(tile)) inject(tile);
+  }
+
+  /// Tile (s, 0) just became dependency-free; admit it only if the strip is
+  /// inside the watermark window, otherwise park it for the driver.
+  void gate_strip(int worker, Index s) {
+    bool ready;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      ready = s <= watermark + opt.window;
+      if (!ready) parked.push_back(s);
+    }
+    if (ready) enqueue(worker, s * opt.blocks);
+  }
+
+  void execute(std::int64_t tile, int worker) {
+    const Index s = tile / opt.blocks;
+    const Index b = tile % opt.blocks;
+    try {
+      (*body)(s, b, worker);
+    } catch (...) {
+      // Successors stay blocked (their inputs were never published); the
+      // driver observes the error and stops the run.
+      fail(std::current_exception());
+      return;
+    }
+    // Release successors: the acq_rel decrement hands the tile's bus writes
+    // to whichever worker observes the counter reach zero.
+    if (b + 1 < opt.blocks &&
+        deps[static_cast<std::size_t>(tile + 1)].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      enqueue(worker, tile + 1);
+    }
+    if (s + 1 < opt.strips) {
+      const std::int64_t down = tile + opt.blocks;
+      if (deps[static_cast<std::size_t>(down)].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (b == 0) {
+          gate_strip(worker, s + 1);
+        } else {
+          enqueue(worker, down);
+        }
+      }
+    }
+    tiles_done.fetch_add(1, std::memory_order_release);
+    if (strip_left[static_cast<std::size_t>(s)].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      strip_complete[static_cast<std::size_t>(s)] = 1;
+      done_cv.notify_all();
+    }
+  }
+
+  bool pop_injector(std::int64_t* out) {
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    if (injector.empty()) return false;
+    *out = injector.front();
+    injector.pop_front();
+    return true;
+  }
+
+  void worker_loop(int w) {
+    SchedStats local;
+    int idle_spins = 0;
+    for (;;) {
+      std::int64_t tile = -1;
+      if (!deques[static_cast<std::size_t>(w)].pop(&tile)) {
+        tile = -1;
+        if (!pop_injector(&tile)) {
+          tile = -1;
+          for (int i = 1; i < opt.workers; ++i) {
+            if (deques[static_cast<std::size_t>((w + i) % opt.workers)].steal(&tile)) {
+              ++local.tiles_stolen;
+              break;
+            }
+            tile = -1;
+          }
+        }
+      }
+      if (tile < 0) {
+        if (stop.load(std::memory_order_acquire) ||
+            tiles_done.load(std::memory_order_acquire) >= total) {
+          break;
+        }
+        ++local.starvation_waits;
+        if (++idle_spins < 64) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        continue;
+      }
+      idle_spins = 0;
+      if (stop.load(std::memory_order_acquire)) break;  // Abandon the tile.
+      execute(tile, w);
+      ++local.tiles_executed;
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.tiles_executed += local.tiles_executed;
+    stats.tiles_stolen += local.tiles_stolen;
+    stats.starvation_waits += local.starvation_waits;
+  }
+};
+
+}  // namespace
+
+SchedStats run_tile_graph(const SchedOptions& options,
+                          const std::function<void(Index s, Index b, int worker)>& body,
+                          const std::function<bool(Index s)>& strip_done) {
+  CUDALIGN_CHECK(options.strips > 0 && options.blocks > 0, "tile graph must be non-empty");
+  CUDALIGN_CHECK(options.workers > 0, "tile graph needs at least one worker");
+  CUDALIGN_CHECK(options.window > 0, "strip window must be positive");
+  CUDALIGN_CHECK(body != nullptr, "tile graph needs a body");
+
+  GraphRun run;
+  run.opt = options;
+  run.total = static_cast<std::int64_t>(options.strips) * options.blocks;
+  run.body = &body;
+  run.deps = std::vector<std::atomic<std::uint8_t>>(static_cast<std::size_t>(run.total));
+  for (Index s = 0; s < options.strips; ++s) {
+    for (Index b = 0; b < options.blocks; ++b) {
+      const std::uint8_t inputs = s > 0 && b > 0 ? 2 : (s > 0 || b > 0 ? 1 : 0);
+      run.deps[static_cast<std::size_t>(s * options.blocks + b)].store(
+          inputs, std::memory_order_relaxed);
+    }
+  }
+  run.strip_left = std::vector<std::atomic<Index>>(static_cast<std::size_t>(options.strips));
+  for (auto& left : run.strip_left) left.store(options.blocks, std::memory_order_relaxed);
+  run.strip_complete.assign(static_cast<std::size_t>(options.strips), 0);
+  // In-flight strips are bounded by window + 1 and each contributes at most
+  // one ready tile (within-strip execution is sequential), so this capacity
+  // is never the limit in practice; overflow spills to the injector anyway.
+  const std::size_t deque_capacity = ceil_pow2(static_cast<std::size_t>(options.window) + 2) * 2;
+  for (int w = 0; w < options.workers; ++w) run.deques.emplace_back(deque_capacity);
+
+  // Seed the root: worker 0's deque starts with tile (0, 0).
+  (void)run.deques[0].push(0);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w) {
+    workers.emplace_back([&run, w] { run.worker_loop(w); });
+  }
+
+  // Driver loop: retire strips in ascending order (the row watermark).
+  std::exception_ptr driver_error;
+  {
+    std::unique_lock<std::mutex> lock(run.done_mutex);
+    for (Index s = 0; s < options.strips; ++s) {
+      run.done_cv.wait(lock, [&run, s] {
+        return run.error != nullptr || run.strip_complete[static_cast<std::size_t>(s)] != 0;
+      });
+      if (run.error != nullptr) break;
+      lock.unlock();
+      bool keep_going = true;
+      if (strip_done) {
+        try {
+          keep_going = strip_done(s);
+        } catch (...) {
+          driver_error = std::current_exception();
+          keep_going = false;
+        }
+      }
+      if (keep_going) {
+        // Advance the watermark and admit parked strips that now fit.
+        std::vector<std::int64_t> released;
+        {
+          std::lock_guard<std::mutex> gate(run.queue_mutex);
+          run.watermark = s + 1;
+          while (!run.parked.empty() && run.parked.front() <= run.watermark + options.window) {
+            released.push_back(run.parked.front() * options.blocks);
+            run.parked.pop_front();
+          }
+          for (std::int64_t tile : released) run.injector.push_back(tile);
+        }
+      } else {
+        run.stop.store(true, std::memory_order_release);
+      }
+      lock.lock();
+      if (!keep_going) break;
+    }
+  }
+  run.stop.store(true, std::memory_order_release);
+  for (std::thread& t : workers) t.join();
+
+  if (driver_error) std::rethrow_exception(driver_error);
+  {
+    std::lock_guard<std::mutex> lock(run.done_mutex);
+    if (run.error) std::rethrow_exception(run.error);
+  }
+  return run.stats;
+}
+
+}  // namespace cudalign::engine::sched

@@ -59,6 +59,28 @@ grep "best score" "$DIR/resume.out" > "$DIR/resume.score"
 cmp "$DIR/ref.score" "$DIR/resume.score"
 "$CLI" report-check "$DIR/resume.json" | grep -q "well-formed"
 grep '"cells_skipped":' "$DIR/resume.json" | grep -vq ': 0'
+# Dataflow executor: byte-identical output to the lockstep reference, and
+# kill-and-resume works there too (the executor is not part of the checkpoint
+# envelope, so the crash ran dataflow while ref.bin came from lockstep).
+"$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --executor dataflow \
+       --out "$DIR/df.bin" | grep -q "best score"
+cmp "$DIR/ref.bin" "$DIR/df.bin"
+if CUDALIGN_CHECKPOINT_CRASH_AFTER=2 "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" \
+     --executor dataflow --checkpoint-dir "$DIR/ckpt-df" --out "$DIR/crash-df.bin" \
+     >/dev/null 2>&1; then
+  echo "fault-injected dataflow run did not crash" >&2
+  exit 1
+fi
+test -s "$DIR/ckpt-df/checkpoint.json"
+"$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --executor dataflow \
+       --checkpoint-dir "$DIR/ckpt-df" --resume --out "$DIR/resumed-df.bin" \
+  | grep -q "resumed from checkpoint"
+cmp "$DIR/ref.bin" "$DIR/resumed-df.bin"
+# An unknown executor name must be refused.
+if "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --executor warp 2>/dev/null; then
+  echo "unknown executor was accepted" >&2
+  exit 1
+fi
 # Resuming a finished checkpoint must be refused, not silently recomputed.
 if "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --checkpoint-dir "$DIR/ckpt" \
      --resume --out "$DIR/again.bin" 2>"$DIR/done.err"; then

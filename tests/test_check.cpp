@@ -310,6 +310,117 @@ TEST_F(BusAuditReplay, ViolationRecordingIsCapped) {
 }
 
 // ---------------------------------------------------------------------------
+// Relaxed per-tile happens-before ordering (the dataflow executor's model):
+// the mutex-serialized event stream IS the real publish/consume order, so the
+// same-diagonal rule is off — but a premature read still surfaces as
+// read-before-write, with both endpoints named.
+// ---------------------------------------------------------------------------
+
+class BusAuditHappensBefore : public BusAuditReplay {
+ protected:
+  void begin_hb(BusAuditor& a, Index vplanes = 3) {
+    a.begin_run(4, 4, 2, 2, {0, 2, 4}, check::OrderModel::kTileHappensBefore, vplanes);
+  }
+};
+
+TEST_F(BusAuditHappensBefore, SameDiagonalHandOffIsLegal) {
+  // Under the dataflow executor tile (1, 0) may start the instant (0, 0)
+  // publishes — no barrier in between. The identical replay trips
+  // kSameDiagonalHazard under the barrier model (SameDiagonalHazardFlagged
+  // above); under happens-before it is clean.
+  BusAuditor auditor;
+  begin_hb(auditor);
+  auditor.seed_horizontal();
+  auditor.seed_vertical(0, 2);
+  tile(auditor, 0, 0);
+  // Reader claims the writer's own diagonal: legal here, the write already
+  // appeared in the serialized stream.
+  auditor.seed_vertical(1, 2);
+  auditor.read_horizontal(1, 0, 0, 0, 2);
+  auditor.read_vertical(1, 0, 0, 2);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+}
+
+TEST_F(BusAuditHappensBefore, PrematureReadReportsBothEndpoints) {
+  // A dataflow scheduler bug: tile (2, 0) consumes row 4 while only strip 0
+  // has published — the happens-before edge to (1, 0) is missing. The report
+  // must name both endpoints: the stale writer and the premature reader.
+  BusAuditor auditor;
+  begin_hb(auditor);
+  auditor.seed_horizontal();
+  auditor.seed_vertical(0, 2);
+  tile(auditor, 0, 0);
+  auditor.seed_vertical(2, 2);
+  auditor.read_horizontal(2, 0, 2, 0, 2);
+  ASSERT_FALSE(auditor.ok());
+  const auto v = auditor.violations();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].rule, BusViolation::Rule::kReadBeforeWrite);
+  EXPECT_EQ(v[0].prior.strip, 0);  // The stale writer: tile (0, 0)...
+  EXPECT_EQ(v[0].prior.block, 0);
+  EXPECT_EQ(v[0].current.strip, 2);  // ...vs the premature reader (2, 0).
+  EXPECT_EQ(v[0].current.block, 0);
+  const std::string report = auditor.report();
+  EXPECT_NE(report.find("read-before-write"), std::string::npos) << report;
+  EXPECT_NE(report.find("strip 0"), std::string::npos) << report;
+  EXPECT_NE(report.find("strip 2"), std::string::npos) << report;
+  EXPECT_NE(report.find("conflicts with"), std::string::npos) << report;
+}
+
+TEST_F(BusAuditHappensBefore, NeverWrittenReadIsStillFlagged) {
+  BusAuditor auditor;
+  begin_hb(auditor);
+  auditor.seed_horizontal();
+  auditor.seed_vertical(0, 2);
+  auditor.seed_vertical(1, 2);
+  // Row 2 was never produced by (0, 0); only the executor seed is present.
+  auditor.read_horizontal(1, 0, 1, 0, 2);
+  ASSERT_FALSE(auditor.ok());
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_EQ(auditor.violations()[0].rule, BusViolation::Rule::kReadBeforeWrite);
+  EXPECT_EQ(auditor.violations()[0].prior.block, BusEndpoint::kSeedBlock);
+}
+
+TEST_F(BusAuditHappensBefore, VerticalPlanesRotateModuloVplanes) {
+  // vplanes = 3: strips 0, 1, 2 seed distinct planes (no collision even
+  // though nothing consumed them yet); strip 3 wraps onto strip 0's plane and
+  // its unconsumed seed is a lost hand-off.
+  BusAuditor auditor;
+  begin_hb(auditor, 3);
+  auditor.seed_horizontal();
+  auditor.seed_vertical(0, 2);
+  auditor.seed_vertical(1, 2);
+  auditor.seed_vertical(2, 2);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+  auditor.seed_vertical(3, 2);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].rule, BusViolation::Rule::kOverwriteBeforeRead);
+}
+
+TEST_F(BusAuditHappensBefore, ConsumedPlaneIsReusableAfterRotation) {
+  BusAuditor auditor;
+  begin_hb(auditor, 3);
+  auditor.seed_horizontal();
+  auditor.seed_vertical(0, 2);
+  tile(auditor, 0, 0);  // Consumes boundary 0 of plane 0, publishes boundary 1.
+  auditor.seed_vertical(1, 2);
+  tile(auditor, 0, 1);  // Consumes boundary 1.
+  auditor.seed_vertical(2, 2);
+  tile(auditor, 1, 0);
+  tile(auditor, 1, 1);
+  tile(auditor, 2, 0);
+  tile(auditor, 2, 1);
+  auditor.seed_vertical(3, 2);  // Plane 0 again — everything on it was read.
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+}
+
+TEST(BusAuditModel, RejectsDegeneratePlaneCount) {
+  BusAuditor auditor;
+  EXPECT_THROW(
+      auditor.begin_run(4, 2, 2, 2, {0, 2, 4}, check::OrderModel::kTileHappensBefore, 1), Error);
+}
+
+// ---------------------------------------------------------------------------
 // Engine audit: the real executor, audited end to end. Clean across grid
 // shapes, modes, worker counts and the pruned-publish path.
 // ---------------------------------------------------------------------------
@@ -386,6 +497,50 @@ TEST(EngineAudit, CleanWithBlockPruning) {
   Hooks hooks;
   hooks.bus_audit = &auditor;
   const auto run = engine::run_wavefront(spec, hooks);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+  EXPECT_GT(run.stats.pruned_tiles, 0) << "case no longer exercises pruning";
+}
+
+TEST(EngineAudit, DataflowCleanAcrossShapes) {
+  // The dataflow executor audits itself under the relaxed happens-before
+  // model with its full plane-rotation depth; any scheduler bug that lets a
+  // tile start before its inputs were published lands here.
+  std::uint64_t seed = 33000;
+  for (const auto& [blocks, threads, alpha] :
+       {std::tuple<Index, Index, Index>{1, 2, 1}, {3, 2, 2}, {4, 4, 1}, {7, 2, 3}}) {
+    const auto a = rand_seq(120, seed++);
+    const auto b = rand_seq(130, seed++);
+    ProblemSpec spec;
+    spec.a = a.bases();
+    spec.b = b.bases();
+    spec.grid = audit_grid(blocks, threads, alpha);
+    spec.recurrence = engine::Recurrence::local(scoring::Scheme::paper_defaults());
+    spec.executor = engine::ExecutorKind::kDataflow;
+    ThreadPool pool(4);
+    check::BusAuditor auditor;
+    Hooks hooks;
+    hooks.bus_audit = &auditor;
+    (void)engine::run_wavefront(spec, hooks, &pool);
+    EXPECT_TRUE(auditor.ok()) << "B=" << blocks << " T=" << threads << " alpha=" << alpha << "\n"
+                              << auditor.report();
+    EXPECT_GT(auditor.events_recorded(), 0u);
+  }
+}
+
+TEST(EngineAudit, DataflowCleanWithBlockPruning) {
+  const auto pair = test::small_related(600, 600, 71);
+  ProblemSpec spec;
+  spec.a = pair.s0.bases();
+  spec.b = pair.s1.bases();
+  spec.grid = audit_grid(6, 4, 2);
+  spec.recurrence = engine::Recurrence::local(scoring::Scheme::paper_defaults());
+  spec.block_pruning = true;
+  spec.executor = engine::ExecutorKind::kDataflow;
+  ThreadPool pool(4);
+  check::BusAuditor auditor;
+  Hooks hooks;
+  hooks.bus_audit = &auditor;
+  const auto run = engine::run_wavefront(spec, hooks, &pool);
   EXPECT_TRUE(auditor.ok()) << auditor.report();
   EXPECT_GT(run.stats.pruned_tiles, 0) << "case no longer exercises pruning";
 }

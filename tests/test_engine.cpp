@@ -371,6 +371,184 @@ TEST(Engine, SpecialRowsNeedSink) {
   EXPECT_THROW((void)engine::run_wavefront(spec, hooks), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Dataflow executor vs lockstep. The lockstep schedule is one legal execution
+// of the dependency graph, so everything observable — best cell, cell and
+// prune counts, every flushed special row byte — must be identical for any
+// worker count, with or without pruning, under any pinned kernel.
+// ---------------------------------------------------------------------------
+
+struct ExecRun {
+  dp::LocalBest best;
+  engine::RunStats stats;
+  std::vector<std::pair<Index, std::vector<BusCell>>> flushes;
+  std::vector<dp::LocalBest> flush_best;
+};
+
+ExecRun run_with_executor(ProblemSpec spec, engine::ExecutorKind kind, int workers,
+                          Index interval) {
+  spec.executor = kind;
+  ExecRun out;
+  Hooks hooks;
+  hooks.special_row_interval = interval;
+  hooks.on_special_row = [&](Index row, std::span<const BusCell> cells) {
+    out.flushes.emplace_back(row, std::vector<BusCell>(cells.begin(), cells.end()));
+  };
+  hooks.after_special_row = [&](Index, const dp::LocalBest& best) {
+    out.flush_best.push_back(best);
+  };
+  ThreadPool pool(workers);
+  const auto run = engine::run_wavefront(spec, hooks, &pool);
+  out.best = run.best;
+  out.stats = run.stats;
+  return out;
+}
+
+void expect_same_run(const ExecRun& want, const ExecRun& got, const std::string& label) {
+  EXPECT_EQ(got.best.score, want.best.score) << label;
+  EXPECT_EQ(got.best.i, want.best.i) << label;
+  EXPECT_EQ(got.best.j, want.best.j) << label;
+  EXPECT_EQ(got.stats.cells, want.stats.cells) << label;
+  EXPECT_EQ(got.stats.pruned_cells, want.stats.pruned_cells) << label;
+  EXPECT_EQ(got.stats.pruned_tiles, want.stats.pruned_tiles) << label;
+  ASSERT_EQ(got.flushes.size(), want.flushes.size()) << label;
+  for (std::size_t k = 0; k < want.flushes.size(); ++k) {
+    EXPECT_EQ(got.flushes[k].first, want.flushes[k].first) << label;
+    ASSERT_EQ(got.flushes[k].second.size(), want.flushes[k].second.size()) << label;
+    EXPECT_EQ(std::memcmp(got.flushes[k].second.data(), want.flushes[k].second.data(),
+                          want.flushes[k].second.size() * sizeof(BusCell)),
+              0)
+        << label << " flushed row " << want.flushes[k].first << " diverged";
+  }
+  ASSERT_EQ(got.flush_best.size(), want.flush_best.size()) << label;
+  for (std::size_t k = 0; k < want.flush_best.size(); ++k) {
+    EXPECT_EQ(got.flush_best[k].score, want.flush_best[k].score) << label;
+    EXPECT_EQ(got.flush_best[k].i, want.flush_best[k].i) << label;
+    EXPECT_EQ(got.flush_best[k].j, want.flush_best[k].j) << label;
+  }
+}
+
+TEST(DataflowEquivalence, MatchesLockstepAcrossShapesWorkersPruningAndKernels) {
+  std::uint64_t seed = 61000;
+  for (const auto& [blocks, threads, alpha] :
+       {std::tuple<Index, Index, Index>{1, 2, 1}, {3, 2, 2}, {4, 4, 1}, {7, 2, 3}}) {
+    const auto pair = seq::make_related_pair(230, 240, seed++);
+    ProblemSpec spec;
+    spec.a = pair.s0.bases();
+    spec.b = pair.s1.bases();
+    spec.grid = tiny_grid(blocks, threads, alpha);
+    spec.recurrence = engine::Recurrence::local(paper());
+    for (const bool prune : {false, true}) {
+      spec.block_pruning = prune;
+      for (const char* kernel : {"", "scalar-local+best"}) {
+        spec.kernel_override = kernel;
+        const ExecRun lockstep =
+            run_with_executor(spec, engine::ExecutorKind::kLockstep, 1, 2);
+        for (const int workers : {1, 4}) {
+          std::string label = "B=" + std::to_string(blocks) + " T=" + std::to_string(threads) +
+                              " a=" + std::to_string(alpha) + " prune=" + (prune ? "1" : "0") +
+                              " kernel=" + (kernel[0] ? kernel : "auto") +
+                              " workers=" + std::to_string(workers);
+          const ExecRun dataflow =
+              run_with_executor(spec, engine::ExecutorKind::kDataflow, workers, 2);
+          expect_same_run(lockstep, dataflow, label);
+          EXPECT_EQ(dataflow.stats.diagonals, 0) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(DataflowEquivalence, StealHeavyGridMatchesLockstep) {
+  // Many tiny tiles (200 strips x 8 chunks of height 2) with more workers
+  // than chunks: maximizes steals, parking and starvation scans. Primarily a
+  // ThreadSanitizer target — the CI TSan lane runs the full suite.
+  const auto pair = seq::make_related_pair(400, 420, 8801);
+  ProblemSpec spec;
+  spec.a = pair.s0.bases();
+  spec.b = pair.s1.bases();
+  spec.grid = tiny_grid(8, 2, 1);
+  spec.recurrence = engine::Recurrence::local(paper());
+  spec.block_pruning = true;
+  const ExecRun lockstep = run_with_executor(spec, engine::ExecutorKind::kLockstep, 4, 4);
+  const ExecRun dataflow = run_with_executor(spec, engine::ExecutorKind::kDataflow, 8, 4);
+  expect_same_run(lockstep, dataflow, "steal-heavy");
+  EXPECT_EQ(lockstep.stats.tiles_stolen, 0);
+  EXPECT_EQ(lockstep.stats.starvation_waits, 0);
+}
+
+TEST(DataflowEquivalence, DegenerateGeometries) {
+  for (const auto& [m, n] : {std::pair<Index, Index>{1, 40}, {40, 1}, {5, 5}, {1, 1}}) {
+    const auto a = rand_seq(m, 62001);
+    const auto b = rand_seq(n, 62002);
+    ProblemSpec spec;
+    spec.a = a.bases();
+    spec.b = b.bases();
+    spec.grid = tiny_grid(8, 8, 4);  // Grid larger than the problem.
+    spec.recurrence = engine::Recurrence::local(paper());
+    const ExecRun lockstep = run_with_executor(spec, engine::ExecutorKind::kLockstep, 1, 1);
+    const ExecRun dataflow = run_with_executor(spec, engine::ExecutorKind::kDataflow, 4, 1);
+    expect_same_run(lockstep, dataflow, "m=" + std::to_string(m) + " n=" + std::to_string(n));
+  }
+}
+
+TEST(DataflowProgress, PerTileFractionIsMonotoneAndComplete) {
+  const auto a = rand_seq(200, 63001);
+  const auto b = rand_seq(210, 63002);
+  for (const auto kind : {engine::ExecutorKind::kLockstep, engine::ExecutorKind::kDataflow}) {
+    ProblemSpec spec;
+    spec.a = a.bases();
+    spec.b = b.bases();
+    spec.grid = tiny_grid(4, 4, 2);
+    spec.recurrence = engine::Recurrence::local(paper());
+    spec.executor = kind;
+    Hooks hooks;
+    Index last_done = 0, last_total = 0;
+    int calls = 0;
+    hooks.on_progress = [&](Index done, Index total) {
+      EXPECT_GE(done, last_done) << "progress went backwards";
+      EXPECT_LE(done, total);
+      last_done = done;
+      last_total = total;
+      ++calls;
+    };
+    ThreadPool pool(4);
+    (void)engine::run_wavefront(spec, hooks, &pool);
+    EXPECT_GT(calls, 1) << executor_name(kind);
+    EXPECT_EQ(last_done, last_total) << executor_name(kind);
+    EXPECT_GT(last_total, 0) << executor_name(kind);
+  }
+}
+
+TEST(Dataflow, RejectsTapsAndValueProbes) {
+  const auto a = rand_seq(50, 64001);
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = a.bases();
+  spec.grid = tiny_grid(2, 2, 2);
+  spec.recurrence = engine::Recurrence::local(paper());
+  spec.executor = engine::ExecutorKind::kDataflow;
+  {
+    Hooks hooks;
+    hooks.tap_columns = {10};
+    hooks.on_tap = [](Index, Index, std::span<const BusCell>) { return HookAction::kContinue; };
+    EXPECT_THROW((void)engine::run_wavefront(spec, hooks), Error);
+  }
+  {
+    Hooks hooks;
+    hooks.find_value = 5;
+    EXPECT_THROW((void)engine::run_wavefront(spec, hooks), Error);
+  }
+}
+
+TEST(Dataflow, ExecutorRegistryNamesRoundTrip) {
+  EXPECT_STREQ(engine::executor_name(engine::ExecutorKind::kLockstep), "lockstep");
+  EXPECT_STREQ(engine::executor_name(engine::ExecutorKind::kDataflow), "dataflow");
+  EXPECT_EQ(engine::executor_from_name("lockstep"), engine::ExecutorKind::kLockstep);
+  EXPECT_EQ(engine::executor_from_name("dataflow"), engine::ExecutorKind::kDataflow);
+  EXPECT_THROW((void)engine::executor_from_name("warp"), Error);
+}
+
 // The checkpoint/resume contract at the engine layer: restarting from a
 // flushed special row (start_row + initial_hbus + initial_best) must replay
 // the remaining strips exactly — same flushed rows byte for byte, same
@@ -427,6 +605,56 @@ TEST(Engine, ResumeFromSpecialRowMatchesFullRun) {
     EXPECT_EQ(got.best.score, want.best.score);
     EXPECT_EQ(got.best.i, want.best.i);
     EXPECT_EQ(got.best.j, want.best.j);
+  }
+}
+
+// Same contract under the dataflow executor, in all four full/resume executor
+// pairings: the executor is deliberately not part of the checkpoint envelope,
+// so a checkpoint taken under one must resume byte-identically under the
+// other.
+TEST(Engine, DataflowResumeFromSpecialRowMatchesFullRunAcrossExecutors) {
+  const auto a = rand_seq(250, 2301);
+  const auto b = rand_seq(240, 2302);
+  ProblemSpec spec;
+  spec.a = a.bases();
+  spec.b = b.bases();
+  spec.grid = tiny_grid(3, 8, 2);  // Strip height 16.
+  spec.recurrence = engine::Recurrence::local(paper());
+
+  const auto collect = [&](ProblemSpec run_spec, engine::ExecutorKind kind) {
+    return run_with_executor(std::move(run_spec), kind, 4, 2);  // Every 32 rows.
+  };
+
+  const ExecRun full = collect(spec, engine::ExecutorKind::kLockstep);
+  ASSERT_GE(full.flushes.size(), 3u);
+  const auto& [middle_row, middle_bus] = full.flushes[1];
+  ProblemSpec resumed_spec = spec;
+  resumed_spec.start_row = middle_row;
+  resumed_spec.initial_hbus = middle_bus;
+  resumed_spec.initial_best = full.flush_best[1];
+
+  for (const auto full_kind :
+       {engine::ExecutorKind::kLockstep, engine::ExecutorKind::kDataflow}) {
+    const ExecRun whole = collect(spec, full_kind);
+    expect_same_run(full, whole, std::string("full under ") + executor_name(full_kind));
+    for (const auto resume_kind :
+         {engine::ExecutorKind::kLockstep, engine::ExecutorKind::kDataflow}) {
+      const std::string label = std::string("full ") + executor_name(full_kind) + " -> resume " +
+                                executor_name(resume_kind);
+      const ExecRun resumed = collect(resumed_spec, resume_kind);
+      EXPECT_EQ(resumed.best.score, full.best.score) << label;
+      EXPECT_EQ(resumed.best.i, full.best.i) << label;
+      EXPECT_EQ(resumed.best.j, full.best.j) << label;
+      ASSERT_EQ(resumed.flushes.size(), full.flushes.size() - 2) << label;
+      for (std::size_t k = 0; k < resumed.flushes.size(); ++k) {
+        EXPECT_EQ(resumed.flushes[k].first, full.flushes[k + 2].first) << label;
+        ASSERT_EQ(resumed.flushes[k].second.size(), full.flushes[k + 2].second.size()) << label;
+        EXPECT_EQ(std::memcmp(resumed.flushes[k].second.data(), full.flushes[k + 2].second.data(),
+                              resumed.flushes[k].second.size() * sizeof(BusCell)),
+                  0)
+            << label << " flushed row " << resumed.flushes[k].first << " diverged after resume";
+      }
+    }
   }
 }
 

@@ -34,14 +34,18 @@ int usage() {
   cudalign align A.fasta B.fasta [--out ALN.bin] [--sra BYTES] [--workdir DIR]
            [--max-partition N] [--match N] [--mismatch N] [--gap-first N]
            [--gap-ext N] [--no-stage3] [--stats] [--prune] [--both-strands]
-           [--cigar FILE] [--kernel NAME] [--audit-bus] [--report FILE]
-           [--progress] [--checkpoint-dir DIR] [--resume]
+           [--cigar FILE] [--kernel NAME] [--executor NAME] [--audit-bus]
+           [--report FILE] [--progress] [--checkpoint-dir DIR] [--resume]
   cudalign score A.fasta B.fasta [--match N] [--mismatch N] [--gap-first N]
-           [--gap-ext N] [--kernel NAME] [--audit-bus]
+           [--gap-ext N] [--kernel NAME] [--executor NAME] [--audit-bus]
 
 --kernel pins a tile-kernel variant (e.g. legacy, scalar-local+best,
 v16-local+best; equivalent to CUDALIGN_KERNEL); tiles outside the variant's
 envelope fall back to automatic selection, so scores are unaffected.
+--executor picks the Stage-1 tile-grid executor: lockstep (default; one
+barrier per external diagonal) or dataflow (dependency-driven work stealing,
+no barrier). Results are byte-identical either way, including resume — a
+checkpoint taken under one executor may be resumed under the other.
 --audit-bus verifies every wavefront bus hand-off against the grid model's
 happens-before relation (check/bus_audit.hpp) and fails the run on violation.
   cudalign view ALN.bin A.fasta B.fasta [--text FILE] [--tsv FILE] [--plot]
@@ -76,7 +80,8 @@ scoring::Scheme scheme_from(const common::Args& args) {
 int cmd_align(const common::Args& args) {
   args.check_known({"out", "sra", "workdir", "max-partition", "match", "mismatch", "gap-first",
                     "gap-ext", "no-stage3", "stats", "prune", "both-strands", "cigar",
-                    "kernel", "audit-bus", "report", "progress", "checkpoint-dir", "resume"});
+                    "kernel", "executor", "audit-bus", "report", "progress", "checkpoint-dir",
+                    "resume"});
   if (args.positional().size() != 2) return usage();
   if (args.has("kernel")) engine::set_kernel_override(args.str("kernel"));
   const auto s0 = seq::read_single_fasta(args.positional()[0]);
@@ -92,6 +97,7 @@ int cmd_align(const common::Args& args) {
   options.max_partition_size = args.num("max-partition", 16);
   options.save_special_columns = !args.has("no-stage3");
   options.block_pruning = args.has("prune");
+  if (args.has("executor")) options.executor = engine::executor_from_name(args.str("executor"));
   if (args.has("workdir")) options.workdir = args.str("workdir");
   if (args.has("checkpoint-dir")) options.checkpoint_dir = args.str("checkpoint-dir");
   options.resume = args.has("resume");
@@ -205,13 +211,15 @@ int cmd_align(const common::Args& args) {
 }
 
 int cmd_score(const common::Args& args) {
-  args.check_known({"match", "mismatch", "gap-first", "gap-ext", "kernel", "audit-bus"});
+  args.check_known({"match", "mismatch", "gap-first", "gap-ext", "kernel", "executor",
+                    "audit-bus"});
   if (args.positional().size() != 2) return usage();
   if (args.has("kernel")) engine::set_kernel_override(args.str("kernel"));
   const auto s0 = seq::read_single_fasta(args.positional()[0]);
   const auto s1 = seq::read_single_fasta(args.positional()[1]);
   core::Stage1Config config;
   config.scheme = scheme_from(args);
+  if (args.has("executor")) config.executor = engine::executor_from_name(args.str("executor"));
   check::BusAuditor auditor;
   if (args.has("audit-bus")) config.bus_audit = &auditor;
   const auto st1 = core::run_stage1(s0.bases(), s1.bases(), config);
