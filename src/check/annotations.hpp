@@ -1,0 +1,32 @@
+// Thread-safety annotations — the static half of the check subsystem's
+// happens-before discipline (the bus auditor is the dynamic half).
+//
+// The macros expand to clang's thread-safety-analysis attributes when the
+// compiler has them (so `-Wthread-safety` sees the same contracts) and to
+// nothing otherwise. Either way, cudalint's declaration-aware `guarded-by` /
+// `raw-lock` rules read them on every build, so the contracts are enforced
+// even under gcc.
+//
+// Conventions:
+//   CUDALIGN_GUARDED_BY(m)  on a field: reads and writes require holding `m`.
+//   CUDALIGN_REQUIRES(m)    on a function: the caller already holds `m`
+//                           (private helpers called under the lock).
+//   CUDALIGN_ACQUIRE(m) / CUDALIGN_RELEASE(m)
+//                           on a function that IS the lock discipline (an
+//                           RAII wrapper's own methods); exempts it from the
+//                           raw-lock rule.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CUDALIGN_TSA_ATTR_(x) __attribute__((x))
+#endif
+#endif
+#ifndef CUDALIGN_TSA_ATTR_
+#define CUDALIGN_TSA_ATTR_(x)
+#endif
+
+#define CUDALIGN_GUARDED_BY(m) CUDALIGN_TSA_ATTR_(guarded_by(m))
+#define CUDALIGN_REQUIRES(...) CUDALIGN_TSA_ATTR_(requires_capability(__VA_ARGS__))
+#define CUDALIGN_ACQUIRE(...) CUDALIGN_TSA_ATTR_(acquire_capability(__VA_ARGS__))
+#define CUDALIGN_RELEASE(...) CUDALIGN_TSA_ATTR_(release_capability(__VA_ARGS__))

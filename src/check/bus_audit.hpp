@@ -52,6 +52,8 @@
 #include <string>
 #include <vector>
 
+#include "check/annotations.hpp"
+
 namespace cudalign::check {
 
 /// Grid coordinate / slot index. Mirrors cudalign::Index (common/types.hpp)
@@ -151,27 +153,36 @@ class BusAuditor {
     BusEndpoint reader;         ///< Last reader (valid if read_since_write).
   };
 
+  // The helpers below run only inside the public methods' critical sections;
+  // CUDALIGN_REQUIRES documents (and cudalint enforces) that contract.
   void record(BusViolation::Rule rule, bool horizontal, Index slot,
-              const BusEndpoint& prior, const BusEndpoint& current);
+              const BusEndpoint& prior, const BusEndpoint& current) CUDALIGN_REQUIRES(mutex_);
   void check_read(Shadow& cell, bool horizontal, Index slot, Index expected_writer_strip,
-                  const BusEndpoint& reader);
-  void check_write(Shadow& cell, bool horizontal, Index slot, const BusEndpoint& writer);
-  [[nodiscard]] Index owner_of(Index slot) const;  ///< Chunk owning hbus slot (or -2).
+                  const BusEndpoint& reader) CUDALIGN_REQUIRES(mutex_);
+  void check_write(Shadow& cell, bool horizontal, Index slot, const BusEndpoint& writer)
+      CUDALIGN_REQUIRES(mutex_);
+  /// Chunk owning hbus slot (or -2).
+  [[nodiscard]] Index owner_of(Index slot) const CUDALIGN_REQUIRES(mutex_);
   /// Vertical shadow cell for the plane `strip` uses (writes and reads of a
   /// strip both target its own plane, mirroring the executor's buffers).
-  [[nodiscard]] Shadow& vcell(Index strip, Index boundary, Index row);
+  [[nodiscard]] Shadow& vcell(Index strip, Index boundary, Index row) CUDALIGN_REQUIRES(mutex_);
 
   mutable std::mutex mutex_;
-  std::size_t max_recorded_;
-  Index n_ = 0, strips_ = 0, blocks_ = 0, strip_rows_ = 0;
-  OrderModel order_ = OrderModel::kDiagonalBarrier;
-  Index vplanes_ = 2;
-  std::vector<Index> cuts_;
-  std::vector<Shadow> hshadow_;  ///< Per hbus slot [0..n].
-  std::vector<Shadow> vshadow_;  ///< vplanes x (blocks + 1) x (strip_rows + 1): plane-major.
-  std::vector<BusViolation> violations_;
-  std::uint64_t violation_count_ = 0;
-  std::uint64_t events_ = 0;
+  std::size_t max_recorded_;  ///< Immutable after construction.
+  Index n_ CUDALIGN_GUARDED_BY(mutex_) = 0;
+  Index strips_ CUDALIGN_GUARDED_BY(mutex_) = 0;
+  Index blocks_ CUDALIGN_GUARDED_BY(mutex_) = 0;
+  Index strip_rows_ CUDALIGN_GUARDED_BY(mutex_) = 0;
+  OrderModel order_ CUDALIGN_GUARDED_BY(mutex_) = OrderModel::kDiagonalBarrier;
+  Index vplanes_ CUDALIGN_GUARDED_BY(mutex_) = 2;
+  std::vector<Index> cuts_ CUDALIGN_GUARDED_BY(mutex_);
+  /// Per hbus slot [0..n].
+  std::vector<Shadow> hshadow_ CUDALIGN_GUARDED_BY(mutex_);
+  /// vplanes x (blocks + 1) x (strip_rows + 1): plane-major.
+  std::vector<Shadow> vshadow_ CUDALIGN_GUARDED_BY(mutex_);
+  std::vector<BusViolation> violations_ CUDALIGN_GUARDED_BY(mutex_);
+  std::uint64_t violation_count_ CUDALIGN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t events_ CUDALIGN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace cudalign::check

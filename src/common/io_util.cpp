@@ -20,7 +20,9 @@ TempDir::TempDir(const std::string& prefix) {
   const auto stamp = std::chrono::steady_clock::now().time_since_epoch().count();
   for (int attempt = 0; attempt < 64; ++attempt) {
     std::ostringstream name;
-    name << prefix << '-' << stamp << '-' << g_tempdir_counter.fetch_add(1) << '-' << attempt;
+    // order: relaxed — the counter only feeds name uniqueness; it orders nothing.
+    name << prefix << '-' << stamp << '-'
+         << g_tempdir_counter.fetch_add(1, std::memory_order_relaxed) << '-' << attempt;
     const auto candidate = base / name.str();
     std::error_code ec;
     if (std::filesystem::create_directory(candidate, ec) && !ec) {

@@ -44,6 +44,8 @@ std::exception_ptr ThreadPool::run_job_slice(const std::function<void(std::size_
   tl_inside_pool_worker = true;
   std::exception_ptr error;
   for (;;) {
+    // order: relaxed — the cursor only partitions [0, count); the mutex+cv
+    // handshake around the job publishes the iteration data itself.
     const std::size_t i = job_next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count) break;
     try {
@@ -96,6 +98,7 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
     std::lock_guard lock(mutex_);
     job_fn_ = &fn;
     job_count_ = count;
+    // order: relaxed — reset inside the mutex; the unlock publishes it.
     job_next_.store(0, std::memory_order_relaxed);
     job_error_ = nullptr;
     workers_active_ = threads_.size();

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "check/annotations.hpp"
+
 namespace cudalign {
 
 class ThreadPool {
@@ -64,14 +66,16 @@ class ThreadPool {
   std::mutex caller_mutex_;      ///< Serializes concurrent parallel_for callers.
 
   // The published job (valid for generation_; lives on the caller's stack).
-  std::uint64_t generation_ = 0;
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_count_ = 0;
+  std::uint64_t generation_ CUDALIGN_GUARDED_BY(mutex_) = 0;
+  const std::function<void(std::size_t)>* job_fn_ CUDALIGN_GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_count_ CUDALIGN_GUARDED_BY(mutex_) = 0;
+  /// The shared iteration cursor — the one field claimed lock-free mid-job.
   std::atomic<std::size_t> job_next_{0};
-  std::size_t workers_active_ = 0;  ///< Workers still inside the current job.
-  std::exception_ptr job_error_;
+  /// Workers still inside the current job.
+  std::size_t workers_active_ CUDALIGN_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr job_error_ CUDALIGN_GUARDED_BY(mutex_);
 
-  bool stop_ = false;
+  bool stop_ CUDALIGN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cudalign

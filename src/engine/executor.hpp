@@ -24,6 +24,14 @@
 // rotates window + 2 planes because up to window + 1 strips are in flight) —
 // the engine is linear-space by construction.
 //
+// Thread-safety discipline: the executor itself owns no atomics and no
+// locks. Every cross-thread hand-off is delegated to the schedulers
+// (common/thread_pool.hpp, engine/sched.hpp) whose shared state carries
+// CUDALIGN_GUARDED_BY annotations and `// order:` justifications
+// (check/annotations.hpp; enforced by cudalint's concurrency rule pack) —
+// tile data itself stays plain because the scheduler edges order it, as the
+// bus auditor (check/bus_audit.hpp) verifies dynamically.
+//
 // Cells delegation (paper §III-C) note: on the GPU, delegation skews block
 // shapes so the wavefront never drains between external diagonals. A CPU
 // thread pool gets the same effect for free — idle workers pick up any ready

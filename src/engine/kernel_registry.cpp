@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "check/annotations.hpp"
 #include "common/error.hpp"
 #include "engine/kernel_detail.hpp"
 
@@ -111,8 +112,8 @@ const std::array<std::size_t, kCount>& cost_order() {
 }
 
 std::mutex g_override_mutex;
-const KernelVariant* g_override = nullptr;
-bool g_override_initialized = false;
+const KernelVariant* g_override CUDALIGN_GUARDED_BY(g_override_mutex) = nullptr;
+bool g_override_initialized CUDALIGN_GUARDED_BY(g_override_mutex) = false;
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "check/annotations.hpp"
 #include "check/contracts.hpp"
 
 namespace cudalign::engine::sched {
@@ -25,38 +26,52 @@ WorkStealingDeque::WorkStealingDeque(std::size_t capacity_pow2)
     : buffer_(ceil_pow2(capacity_pow2)), mask_(static_cast<std::int64_t>(buffer_.size()) - 1) {}
 
 bool WorkStealingDeque::push(std::int64_t value) {
+  // order: relaxed — bottom_ is only written by the owner; this is its own last value.
   const std::int64_t b = bottom_.load(std::memory_order_relaxed);
   const std::int64_t t = top_.load(std::memory_order_acquire);
   if (b - t > mask_) return false;  // Full; caller reroutes to the injector.
+  // order: relaxed — the release store of bottom_ below publishes the slot to thieves.
   buffer_[static_cast<std::size_t>(b & mask_)].store(value, std::memory_order_relaxed);
   bottom_.store(b + 1, std::memory_order_release);
   return true;
 }
 
 bool WorkStealingDeque::pop(std::int64_t* out) {
+  // order: relaxed — owner-only bottom_; the seq_cst fence below does the ordering.
   const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
   bottom_.store(b, std::memory_order_relaxed);
+  // order: seq_cst — the fence must totally order the bottom_ store against the
+  // thieves' top_ reads; weaker fences let pop and steal both claim the element.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  // order: relaxed — the fence above already orders this top_ read.
   std::int64_t t = top_.load(std::memory_order_relaxed);
   if (t > b) {  // Was empty: restore bottom.
+    // order: relaxed — owner-only restore; thieves gate on top_, not bottom_.
     bottom_.store(b + 1, std::memory_order_relaxed);
     return false;
   }
+  // order: relaxed — the slot value was published by this owner's own push.
   *out = buffer_[static_cast<std::size_t>(b & mask_)].load(std::memory_order_relaxed);
   if (t < b) return true;  // More than one element left: no race possible.
   // Single element: race the thieves for it via top.
+  // order: seq_cst CAS joins the fence total order; relaxed on failure (t is discarded).
   const bool won =
       top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  // order: relaxed — owner-only reset; the next push's release publishes it.
   bottom_.store(b + 1, std::memory_order_relaxed);
   return won;
 }
 
 bool WorkStealingDeque::steal(std::int64_t* out) {
   std::int64_t t = top_.load(std::memory_order_acquire);
+  // order: seq_cst — pairs with pop's fence: a thief must observe either the
+  // shrunken bottom_ or the owner's CAS; weaker orders let both claim the tile.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   const std::int64_t b = bottom_.load(std::memory_order_acquire);
   if (t >= b) return false;
+  // order: relaxed — the acquire load of top_ above published this slot.
   const std::int64_t value = buffer_[static_cast<std::size_t>(t & mask_)].load(std::memory_order_relaxed);
+  // order: seq_cst CAS claims the slot in the fence total order; relaxed failure rescans.
   if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                     std::memory_order_relaxed)) {
     return false;  // Lost to the owner's pop or another thief; caller rescans.
@@ -83,9 +98,11 @@ struct GraphRun {
   /// Injector + window gate, one mutex: deque-overflow spillover, parked
   /// column-0 tiles, and the published watermark the gate tests against.
   std::mutex queue_mutex;
-  std::deque<std::int64_t> injector;
-  std::deque<Index> parked;  ///< Ascending (column-0 readiness arrives in order).
-  Index watermark = 0;       ///< Strips retired by the driver.
+  std::deque<std::int64_t> injector CUDALIGN_GUARDED_BY(queue_mutex);
+  /// Ascending (column-0 readiness arrives in order).
+  std::deque<Index> parked CUDALIGN_GUARDED_BY(queue_mutex);
+  /// Strips retired by the driver.
+  Index watermark CUDALIGN_GUARDED_BY(queue_mutex) = 0;
 
   /// Quiescence epoch + stop flag (early stop or captured exception).
   std::atomic<std::int64_t> tiles_done{0};
@@ -94,11 +111,11 @@ struct GraphRun {
   /// Driver wake-up: strip completion flags and the first captured error.
   std::mutex done_mutex;
   std::condition_variable done_cv;
-  std::vector<std::uint8_t> strip_complete;
-  std::exception_ptr error;
+  std::vector<std::uint8_t> strip_complete CUDALIGN_GUARDED_BY(done_mutex);
+  std::exception_ptr error CUDALIGN_GUARDED_BY(done_mutex);
 
   std::mutex stats_mutex;
-  SchedStats stats;
+  SchedStats stats CUDALIGN_GUARDED_BY(stats_mutex);
 
   const std::function<void(Index, Index, int)>* body = nullptr;
 
@@ -236,11 +253,13 @@ SchedStats run_tile_graph(const SchedOptions& options,
   for (Index s = 0; s < options.strips; ++s) {
     for (Index b = 0; b < options.blocks; ++b) {
       const std::uint8_t inputs = s > 0 && b > 0 ? 2 : (s > 0 || b > 0 ? 1 : 0);
+      // order: relaxed — pre-start initialization; thread creation publishes it.
       run.deps[static_cast<std::size_t>(s * options.blocks + b)].store(
           inputs, std::memory_order_relaxed);
     }
   }
   run.strip_left = std::vector<std::atomic<Index>>(static_cast<std::size_t>(options.strips));
+  // order: relaxed — pre-start initialization; thread creation publishes it.
   for (auto& left : run.strip_left) left.store(options.blocks, std::memory_order_relaxed);
   run.strip_complete.assign(static_cast<std::size_t>(options.strips), 0);
   // In-flight strips are bounded by window + 1 and each contributes at most

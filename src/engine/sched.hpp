@@ -37,7 +37,10 @@
 // adds the usual release/acquire edge to whichever worker actually runs the
 // tile. The per-strip remaining-tiles counter gives the driver the same
 // guarantee for whole strips. Everything a tile writes may therefore be
-// plain (non-atomic) data.
+// plain (non-atomic) data. Every seq_cst or relaxed site in sched.cpp
+// carries a `// order:` justification, and the run state's mutex-protected
+// fields are CUDALIGN_GUARDED_BY-annotated — both enforced statically by
+// cudalint's explicit-memory-order and guarded-by rules.
 #pragma once
 
 #include <atomic>

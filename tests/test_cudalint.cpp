@@ -304,10 +304,12 @@ TEST(CudalintSuppression, MarkerOnlySilencesItsOwnRuleAndLine) {
   EXPECT_EQ(rules_fired(wrong_rule),
             (std::vector<std::string>{"naked-new", "unused-suppression"}));
   // Marker on the line above does not reach the code below (same-line only).
+  // Diagnostics come back line-sorted (v2 merge order), so the unused marker
+  // on line 1 precedes the violation on line 2.
   const RunResult wrong_line = lint_snippet(
       "src/core/x.cpp", "// cudalint: allow(naked-new)\nauto* p = new int;\n");
   EXPECT_EQ(rules_fired(wrong_line),
-            (std::vector<std::string>{"naked-new", "unused-suppression"}));
+            (std::vector<std::string>{"unused-suppression", "naked-new"}));
 }
 
 TEST(CudalintSuppression, UnusedAndUnknownMarkersAreDiagnostics) {

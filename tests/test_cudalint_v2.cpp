@@ -1,0 +1,551 @@
+// cudalint v2 suite: the declaration parser (nested classes, out-of-line
+// members, template members, head-type classification), the concurrency rule
+// pack with good/bad fixture pairs per rule, cross-file annotation
+// inheritance through lint_sources, the suppression budget, per-tree rule
+// disabling, parallel-run determinism, and the tests/ + tools/ self-lint.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cudalint/driver.hpp"
+#include "cudalint/parser.hpp"
+
+namespace {
+
+using cudalint::Diagnostic;
+using cudalint::ParsedFile;
+using cudalint::RunOptions;
+using cudalint::RunResult;
+using cudalint::SourceFile;
+using cudalint::SuppressionBudget;
+using cudalint::TypeDecl;
+
+RunResult lint_snippet(std::string_view path, std::string_view content) {
+  RunResult result;
+  cudalint::lint_content(path, content, nullptr, result);
+  return result;
+}
+
+std::vector<std::string> rules_fired(const RunResult& result) {
+  std::vector<std::string> rules;
+  rules.reserve(result.diagnostics.size());
+  for (const Diagnostic& d : result.diagnostics) rules.push_back(d.rule);
+  return rules;
+}
+
+ParsedFile parse_snippet(std::string_view content) {
+  return cudalint::parse(cudalint::lex("src/core/x.cpp", std::string(content)));
+}
+
+const TypeDecl* find_type(const ParsedFile& file, std::string_view path) {
+  for (const TypeDecl& type : file.types) {
+    if (type.path == path) return &type;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// parser: head-type classification
+
+TEST(CudalintParser, ClassifiesFieldHeadTypes) {
+  const ParsedFile file = parse_snippet(
+      "struct S {\n"
+      "  std::atomic<int> counter{0};\n"
+      "  std::mutex m;\n"
+      "  std::shared_mutex sm;\n"
+      "  std::condition_variable cv;\n"
+      "  std::thread t;\n"
+      "  std::jthread jt;\n"
+      "  std::vector<bool> packed;\n"
+      "  std::bitset<8> bits;\n"
+      "  bool flag = false;\n"
+      "  std::vector<std::atomic<int>> cells;\n"
+      "  std::deque<std::thread> pool;\n"
+      "};\n");
+  const TypeDecl* s = find_type(file, "S");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->find_field("counter")->type.flags.atomic);
+  EXPECT_TRUE(s->find_field("m")->type.flags.mutex_kind);
+  EXPECT_TRUE(s->find_field("sm")->type.flags.mutex_kind);
+  EXPECT_TRUE(s->find_field("cv")->type.flags.condvar);
+  EXPECT_TRUE(s->find_field("t")->type.flags.thread_kind);
+  EXPECT_TRUE(s->find_field("jt")->type.flags.thread_kind);
+  EXPECT_TRUE(s->find_field("packed")->type.flags.packed_bool);
+  EXPECT_TRUE(s->find_field("bits")->type.flags.packed_bool);
+  EXPECT_TRUE(s->find_field("flag")->type.flags.plain_bool);
+  EXPECT_TRUE(s->find_field("cells")->type.flags.container_of_atomic);
+  EXPECT_TRUE(s->find_field("pool")->type.flags.container_of_thread);
+}
+
+TEST(CudalintParser, RaiiLockIsNotAMutex) {
+  // Head-type classification, not substring matching: `unique_lock<mutex>`
+  // is an RAII wrapper even though "mutex" appears in the template argument.
+  const ParsedFile file = parse_snippet(
+      "struct S { std::unique_lock<std::mutex> held; };\n");
+  const TypeDecl* s = find_type(file, "S");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->find_field("held")->type.flags.raii_lock);
+  EXPECT_FALSE(s->find_field("held")->type.flags.mutex_kind);
+}
+
+TEST(CudalintParser, NestedClassesKeepTheirPaths) {
+  const ParsedFile file = parse_snippet(
+      "class Outer {\n"
+      "  struct Inner { int x = 0; };\n"
+      "  Inner cell;\n"
+      "};\n");
+  EXPECT_NE(find_type(file, "Outer"), nullptr);
+  const TypeDecl* inner = find_type(file, "Outer::Inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_NE(inner->find_field("x"), nullptr);
+  // The field of class type keeps its head for member-chain resolution.
+  EXPECT_EQ(find_type(file, "Outer")->find_field("cell")->type.head, "Inner");
+}
+
+TEST(CudalintParser, OutOfLineMembersAndTemplatesDoNotDesyncTheParser) {
+  const ParsedFile file = parse_snippet(
+      "template <typename T>\n"
+      "class Box {\n"
+      " public:\n"
+      "  template <typename U>\n"
+      "  void put(U&& u) { value_ = static_cast<T>(u); }\n"
+      "  T get() const;\n"
+      " private:\n"
+      "  T value_{};\n"
+      "};\n"
+      "template <typename T>\n"
+      "T Box<T>::get() const { return value_; }\n"
+      "struct After { std::mutex m; };\n");
+  // The template member and out-of-line definition parse (or are skipped)
+  // without swallowing the declaration that follows.
+  const TypeDecl* after = find_type(file, "After");
+  ASSERT_NE(after, nullptr);
+  EXPECT_TRUE(after->find_field("m")->type.flags.mutex_kind);
+}
+
+TEST(CudalintParser, CtorInitListAndBraceInitFieldsParse) {
+  const ParsedFile file = parse_snippet(
+      "class Run {\n"
+      " public:\n"
+      "  Run() : next_{0}, total_(1) {}\n"
+      "  void step() noexcept {}\n"
+      " private:\n"
+      "  std::atomic<std::size_t> next_{0};\n"
+      "  int total_ = 0;\n"
+      "};\n");
+  const TypeDecl* run = find_type(file, "Run");
+  ASSERT_NE(run, nullptr);
+  ASSERT_NE(run->find_field("next_"), nullptr);
+  EXPECT_TRUE(run->find_field("next_")->type.flags.atomic);
+  EXPECT_NE(run->find_field("total_"), nullptr);
+}
+
+TEST(CudalintParser, AnnotationsAreRecovered) {
+  const ParsedFile file = parse_snippet(
+      "class C {\n"
+      "  void helper() CUDALIGN_REQUIRES(m_);\n"
+      "  std::mutex m_;\n"
+      "  int v_ CUDALIGN_GUARDED_BY(m_) = 0;\n"
+      "};\n");
+  const TypeDecl* c = find_type(file, "C");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->find_field("v_")->guarded_by, "m_");
+  const auto it = c->methods.find("helper");
+  ASSERT_NE(it, c->methods.end());
+  EXPECT_EQ(it->second.requires_locks, std::vector<std::string>{"m_"});
+}
+
+// ---------------------------------------------------------------------------
+// explicit-memory-order
+
+TEST(CudalintMemoryOrder, ImplicitOrderOnGlobalAtomicFires) {
+  const RunResult r = lint_snippet("src/core/x.cpp",
+                                   "std::atomic<int> g_count{0};\n"
+                                   "void bump() { g_count.fetch_add(1); }\n");
+  ASSERT_EQ(rules_fired(r), std::vector<std::string>{"explicit-memory-order"});
+  EXPECT_EQ(r.diagnostics[0].line, 2);
+  EXPECT_NE(r.diagnostics[0].message.find("g_count"), std::string::npos);
+}
+
+TEST(CudalintMemoryOrder, ExplicitNonCommentOrdersAreClean) {
+  // acquire/release/acq_rel document themselves; no `// order:` prose needed.
+  const RunResult r = lint_snippet(
+      "src/core/x.cpp",
+      "std::atomic<int> g_count{0};\n"
+      "void bump() { g_count.fetch_add(1, std::memory_order_acq_rel); }\n"
+      "int read() { return g_count.load(std::memory_order_acquire); }\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(CudalintMemoryOrder, CompareExchangeNeedsBothOrders) {
+  const RunResult one = lint_snippet(
+      "src/core/x.cpp",
+      "std::atomic<int> g_state{0};\n"
+      "bool flip(int e) {\n"
+      "  return g_state.compare_exchange_strong(e, 1, std::memory_order_acq_rel);\n"
+      "}\n");
+  ASSERT_EQ(rules_fired(one), std::vector<std::string>{"explicit-memory-order"});
+  EXPECT_NE(one.diagnostics[0].message.find("both success and failure"), std::string::npos);
+  const RunResult both = lint_snippet(
+      "src/core/x.cpp",
+      "std::atomic<int> g_state{0};\n"
+      "bool flip(int e) {\n"
+      "  return g_state.compare_exchange_strong(e, 1, std::memory_order_acq_rel,\n"
+      "                                         std::memory_order_acquire);\n"
+      "}\n");
+  EXPECT_TRUE(both.diagnostics.empty());
+}
+
+TEST(CudalintMemoryOrder, RelaxedNeedsAnOrderComment) {
+  const RunResult bare = lint_snippet(
+      "src/core/x.cpp",
+      "std::atomic<int> g_c{0};\n"
+      "int read() { return g_c.load(std::memory_order_relaxed); }\n");
+  ASSERT_EQ(rules_fired(bare), std::vector<std::string>{"explicit-memory-order"});
+  EXPECT_NE(bare.diagnostics[0].message.find("order:"), std::string::npos);
+  const RunResult justified = lint_snippet(
+      "src/core/x.cpp",
+      "std::atomic<int> g_c{0};\n"
+      "// order: a standalone counter; nothing is published under it.\n"
+      "int read() { return g_c.load(std::memory_order_relaxed); }\n");
+  EXPECT_TRUE(justified.diagnostics.empty());
+}
+
+TEST(CudalintMemoryOrder, OrderCommentMustBeWithinTwoLines) {
+  const RunResult far = lint_snippet(
+      "src/core/x.cpp",
+      "std::atomic<int> g_c{0};\n"
+      "// order: too far away to plausibly describe the load.\n"
+      "\n"
+      "\n"
+      "int read() { return g_c.load(std::memory_order_relaxed); }\n");
+  EXPECT_EQ(rules_fired(far), std::vector<std::string>{"explicit-memory-order"});
+}
+
+TEST(CudalintMemoryOrder, ScopedEnumeratorFormIsRecognized) {
+  const RunResult r = lint_snippet(
+      "src/core/x.cpp",
+      "std::atomic<int> g_c{0};\n"
+      "void set() { g_c.store(1, std::memory_order::seq_cst); }\n");
+  // The order argument is present (no implicit-order finding), but seq_cst
+  // still demands justification.
+  ASSERT_EQ(rules_fired(r), std::vector<std::string>{"explicit-memory-order"});
+  EXPECT_NE(r.diagnostics[0].message.find("memory_order::seq_cst"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// guarded-by
+
+constexpr std::string_view kCounterClass =
+    "class Counter {\n"
+    " public:\n"
+    "  void bad() { value_ = 1; }\n"
+    "  void good() {\n"
+    "    std::lock_guard<std::mutex> lock(mutex_);\n"
+    "    value_ = 2;\n"
+    "  }\n"
+    "  void helper() CUDALIGN_REQUIRES(mutex_) { value_ = 3; }\n"
+    " private:\n"
+    "  std::mutex mutex_;\n"
+    "  int value_ CUDALIGN_GUARDED_BY(mutex_) = 0;\n"
+    "};\n";
+
+TEST(CudalintGuardedBy, UnlockedAccessFiresLockedAndRequiresAreClean) {
+  const RunResult r = lint_snippet("src/core/x.cpp", kCounterClass);
+  ASSERT_EQ(rules_fired(r), std::vector<std::string>{"guarded-by"});
+  EXPECT_EQ(r.diagnostics[0].line, 3);
+  EXPECT_NE(r.diagnostics[0].message.find("CUDALIGN_GUARDED_BY(mutex_)"), std::string::npos);
+}
+
+TEST(CudalintGuardedBy, LockScopeEndsAtTheClosingBrace) {
+  const RunResult r = lint_snippet(
+      "src/core/x.cpp",
+      "class C {\n"
+      "  void mixed() {\n"
+      "    { std::lock_guard<std::mutex> lock(m_); v_ = 1; }\n"
+      "    v_ = 2;\n"
+      "  }\n"
+      "  std::mutex m_;\n"
+      "  int v_ CUDALIGN_GUARDED_BY(m_) = 0;\n"
+      "};\n");
+  ASSERT_EQ(rules_fired(r), std::vector<std::string>{"guarded-by"});
+  EXPECT_EQ(r.diagnostics[0].line, 4);
+}
+
+TEST(CudalintGuardedBy, LocalsShadowFieldsAndForeignMembersAreSkipped) {
+  const RunResult r = lint_snippet(
+      "src/core/x.cpp",
+      "class C {\n"
+      "  void shadow() { int v_ = 0; v_ = 1; }\n"
+      "  void foreign(C& other) { other.report(); }\n"
+      "  void report();\n"
+      "  std::mutex m_;\n"
+      "  int v_ CUDALIGN_GUARDED_BY(m_) = 0;\n"
+      "};\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(CudalintGuardedBy, CrossFileAnnotationsReachOutOfLineDefinitions) {
+  // The contract lives in the header; the bodies live in the .cpp. apply()
+  // inherits CUDALIGN_REQUIRES from its in-class prototype; reset() has no
+  // lock and no annotation, so it is the one that fires.
+  const std::vector<SourceFile> sources = {
+      {"src/core/counter.hpp",
+       "#pragma once\n"
+       "class FileCounter {\n"
+       " public:\n"
+       "  void add(int delta);\n"
+       "  void reset();\n"
+       " private:\n"
+       "  void apply(int delta) CUDALIGN_REQUIRES(mutex_);\n"
+       "  std::mutex mutex_;\n"
+       "  long total_ CUDALIGN_GUARDED_BY(mutex_) = 0;\n"
+       "};\n"},
+      {"src/core/counter.cpp",
+       "#include \"core/counter.hpp\"\n"
+       "void FileCounter::add(int delta) {\n"
+       "  std::lock_guard<std::mutex> lock(mutex_);\n"
+       "  apply(delta);\n"
+       "}\n"
+       "void FileCounter::apply(int delta) { total_ += delta; }\n"
+       "void FileCounter::reset() { total_ = 0; }\n"}};
+  RunResult result;
+  cudalint::lint_sources(sources, nullptr, nullptr, RunOptions{}, result);
+  ASSERT_EQ(rules_fired(result), std::vector<std::string>{"guarded-by"});
+  EXPECT_EQ(result.diagnostics[0].file, "src/core/counter.cpp");
+  EXPECT_EQ(result.diagnostics[0].line, 7);
+}
+
+// ---------------------------------------------------------------------------
+// raw-lock
+
+TEST(CudalintRawLock, BareLockUnlockFireRaiiIsClean) {
+  const RunResult bad = lint_snippet("src/core/x.cpp",
+                                     "std::mutex g_m;\n"
+                                     "void f() { g_m.lock(); g_m.unlock(); }\n");
+  EXPECT_EQ(rules_fired(bad), (std::vector<std::string>{"raw-lock", "raw-lock"}));
+  const RunResult good = lint_snippet(
+      "src/core/x.cpp",
+      "std::mutex g_m;\n"
+      "void f() { std::lock_guard<std::mutex> lock(g_m); }\n");
+  EXPECT_TRUE(good.diagnostics.empty());
+}
+
+TEST(CudalintRawLock, AcquireReleaseAnnotatedWrappersAreExempt) {
+  const RunResult r = lint_snippet(
+      "src/core/x.cpp",
+      "class Gate {\n"
+      " public:\n"
+      "  void enter() CUDALIGN_ACQUIRE(m_) { m_.lock(); }\n"
+      "  void leave() CUDALIGN_RELEASE(m_) { m_.unlock(); }\n"
+      " private:\n"
+      "  std::mutex m_;\n"
+      "};\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// shared-packed-bool / unguarded-stop-flag / detached-thread
+
+TEST(CudalintTypeShapes, PackedBoolNextToSyncStateFires) {
+  const RunResult bad = lint_snippet("src/core/x.cpp",
+                                     "struct State {\n"
+                                     "  std::mutex m;\n"
+                                     "  std::vector<bool> flags;\n"
+                                     "};\n");
+  ASSERT_EQ(rules_fired(bad), std::vector<std::string>{"shared-packed-bool"});
+  EXPECT_EQ(bad.diagnostics[0].line, 3);
+  // Guarded, or in a type with no synchronization state at all: clean.
+  const RunResult guarded = lint_snippet(
+      "src/core/x.cpp",
+      "struct State {\n"
+      "  std::mutex m;\n"
+      "  std::vector<bool> flags CUDALIGN_GUARDED_BY(m);\n"
+      "};\n");
+  EXPECT_TRUE(guarded.diagnostics.empty());
+  const RunResult plain = lint_snippet("src/core/x.cpp",
+                                       "struct Bits { std::vector<bool> flags; };\n");
+  EXPECT_TRUE(plain.diagnostics.empty());
+}
+
+TEST(CudalintTypeShapes, StopFlagNextToThreadsFires) {
+  const RunResult bad = lint_snippet("src/core/x.cpp",
+                                     "struct Worker {\n"
+                                     "  std::thread thread;\n"
+                                     "  bool stop = false;\n"
+                                     "};\n");
+  ASSERT_EQ(rules_fired(bad), std::vector<std::string>{"unguarded-stop-flag"});
+  EXPECT_EQ(bad.diagnostics[0].line, 3);
+  const RunResult atomic = lint_snippet("src/core/x.cpp",
+                                        "struct Worker {\n"
+                                        "  std::thread thread;\n"
+                                        "  std::atomic<bool> stop{false};\n"
+                                        "};\n");
+  EXPECT_TRUE(atomic.diagnostics.empty());
+  const RunResult guarded = lint_snippet("src/core/x.cpp",
+                                         "struct Worker {\n"
+                                         "  std::thread thread;\n"
+                                         "  std::mutex m;\n"
+                                         "  bool stop CUDALIGN_GUARDED_BY(m) = false;\n"
+                                         "};\n");
+  EXPECT_TRUE(guarded.diagnostics.empty());
+}
+
+TEST(CudalintDetach, DetachOnLocalThreadFiresJoinIsClean) {
+  const RunResult bad = lint_snippet("src/core/x.cpp",
+                                     "void spawn() {\n"
+                                     "  std::thread worker;\n"
+                                     "  worker.detach();\n"
+                                     "}\n");
+  ASSERT_EQ(rules_fired(bad), std::vector<std::string>{"detached-thread"});
+  EXPECT_EQ(bad.diagnostics[0].line, 3);
+  const RunResult good = lint_snippet("src/core/x.cpp",
+                                      "void spawn() {\n"
+                                      "  std::thread worker;\n"
+                                      "  worker.join();\n"
+                                      "}\n");
+  EXPECT_TRUE(good.diagnostics.empty());
+}
+
+TEST(CudalintDetach, IndexedContainerElementResolvesThroughOwnerChain) {
+  const RunResult r = lint_snippet("src/core/x.cpp",
+                                   "struct Pool { std::vector<std::thread> threads; };\n"
+                                   "Pool g_pool;\n"
+                                   "void drop() { g_pool.threads[0].detach(); }\n");
+  ASSERT_EQ(rules_fired(r), std::vector<std::string>{"detached-thread"});
+  EXPECT_EQ(r.diagnostics[0].line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// suppression budget
+
+TEST(CudalintBudget, ParsesCommentsAndEntriesRejectsMalformedLines) {
+  SuppressionBudget budget;
+  std::string error;
+  ASSERT_TRUE(cudalint::parse_budget("# caps\nsrc 2\ntests 0\n", &budget, &error)) << error;
+  EXPECT_EQ(budget.per_tree.at("src"), 2);
+  EXPECT_EQ(budget.per_tree.at("tests"), 0);
+  EXPECT_FALSE(cudalint::parse_budget("src -1\n", &budget, &error));
+  EXPECT_FALSE(cudalint::parse_budget("src\n", &budget, &error));
+  EXPECT_FALSE(cudalint::parse_budget("src 1 extra\n", &budget, &error));
+}
+
+TEST(CudalintBudget, TreeOverItsCapFailsUnderStaysClean) {
+  const std::vector<SourceFile> sources = {
+      {"src/core/x.cpp", "auto* p = new int;  // cudalint: allow(naked-new)\n"}};
+  SuppressionBudget budget;
+  budget.source_path = "tools/cudalint/suppressions.budget";
+  budget.per_tree["src"] = 0;
+  RunResult over;
+  cudalint::lint_sources(sources, nullptr, &budget, RunOptions{}, over);
+  ASSERT_EQ(rules_fired(over), std::vector<std::string>{"suppression-budget"});
+  EXPECT_EQ(over.diagnostics[0].file, budget.source_path);
+  budget.per_tree["src"] = 1;
+  RunResult under;
+  cudalint::lint_sources(sources, nullptr, &budget, RunOptions{}, under);
+  EXPECT_TRUE(under.diagnostics.empty());
+  EXPECT_EQ(under.markers_total, 1);
+}
+
+TEST(CudalintBudget, TreeWithoutAnEntryFailsClosed) {
+  const std::vector<SourceFile> sources = {
+      {"misc/x.cpp", "auto* p = new int;  // cudalint: allow(naked-new)\n"}};
+  SuppressionBudget budget;
+  budget.source_path = "b";
+  budget.per_tree["src"] = 5;
+  RunResult result;
+  cudalint::lint_sources(sources, nullptr, &budget, RunOptions{}, result);
+  EXPECT_EQ(rules_fired(result), std::vector<std::string>{"suppression-budget"});
+}
+
+TEST(CudalintBudget, MaxSuppressionsCapsTheWholeScan) {
+  const std::vector<SourceFile> sources = {
+      {"src/core/x.cpp", "auto* p = new int;  // cudalint: allow(naked-new)\n"}};
+  RunOptions options;
+  options.max_suppressions = 0;
+  RunResult result;
+  cudalint::lint_sources(sources, nullptr, nullptr, options, result);
+  EXPECT_EQ(rules_fired(result), std::vector<std::string>{"suppression-budget"});
+}
+
+// ---------------------------------------------------------------------------
+// per-tree rule disabling
+
+TEST(CudalintDisable, DisabledRuleDiagnosticsAreDroppedAndMarkersExcused) {
+  RunOptions options;
+  options.disabled_rules = {"naked-new"};
+  const std::vector<SourceFile> violating = {{"src/core/x.cpp", "auto* p = new int;\n"}};
+  RunResult dropped;
+  cudalint::lint_sources(violating, nullptr, nullptr, options, dropped);
+  EXPECT_TRUE(dropped.diagnostics.empty());
+  // A marker naming a disabled rule is excused, not "unused": the same file
+  // is linted by sibling configs where the rule IS live.
+  const std::vector<SourceFile> marked = {
+      {"src/core/x.cpp", "int x = 1;  // cudalint: allow(naked-new)\n"}};
+  RunResult excused;
+  cudalint::lint_sources(marked, nullptr, nullptr, options, excused);
+  EXPECT_TRUE(excused.diagnostics.empty());
+}
+
+TEST(CudalintDisable, UnknownRuleNameIsAConfigError) {
+  RunOptions options;
+  options.root = CUDALINT_REPO_ROOT;
+  options.paths = {"tools/cudalint"};
+  options.disabled_rules = {"no-such-rule"};
+  const RunResult result = cudalint::run(options);
+  ASSERT_FALSE(result.config_errors.empty());
+  EXPECT_NE(result.config_errors[0].find("no-such-rule"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// determinism and marker prose
+
+TEST(CudalintDriver, ReportIsIdenticalAtAnyWorkerCount) {
+  std::vector<SourceFile> sources;
+  for (int i = 0; i < 8; ++i) {
+    sources.push_back({"src/core/f" + std::to_string(i) + ".cpp",
+                       "auto* p" + std::to_string(i) + " = new int;\n"});
+  }
+  RunOptions serial;
+  serial.jobs = 1;
+  RunOptions parallel;
+  parallel.jobs = 4;
+  RunResult a;
+  RunResult b;
+  cudalint::lint_sources(sources, nullptr, nullptr, serial, a);
+  cudalint::lint_sources(sources, nullptr, nullptr, parallel, b);
+  EXPECT_EQ(cudalint::to_text(a), cudalint::to_text(b));
+  EXPECT_EQ(a.diagnostics.size(), 8u);
+}
+
+TEST(CudalintMarkers, BacktickQuotedMarkerInProseIsNotAMarker) {
+  // Documentation that *mentions* the marker syntax must not register as a
+  // suppression (which would then be flagged unused).
+  const RunResult r = lint_snippet(
+      "tools/x.cpp",
+      "// Suppress with `// cudalint: allow(naked-new)` on the same line.\n"
+      "int x = 1;\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(r.markers_total, 0);
+}
+
+// ---------------------------------------------------------------------------
+// repo self-lint: the gates the ctest targets run, pinned in-suite
+
+TEST(CudalintRepo, TestsAndToolsTreesLintClean) {
+  for (const std::string tree : {"tests", "tools"}) {
+    RunOptions options;
+    options.root = CUDALINT_REPO_ROOT;
+    options.paths = {tree};
+    options.budget_path = "tools/cudalint/suppressions.budget";
+    if (tree == "tests") options.disabled_rules = {"explicit-memory-order"};
+    const RunResult result = cudalint::run(options);
+    EXPECT_TRUE(result.config_errors.empty())
+        << (result.config_errors.empty() ? "" : result.config_errors.front());
+    EXPECT_TRUE(result.diagnostics.empty()) << tree << ":\n" << cudalint::to_text(result);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,480 @@
+#include "cudalint/concurrency.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace cudalint {
+namespace {
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+constexpr std::array<std::string_view, 11> kAtomicOps = {
+    "load",      "store",     "exchange",  "fetch_add",
+    "fetch_sub", "fetch_and", "fetch_or",  "fetch_xor",
+    "compare_exchange_weak", "compare_exchange_strong", "test_and_set"};
+
+constexpr std::array<std::string_view, 3> kLockOps = {"lock", "unlock", "try_lock"};
+
+/// Identifiers that can never open a local declaration.
+[[nodiscard]] bool is_stmt_keyword(std::string_view text) {
+  constexpr std::array<std::string_view, 16> kKeywords = {
+      "return", "if",     "else",  "for",   "while", "do",    "switch", "case",
+      "break",  "continue", "goto", "throw", "delete", "new",  "sizeof", "co_return"};
+  return std::find(kKeywords.begin(), kKeywords.end(), text) != kKeywords.end();
+}
+
+[[nodiscard]] bool is_decl_qualifier(std::string_view text) {
+  return text == "const" || text == "constexpr" || text == "static" || text == "auto" ||
+         text == "volatile" || text == "thread_local" || text == "unsigned" ||
+         text == "signed" || text == "long" || text == "short";
+}
+
+/// Balanced `< ... >` skip with the same bail-outs as the parser's.
+[[nodiscard]] std::size_t skip_angles(const std::vector<Token>& t, std::size_t i,
+                                      std::size_t end) {
+  int depth = 0;
+  for (; i < end; ++i) {
+    if (is_punct(t[i], "<")) {
+      ++depth;
+    } else if (is_punct(t[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(t[i], ";") || is_punct(t[i], "{")) {
+      return i;
+    }
+  }
+  return end;
+}
+
+/// A lock held by an RAII wrapper declared at brace depth `depth`.
+struct HeldLock {
+  int depth = 0;
+  std::string name;
+};
+
+/// Walks one function body, tracking brace scopes, local declarations, and
+/// RAII lock scopes; fires the per-statement concurrency rules.
+class BodyChecker {
+ public:
+  BodyChecker(const LexedFile& file, const ParsedFile& parsed, const DeclIndex& index,
+              const FunctionDecl& fn, std::vector<Diagnostic>& out)
+      : f_(file), parsed_(parsed), index_(index), fn_(fn), out_(out) {
+    if (!fn.class_path.empty()) cls_ = index.find_type(fn.class_path);
+    for (const std::string& lock : fn.requires_locks) required_.push_back(lock);
+    lock_manager_ = fn.lock_manager;
+    if (cls_ != nullptr) {
+      const auto it = cls_->methods.find(fn.name);
+      if (it != cls_->methods.end()) {
+        for (const std::string& lock : it->second.requires_locks) required_.push_back(lock);
+        lock_manager_ = lock_manager_ || it->second.lock_manager;
+      }
+    }
+  }
+
+  void run() {
+    const auto& t = f_.tokens;
+    bool stmt_start = true;
+    for (std::size_t k = fn_.body_begin; k < fn_.body_end && k < t.size(); ++k) {
+      const Token& tok = t[k];
+      if (is_punct(tok, "{")) {
+        ++depth_;
+        stmt_start = true;
+        continue;
+      }
+      if (is_punct(tok, "}")) {
+        --depth_;
+        std::erase_if(held_, [&](const HeldLock& l) { return l.depth > depth_; });
+        stmt_start = true;
+        continue;
+      }
+      if (is_punct(tok, ";")) {
+        stmt_start = true;
+        continue;
+      }
+      if (is_punct(tok, "(")) {
+        // `for (...)` / `if (...)` init-statements may declare locals.
+        stmt_start = k >= 1 && t[k - 1].kind == TokKind::kIdent &&
+                     (t[k - 1].text == "for" || t[k - 1].text == "if" ||
+                      t[k - 1].text == "while" || t[k - 1].text == "switch");
+        continue;
+      }
+      if (tok.kind != TokKind::kIdent) {
+        stmt_start = false;
+        continue;
+      }
+      if (stmt_start) try_local_decl(k);
+      stmt_start = false;
+
+      if (std::find(kAtomicOps.begin(), kAtomicOps.end(), tok.text) != kAtomicOps.end() &&
+          k + 1 < fn_.body_end && is_punct(t[k + 1], "(")) {
+        check_atomic_op(k);
+      }
+      if (std::find(kLockOps.begin(), kLockOps.end(), tok.text) != kLockOps.end() &&
+          k + 1 < fn_.body_end && is_punct(t[k + 1], "(")) {
+        check_raw_lock(k);
+      }
+      if (tok.text == "detach" && k + 1 < fn_.body_end && is_punct(t[k + 1], "(")) {
+        check_detach(k);
+      }
+      check_guarded_access(k);
+    }
+  }
+
+ private:
+  /// Receiver of `x.op(` / `x->op(` / `x[i].op(` / `a.b.op(` at the op token
+  /// `k`. Unresolvable receivers return nullopt and the caller stays silent.
+  struct Receiver {
+    ClassifiedType type;
+    bool indexed = false;
+    std::string name;
+  };
+
+  [[nodiscard]] std::optional<std::size_t> base_before_accessor(std::size_t j) const {
+    const auto& t = f_.tokens;
+    // `j` points at the token before the accessor; step over `]...[`.
+    if (is_punct(t[j], "]")) {
+      int depth = 1;
+      while (j > fn_.body_begin && depth > 0) {
+        --j;
+        if (is_punct(t[j], "]")) ++depth;
+        if (is_punct(t[j], "[")) --depth;
+      }
+      if (depth != 0 || j == fn_.body_begin) return std::nullopt;
+      --j;
+    }
+    if (f_.tokens[j].kind != TokKind::kIdent) return std::nullopt;
+    return j;
+  }
+
+  [[nodiscard]] std::optional<Receiver> resolve_receiver(std::size_t op) const {
+    const auto& t = f_.tokens;
+    if (op < fn_.body_begin + 2) return std::nullopt;
+    std::size_t j = op - 1;
+    bool indexed = false;
+    if (is_punct(t[j], ".")) {
+      --j;
+    } else if (is_punct(t[j], ">") && j >= 1 && is_punct(t[j - 1], "-")) {
+      j -= 2;
+    } else {
+      return std::nullopt;
+    }
+    const bool was_indexed = is_punct(t[j], "]");
+    const auto base = base_before_accessor(j);
+    if (!base.has_value()) return std::nullopt;
+    indexed = was_indexed;
+    const std::string& name = t[*base].text;
+    if (name == "this") return std::nullopt;
+
+    // One-level owner chain: `owner.base.op(` resolves `base` through the
+    // owner's class in the declaration index.
+    if (*base >= fn_.body_begin + 2) {
+      std::size_t o = *base - 1;
+      bool owner_access = false;
+      if (is_punct(t[o], ".")) {
+        --o;
+        owner_access = true;
+      } else if (is_punct(t[o], ">") && o >= 1 && is_punct(t[o - 1], "-")) {
+        o -= 2;
+        owner_access = true;
+      }
+      if (owner_access) {
+        const auto owner = base_before_accessor(o);
+        if (!owner.has_value()) return std::nullopt;
+        const std::string& owner_name = t[*owner].text;
+        if (owner_name != "this") {
+          const auto owner_type = lookup(owner_name);
+          if (!owner_type.has_value() || owner_type->head.empty()) return std::nullopt;
+          const TypeDecl* owner_class = index_.find_type(owner_type->head);
+          if (owner_class == nullptr) return std::nullopt;
+          const FieldDecl* field = owner_class->find_field(name);
+          if (field == nullptr) return std::nullopt;
+          return Receiver{field->type, indexed, name};
+        }
+      }
+    }
+    const auto type = lookup(name);
+    if (!type.has_value()) return std::nullopt;
+    return Receiver{*type, indexed, name};
+  }
+
+  /// Name → type, through locals, then the enclosing class, then this file's
+  /// namespace-scope globals.
+  [[nodiscard]] std::optional<ClassifiedType> lookup(const std::string& name) const {
+    const auto it = locals_.find(name);
+    if (it != locals_.end()) return it->second;
+    if (cls_ != nullptr) {
+      if (const FieldDecl* field = cls_->find_field(name)) return field->type;
+    }
+    for (const FieldDecl& global : parsed_.globals) {
+      if (global.name == name) return global.type;
+    }
+    return std::nullopt;
+  }
+
+  /// Tries to read a local declaration starting at token `k`; registers the
+  /// local's classified type, and RAII lock scopes.
+  void try_local_decl(std::size_t k) {
+    const auto& t = f_.tokens;
+    const std::size_t end = fn_.body_end;
+    if (t[k].kind != TokKind::kIdent || is_stmt_keyword(t[k].text)) return;
+    const std::size_t type_begin = k;
+    // Head path: qualifiers, then ident (:: ident)* with optional <...>.
+    while (k < end && t[k].kind == TokKind::kIdent && is_decl_qualifier(t[k].text)) ++k;
+    if (k >= end || t[k].kind != TokKind::kIdent || is_stmt_keyword(t[k].text)) return;
+    ++k;
+    while (k + 1 < end && is_punct(t[k], "::") && t[k + 1].kind == TokKind::kIdent) k += 2;
+    if (k < end && is_punct(t[k], "<")) k = skip_angles(t, k, end);
+    while (k < end && (is_punct(t[k], "*") || is_punct(t[k], "&") ||
+                       is_ident(t[k], "const"))) {
+      ++k;
+    }
+    if (k >= end || t[k].kind != TokKind::kIdent || is_stmt_keyword(t[k].text)) return;
+    const std::size_t name_pos = k;
+    if (name_pos == type_begin) return;  // A bare identifier is an expression.
+    ++k;
+    if (k >= end || !(is_punct(t[k], "=") || is_punct(t[k], ";") || is_punct(t[k], "(") ||
+                      is_punct(t[k], "{") || is_punct(t[k], ","))) {
+      return;
+    }
+    const ClassifiedType type = classify_type(t, type_begin, name_pos);
+    locals_[t[name_pos].text] = type;
+    if (type.flags.raii_lock && (is_punct(t[k], "(") || is_punct(t[k], "{"))) {
+      register_lock_scope(k);
+    }
+  }
+
+  /// `k` points at the `(` / `{` of an RAII lock constructor; records the
+  /// named mutexes as held until the current brace scope closes. adopt_lock
+  /// is transparent; defer_lock / try_to_lock defeat static tracking, so
+  /// those wrappers register nothing (silence over a wrong guess). A
+  /// mid-scope `lk.unlock()` is likewise approximated as still-held — the
+  /// repo convention is scope-ends-release.
+  void register_lock_scope(std::size_t k) {
+    const auto& t = f_.tokens;
+    const std::string_view close = is_punct(t[k], "(") ? ")" : "}";
+    const std::string_view open = is_punct(t[k], "(") ? "(" : "{";
+    int depth = 1;
+    std::string arg;
+    std::vector<std::string> args;
+    for (std::size_t j = k + 1; j < fn_.body_end && depth > 0; ++j) {
+      if (is_punct(t[j], open)) ++depth;
+      if (is_punct(t[j], close) && --depth == 0) break;
+      if (depth == 1 && is_punct(t[j], ",")) {
+        args.push_back(arg);
+        arg.clear();
+        continue;
+      }
+      arg += t[j].text;
+    }
+    if (!arg.empty()) args.push_back(arg);
+    std::vector<std::string> mutexes;
+    for (std::string& a : args) {
+      if (a.find("defer_lock") != std::string::npos ||
+          a.find("try_to_lock") != std::string::npos) {
+        return;  // Not (necessarily) held; register nothing.
+      }
+      if (a.find("adopt_lock") != std::string::npos) continue;
+      if (a.starts_with("this->")) a = a.substr(6);
+      if (a.starts_with("&")) a = a.substr(1);
+      if (a.starts_with("*")) a = a.substr(1);
+      if (!a.empty()) mutexes.push_back(a);
+    }
+    for (std::string& m : mutexes) held_.push_back(HeldLock{depth_, std::move(m)});
+  }
+
+  [[nodiscard]] bool holds(const std::string& guard) const {
+    for (const HeldLock& lock : held_) {
+      if (lock.name == guard) return true;
+    }
+    return std::find(required_.begin(), required_.end(), guard) != required_.end();
+  }
+
+  void check_atomic_op(std::size_t k) {
+    const auto& t = f_.tokens;
+    const auto recv = resolve_receiver(k);
+    if (!recv.has_value()) return;
+    const bool atomic = recv->type.flags.atomic ||
+                        (recv->indexed && recv->type.flags.container_of_atomic);
+    if (!atomic) return;
+    // Count memory_order mentions inside the call parens; CAS needs two
+    // (success AND failure order — the implicit-failure overload hides a
+    // seq_cst downgrade decision the reader should see).
+    int depth = 1;
+    int orders = 0;
+    for (std::size_t j = k + 2; j < fn_.body_end && depth > 0; ++j) {
+      if (is_punct(t[j], "(")) ++depth;
+      if (is_punct(t[j], ")") && --depth == 0) break;
+      if (t[j].kind == TokKind::kIdent &&
+          (t[j].text == "memory_order" || t[j].text.starts_with("memory_order_"))) {
+        ++orders;
+      }
+    }
+    const int needed = t[k].text.starts_with("compare_exchange") ? 2 : 1;
+    if (orders < needed) {
+      out_.push_back(Diagnostic{
+          f_.path, t[k].line, "explicit-memory-order",
+          "atomic ." + t[k].text + "() on '" + recv->name + "' without " +
+              (needed == 2 ? "both success and failure memory_order arguments"
+                           : "an explicit memory_order argument")});
+    }
+  }
+
+  void check_raw_lock(std::size_t k) {
+    if (lock_manager_) return;  // This function IS the RAII wrapper.
+    const auto& t = f_.tokens;
+    const auto recv = resolve_receiver(k);
+    if (!recv.has_value() || !recv->type.flags.mutex_kind) return;
+    out_.push_back(Diagnostic{
+        f_.path, t[k].line, "raw-lock",
+        "bare ." + t[k].text + "() on mutex '" + recv->name +
+            "' (use std::lock_guard / std::unique_lock, or annotate the function "
+            "CUDALIGN_ACQUIRE / CUDALIGN_RELEASE)"});
+  }
+
+  void check_detach(std::size_t k) {
+    const auto& t = f_.tokens;
+    const auto recv = resolve_receiver(k);
+    if (!recv.has_value()) return;
+    const bool thread = recv->type.flags.thread_kind ||
+                        (recv->indexed && recv->type.flags.container_of_thread);
+    if (!thread) return;
+    out_.push_back(Diagnostic{f_.path, t[k].line, "detached-thread",
+                              "'" + recv->name +
+                                  "'.detach() — detached threads outlive every join "
+                                  "point; keep the handle and join it"});
+  }
+
+  void check_guarded_access(std::size_t k) {
+    const auto& t = f_.tokens;
+    const std::string& name = t[k].text;
+    // Member-access-prefixed (`x.field`) and qualified (`NS::field`) names
+    // are someone else's field; `this->field` is ours.
+    if (k > fn_.body_begin) {
+      const Token& prev = t[k - 1];
+      if (is_punct(prev, "::")) return;
+      if (is_punct(prev, ".")) return;
+      if (is_punct(prev, ">") && k >= 2 && is_punct(t[k - 2], "-")) {
+        const bool via_this = k >= 3 && is_ident(t[k - 3], "this");
+        if (!via_this) return;
+      }
+    }
+    if (locals_.contains(name)) return;  // Shadowed by a local.
+    const FieldDecl* field = nullptr;
+    if (cls_ != nullptr) field = cls_->find_field(name);
+    if (field == nullptr) {
+      for (const FieldDecl& global : parsed_.globals) {
+        if (global.name == name) {
+          field = &global;
+          break;
+        }
+      }
+    }
+    if (field == nullptr || field->guarded_by.empty()) return;
+    if (holds(field->guarded_by)) return;
+    out_.push_back(Diagnostic{
+        f_.path, t[k].line, "guarded-by",
+        "'" + name + "' is CUDALIGN_GUARDED_BY(" + field->guarded_by +
+            ") but the lock is not held here (take a std::lock_guard, or annotate "
+            "the function CUDALIGN_REQUIRES(" + field->guarded_by + "))"});
+  }
+
+  const LexedFile& f_;
+  const ParsedFile& parsed_;
+  const DeclIndex& index_;
+  const FunctionDecl& fn_;
+  std::vector<Diagnostic>& out_;
+
+  const TypeDecl* cls_ = nullptr;
+  std::vector<std::string> required_;
+  bool lock_manager_ = false;
+  std::map<std::string, ClassifiedType, std::less<>> locals_;
+  std::vector<HeldLock> held_;
+  int depth_ = 0;
+};
+
+/// seq_cst and relaxed are the two orders that most need prose: one is "I
+/// paid for the strongest fence on purpose", the other is "I proved no
+/// synchronization is needed". Both claims rot silently, so both must carry
+/// an `// order:` comment on the same line or within the two lines above.
+void check_order_comments(const LexedFile& f, std::vector<Diagnostic>& out) {
+  const auto& t = f.tokens;
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    if (t[k].kind != TokKind::kIdent) continue;
+    bool needs = t[k].text == "memory_order_seq_cst" || t[k].text == "memory_order_relaxed";
+    if (!needs && (t[k].text == "seq_cst" || t[k].text == "relaxed") && k >= 2 &&
+        is_punct(t[k - 1], "::") && is_ident(t[k - 2], "memory_order")) {
+      needs = true;
+    }
+    if (!needs) continue;
+    const int line = t[k].line;
+    bool justified = false;
+    for (const int order_line : f.order_comment_lines) {
+      if (order_line >= line - 2 && order_line <= line) {
+        justified = true;
+        break;
+      }
+    }
+    if (!justified) {
+      const std::string order =
+          t[k].text.starts_with("memory_order_") ? t[k].text : "memory_order::" + t[k].text;
+      out.push_back(Diagnostic{
+          f.path, line, "explicit-memory-order",
+          order + " without a justifying `// order:` comment on this line or the "
+                  "two lines above (say why this strength, not what it does)"});
+    }
+  }
+}
+
+/// Class-shape rules: packed-bool storage next to synchronization state, and
+/// torn stop flags next to thread members.
+void check_type_shapes(const LexedFile& f, const ParsedFile& parsed,
+                       std::vector<Diagnostic>& out) {
+  for (const TypeDecl& type : parsed.types) {
+    bool owns_sync = false;
+    bool owns_thread = false;
+    for (const FieldDecl& field : type.fields) {
+      const TypeFlags& fl = field.type.flags;
+      owns_sync = owns_sync || fl.atomic || fl.mutex_kind || fl.container_of_atomic;
+      owns_thread = owns_thread || fl.thread_kind || fl.container_of_thread;
+    }
+    for (const FieldDecl& field : type.fields) {
+      if (field.type.flags.packed_bool && owns_sync && field.guarded_by.empty()) {
+        out.push_back(Diagnostic{
+            f.path, field.line, "shared-packed-bool",
+            "'" + field.name + "' is packed-bool storage (vector<bool>/bitset) in '" +
+                type.name +
+                "', which owns synchronization state — adjacent-bit writes race; use "
+                "byte-addressable storage (vector<uint8_t>) or CUDALIGN_GUARDED_BY it"});
+      }
+      if (field.type.flags.plain_bool && !field.is_static && field.guarded_by.empty() &&
+          owns_thread) {
+        out.push_back(Diagnostic{
+            f.path, field.line, "unguarded-stop-flag",
+            "non-atomic bool '" + field.name + "' next to thread members in '" + type.name +
+                "' — a torn stop flag; make it std::atomic<bool> or CUDALIGN_GUARDED_BY "
+                "a mutex"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_concurrency_rules(const LexedFile& file, const ParsedFile& parsed,
+                           const DeclIndex& index, std::vector<Diagnostic>& out) {
+  check_order_comments(file, out);
+  check_type_shapes(file, parsed, out);
+  for (const FunctionDecl& fn : parsed.functions) {
+    BodyChecker(file, parsed, index, fn, out).run();
+  }
+}
+
+}  // namespace cudalint

@@ -1,0 +1,44 @@
+// cudalint concurrency/ownership rule pack — the declaration-aware rules
+// that run on the parser layer (see parser.hpp) instead of the raw token
+// stream:
+//
+//   explicit-memory-order   every atomic load/store/fetch/CAS/exchange names
+//                           a std::memory_order (both orders for CAS), and
+//                           every seq_cst / relaxed site carries a justifying
+//                           `// order:` comment on the same line or within
+//                           the two lines above.
+//   guarded-by              fields annotated CUDALIGN_GUARDED_BY(m) are only
+//                           touched inside a live lock_guard/unique_lock/
+//                           scoped_lock scope on `m`, or in a function
+//                           annotated CUDALIGN_REQUIRES(m).
+//   raw-lock                bare `.lock()` / `.unlock()` / `.try_lock()` on a
+//                           mutex outside an RAII wrapper (functions annotated
+//                           CUDALIGN_ACQUIRE / CUDALIGN_RELEASE are exempt —
+//                           they ARE the RAII wrapper).
+//   shared-packed-bool      vector<bool> / bitset fields in a type that also
+//                           owns atomics or mutexes (adjacent-bit writes race;
+//                           the PR 4 TSan class, now caught statically).
+//   detached-thread         `.detach()` on a std::thread — detached threads
+//                           outlive every join point the tests can see.
+//   unguarded-stop-flag     a non-atomic, unannotated `bool` field next to
+//                           std::thread members — the classic torn stop flag.
+//
+// Resolution is conservative: a receiver the parser cannot resolve to a
+// declaration (auto bindings, chained calls) is skipped — documented false
+// negatives, never false positives.
+#pragma once
+
+#include <vector>
+
+#include "cudalint/parser.hpp"
+#include "cudalint/rules.hpp"
+
+namespace cudalint {
+
+/// Runs the concurrency rule pack over one file. `parsed` must be the parse
+/// of `file`; `index` holds every scanned file's declarations so annotations
+/// in headers reach member bodies in .cpp files.
+void run_concurrency_rules(const LexedFile& file, const ParsedFile& parsed,
+                           const DeclIndex& index, std::vector<Diagnostic>& out);
+
+}  // namespace cudalint

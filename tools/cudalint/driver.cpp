@@ -3,8 +3,15 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <future>
 #include <map>
+#include <optional>
 #include <sstream>
+#include <thread>
+
+#include "cudalint/concurrency.hpp"
+#include "cudalint/parser.hpp"
 
 namespace cudalint {
 namespace fs = std::filesystem;
@@ -32,12 +39,37 @@ void sort_diagnostics(std::vector<Diagnostic>& diags) {
   });
 }
 
-}  // namespace
+/// First path component — the "tree" the budget is keyed by ("src/x.cpp" ->
+/// "src"; a bare filename is its own tree).
+[[nodiscard]] std::string tree_of(std::string_view path) {
+  const std::size_t slash = path.find('/');
+  return std::string(slash == std::string_view::npos ? path : path.substr(0, slash));
+}
 
-void lint_content(std::string_view path, std::string_view content,
-                  const LayeringManifest* manifest, RunResult& result) {
-  const LexedFile lexed = lex(std::string(path), content);
+[[nodiscard]] bool rule_disabled(const RunOptions& options, std::string_view rule) {
+  return std::find(options.disabled_rules.begin(), options.disabled_rules.end(), rule) !=
+         options.disabled_rules.end();
+}
+
+/// Everything produced for one file; merged into RunResult in file order so
+/// reports are deterministic regardless of worker interleaving.
+struct FileReport {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<SuppressionUse> suppressions;
+  int suppressed = 0;
+  int markers = 0;
+};
+
+/// Rules + suppression accounting for one already-analyzed file.
+[[nodiscard]] FileReport lint_one(const LexedFile& lexed, const ParsedFile& parsed,
+                                  const DeclIndex& index, const LayeringManifest* manifest,
+                                  const RunOptions& options) {
+  FileReport report;
   std::vector<Diagnostic> diags = run_rules(lexed, manifest);
+  run_concurrency_rules(lexed, parsed, index, diags);
+  if (!options.disabled_rules.empty()) {
+    std::erase_if(diags, [&](const Diagnostic& d) { return rule_disabled(options, d.rule); });
+  }
 
   // Suppression accounting: same-line markers swallow matching diagnostics.
   std::map<std::pair<int, std::string>, int> fired;  // (line, rule) -> count
@@ -50,22 +82,157 @@ void lint_content(std::string_view path, std::string_view content,
     }
     return false;
   });
+  report.markers = static_cast<int>(lexed.allows.size());
   for (const AllowComment& allow : lexed.allows) {
     const auto it = fired.find({allow.line, allow.rule});
     if (it != fired.end()) {
-      result.suppressions.push_back(
+      report.suppressions.push_back(
           SuppressionUse{lexed.path, allow.line, allow.rule, it->second});
-      result.suppressed_total += it->second;
+      report.suppressed += it->second;
       fired.erase(it);  // one marker per (line, rule); don't double-report
       continue;
     }
+    // A marker for a rule this run disables is excused, not unused: the same
+    // file is linted by several per-tree ctest configurations.
+    if (rule_disabled(options, allow.rule)) continue;
     const std::string why = is_known_rule(allow.rule)
                                 ? "marker suppressed no '" + allow.rule + "' diagnostic"
                                 : "marker names unknown rule '" + allow.rule + "'";
     diags.push_back(Diagnostic{lexed.path, allow.line, "unused-suppression", why});
   }
-  result.diagnostics.insert(result.diagnostics.end(), diags.begin(), diags.end());
-  ++result.files_scanned;
+  report.diagnostics = std::move(diags);
+  return report;
+}
+
+/// Runs `work(i)` for every i in [0, n) across `options.jobs` workers using
+/// strided ownership — no shared counter, so cudalint needs none of the
+/// atomics it lints. Exceptions propagate through the futures.
+void parallel_for_n(std::size_t n, const RunOptions& options,
+                    const std::function<void(std::size_t)>& work) {
+  std::size_t jobs = options.jobs > 0 ? static_cast<std::size_t>(options.jobs)
+                                      : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = std::min(jobs, n);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) work(i);
+    return;
+  }
+  std::vector<std::future<void>> workers;
+  workers.reserve(jobs - 1);
+  for (std::size_t w = 1; w < jobs; ++w) {
+    workers.push_back(std::async(std::launch::async, [&, w] {
+      for (std::size_t i = w; i < n; i += jobs) work(i);
+    }));
+  }
+  for (std::size_t i = 0; i < n; i += jobs) work(i);
+  for (std::future<void>& worker : workers) worker.get();
+}
+
+}  // namespace
+
+bool parse_budget(std::string_view text, SuppressionBudget* budget, std::string* error) {
+  std::size_t line_no = 0;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string tree;
+    if (!(fields >> tree)) continue;  // Blank / comment-only line.
+    long long count = 0;
+    if (!(fields >> count) || count < 0) {
+      if (error != nullptr) {
+        *error = "suppression budget line " + std::to_string(line_no) +
+                 ": expected '<tree> <non-negative count>'";
+      }
+      return false;
+    }
+    std::string extra;
+    if (fields >> extra) {
+      if (error != nullptr) {
+        *error = "suppression budget line " + std::to_string(line_no) +
+                 ": trailing tokens after the count";
+      }
+      return false;
+    }
+    budget->per_tree[tree] = static_cast<int>(count);
+  }
+  return true;
+}
+
+void lint_sources(const std::vector<SourceFile>& sources, const LayeringManifest* manifest,
+                  const SuppressionBudget* budget, const RunOptions& options,
+                  RunResult& result) {
+  const std::size_t n = sources.size();
+  std::vector<LexedFile> lexed(n);
+  std::vector<ParsedFile> parsed(n);
+
+  // Phase 1 (parallel): lex + parse every file.
+  parallel_for_n(n, options, [&](std::size_t i) {
+    lexed[i] = lex(sources[i].path, sources[i].content);
+    parsed[i] = parse(lexed[i]);
+  });
+
+  // Phase 2 (serial barrier): the cross-file declaration index. Annotations
+  // live in headers while member bodies live in .cpp files, so every rule
+  // phase needs every file's declarations.
+  DeclIndex index;
+  for (const ParsedFile& p : parsed) index.add(p);
+
+  // Phase 3 (parallel): rules + per-file suppression accounting.
+  std::vector<FileReport> reports(n);
+  parallel_for_n(n, options, [&](std::size_t i) {
+    reports[i] = lint_one(lexed[i], parsed[i], index, manifest, options);
+  });
+
+  // Phase 4 (serial): merge in file order — deterministic at any job count.
+  std::map<std::string, int> markers_by_tree;
+  for (std::size_t i = 0; i < n; ++i) {
+    FileReport& report = reports[i];
+    result.diagnostics.insert(result.diagnostics.end(), report.diagnostics.begin(),
+                              report.diagnostics.end());
+    result.suppressions.insert(result.suppressions.end(), report.suppressions.begin(),
+                               report.suppressions.end());
+    result.suppressed_total += report.suppressed;
+    result.markers_total += report.markers;
+    markers_by_tree[tree_of(sources[i].path)] += report.markers;
+    ++result.files_scanned;
+  }
+
+  // Budget: per-tree caps fail closed (a tree with markers but no entry is
+  // over budget), so a new allow marker always needs a visible budget bump.
+  if (budget != nullptr) {
+    for (const auto& [tree, markers] : markers_by_tree) {
+      if (markers == 0) continue;
+      const auto it = budget->per_tree.find(tree);
+      const int cap = it == budget->per_tree.end() ? 0 : it->second;
+      if (markers > cap) {
+        result.diagnostics.push_back(Diagnostic{
+            budget->source_path, 1, "suppression-budget",
+            "tree '" + tree + "' has " + std::to_string(markers) + " allow marker(s), budget " +
+                (it == budget->per_tree.end() ? std::string("has no entry")
+                                              : "allows " + std::to_string(cap)) +
+                " — remove the marker or bump the budget in the same change"});
+      }
+    }
+  }
+  if (options.max_suppressions >= 0 && result.markers_total > options.max_suppressions) {
+    result.diagnostics.push_back(Diagnostic{
+        budget != nullptr ? budget->source_path : "(scan)", 1, "suppression-budget",
+        "scan has " + std::to_string(result.markers_total) +
+            " allow marker(s), --max-suppressions allows " +
+            std::to_string(options.max_suppressions)});
+  }
+  sort_diagnostics(result.diagnostics);
+}
+
+void lint_content(std::string_view path, std::string_view content,
+                  const LayeringManifest* manifest, RunResult& result) {
+  const RunOptions options;
+  lint_sources({SourceFile{std::string(path), std::string(content)}}, manifest,
+               /*budget=*/nullptr, options, result);
 }
 
 RunResult run(const RunOptions& options) {
@@ -97,6 +264,33 @@ RunResult run(const RunOptions& options) {
     }
   }
 
+  // Budget file, when requested (resolved relative to the root).
+  std::optional<SuppressionBudget> budget;
+  if (!options.budget_path.empty()) {
+    const fs::path budget_path = fs::path(options.budget_path).is_absolute()
+                                     ? fs::path(options.budget_path)
+                                     : root / options.budget_path;
+    if (const auto text = read_file(budget_path); !text.has_value()) {
+      result.config_errors.push_back("cannot read suppression budget: " + budget_path.string());
+    } else {
+      SuppressionBudget parsed_budget;
+      parsed_budget.source_path = options.budget_path;
+      std::string error;
+      if (!parse_budget(*text, &parsed_budget, &error)) {
+        result.config_errors.push_back(error);
+      } else {
+        budget = std::move(parsed_budget);
+      }
+    }
+  }
+
+  // Unknown rule names in --disable are config errors, not silent no-ops.
+  for (const std::string& rule : options.disabled_rules) {
+    if (!is_known_rule(rule)) {
+      result.config_errors.push_back("--disable names unknown rule '" + rule + "'");
+    }
+  }
+
   // Collect files, sorted for deterministic output.
   std::vector<fs::path> files;
   std::vector<std::string> paths = options.paths;
@@ -116,16 +310,19 @@ RunResult run(const RunOptions& options) {
   }
   std::sort(files.begin(), files.end());
 
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
-    const auto content = read_file(file);
+    auto content = read_file(file);
     if (!content.has_value()) {
       result.config_errors.push_back("cannot read file: " + file.string());
       continue;
     }
-    const std::string rel = file.lexically_relative(root).generic_string();
-    lint_content(rel, *content, manifest.has_value() ? &*manifest : nullptr, result);
+    sources.push_back(
+        SourceFile{file.lexically_relative(root).generic_string(), *std::move(content)});
   }
-  sort_diagnostics(result.diagnostics);
+  lint_sources(sources, manifest.has_value() ? &*manifest : nullptr,
+               budget.has_value() ? &*budget : nullptr, options, result);
   return result;
 }
 
@@ -157,12 +354,13 @@ cudalign::obs::Json to_json(const RunResult& result) {
   for (const std::string& e : result.config_errors) errors.push(e);
   return Json::object()
       .set("tool", "cudalint")
-      .set("schema_version", 1)
+      .set("schema_version", 2)
       .set("files_scanned", static_cast<std::int64_t>(result.files_scanned))
       .set("diagnostics", std::move(diags))
       .set("diagnostics_by_rule", std::move(by_rule))
       .set("suppressions", std::move(suppressions))
       .set("suppressed_total", static_cast<std::int64_t>(result.suppressed_total))
+      .set("markers_total", static_cast<std::int64_t>(result.markers_total))
       .set("config_errors", std::move(errors))
       .set("clean", result.clean());
 }

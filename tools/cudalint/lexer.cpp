@@ -22,6 +22,22 @@ namespace {
   return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
 }
 
+/// True when the marker found at `pos` is backtick-quoted documentation prose
+/// (`` `// cudalint: allow(R)` `` in a doc comment) rather than a live
+/// marker: walk left over the comment punctuation that may sit between the
+/// opening backtick and the marker keyword.
+[[nodiscard]] bool quoted_as_prose(std::string_view comment, std::size_t pos) noexcept {
+  while (pos > 0) {
+    const char c = comment[pos - 1];
+    if (c == '/' || c == '*' || horizontal_ws(c)) {
+      --pos;
+      continue;
+    }
+    return c == '`';
+  }
+  return false;
+}
+
 /// Scans comment text for `cudalint: allow(rule-a, rule-b)` markers and
 /// records one AllowComment per listed rule, attributed to `line` (the line
 /// the comment starts on — which, for same-line suppressions, is the line of
@@ -30,6 +46,10 @@ void scan_allow(LexedFile& out, int line, std::string_view comment) {
   constexpr std::string_view kMarker = "cudalint:";
   std::size_t pos = 0;
   while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    if (quoted_as_prose(comment, pos)) {
+      pos += kMarker.size();
+      continue;
+    }
     pos += kMarker.size();
     while (pos < comment.size() && horizontal_ws(comment[pos])) ++pos;
     constexpr std::string_view kAllow = "allow(";
@@ -50,6 +70,27 @@ void scan_allow(LexedFile& out, int line, std::string_view comment) {
     }
     pos = close + 1;
   }
+}
+
+/// Records the start line of an `order:` justification comment. The keyword
+/// must open the comment text (after the `//`, `/*`, or doxygen `///`
+/// punctuation) so ordinary prose containing the word "order:" mid-sentence
+/// does not count as a justification.
+void scan_order(LexedFile& out, int line, std::string_view comment) {
+  std::size_t pos = 0;
+  while (pos < comment.size() &&
+         (comment[pos] == '/' || comment[pos] == '*' || comment[pos] == '!' ||
+          horizontal_ws(comment[pos]))) {
+    ++pos;
+  }
+  constexpr std::string_view kOrder = "order:";
+  if (comment.substr(pos, kOrder.size()) == kOrder) out.order_comment_lines.push_back(line);
+}
+
+/// Every comment goes through both marker scanners.
+void scan_markers(LexedFile& out, int line, std::string_view comment) {
+  scan_allow(out, line, comment);
+  scan_order(out, line, comment);
 }
 
 /// The tokenizer proper. One instance per (sub-)text; `#define` bodies are
@@ -124,7 +165,7 @@ class Lexer {
   void lex_line_comment() {
     const std::size_t start = i_;
     while (i_ < s_.size() && s_[i_] != '\n') ++i_;
-    scan_allow(out_, line_, s_.substr(start, i_ - start));
+    scan_markers(out_, line_, s_.substr(start, i_ - start));
   }
 
   void lex_block_comment() {
@@ -136,7 +177,7 @@ class Lexer {
       ++i_;
     }
     if (i_ < s_.size()) i_ += 2;  // closing */
-    scan_allow(out_, start_line, s_.substr(start, i_ - start));
+    scan_markers(out_, start_line, s_.substr(start, i_ - start));
   }
 
   void lex_ident_or_prefixed_literal() {
@@ -266,7 +307,7 @@ class Lexer {
       if (c == '/' && peek(1) == '/') {
         const std::size_t cstart = i_;
         while (i_ < s_.size() && s_[i_] != '\n') ++i_;
-        scan_allow(out_, line_, s_.substr(cstart, i_ - cstart));
+        scan_markers(out_, line_, s_.substr(cstart, i_ - cstart));
         break;
       }
       if (c == '/' && peek(1) == '*') {
@@ -278,7 +319,7 @@ class Lexer {
           ++i_;
         }
         if (i_ < s_.size()) i_ += 2;
-        scan_allow(out_, cline, s_.substr(cstart, i_ - cstart));
+        scan_markers(out_, cline, s_.substr(cstart, i_ - cstart));
         text += ' ';
         continue;
       }

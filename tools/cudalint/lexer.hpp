@@ -45,7 +45,8 @@ struct IncludeDirective {
 
 /// One `// cudalint: allow(rule)` marker. A marker suppresses diagnostics of
 /// that rule on its own line; the driver counts every use and flags markers
-/// that suppressed nothing.
+/// that suppressed nothing. A marker quoted in backticks (documentation
+/// prose, like this very comment) is NOT a marker.
 struct AllowComment {
   int line = 0;
   std::string rule;
@@ -58,6 +59,9 @@ struct LexedFile {
   std::vector<Token> tokens;
   std::vector<IncludeDirective> includes;
   std::vector<AllowComment> allows;
+  /// Start lines of `// order: <why>` comments — the justification convention
+  /// the explicit-memory-order rule requires next to seq_cst / relaxed sites.
+  std::vector<int> order_comment_lines;
 };
 
 /// Tokenizes `content` (the text of the file at repo-relative `path`).

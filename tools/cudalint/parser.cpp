@@ -1,0 +1,627 @@
+#include "cudalint/parser.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace cudalint {
+namespace {
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+[[nodiscard]] bool is_any_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+
+constexpr std::array<std::string_view, 6> kMutexHeads = {
+    "mutex",        "timed_mutex",  "recursive_mutex",
+    "shared_mutex", "shared_timed_mutex", "recursive_timed_mutex"};
+
+constexpr std::array<std::string_view, 4> kRaiiLockHeads = {"lock_guard", "unique_lock",
+                                                            "scoped_lock", "shared_lock"};
+
+constexpr std::array<std::string_view, 3> kContainerHeads = {"vector", "deque", "array"};
+
+/// Declaration qualifiers that precede (or interleave with) the head type.
+[[nodiscard]] bool is_qualifier(std::string_view text) {
+  constexpr std::array<std::string_view, 12> kQualifiers = {
+      "const",  "volatile", "mutable",  "static",       "constexpr", "inline",
+      "extern", "typename", "register", "thread_local", "friend",    "explicit"};
+  return std::find(kQualifiers.begin(), kQualifiers.end(), text) != kQualifiers.end();
+}
+
+template <std::size_t N>
+[[nodiscard]] bool in_list(std::string_view text, const std::array<std::string_view, N>& list) {
+  return std::find(list.begin(), list.end(), text) != list.end();
+}
+
+/// Skips a balanced `< ... >` template argument list starting at `i` (which
+/// must point at `<`). Returns the index one past the matching `>`, or the
+/// bail-out position when a `;` / `{` proves this was never a template list
+/// (comparisons fool angle counting; never desync the parser over one).
+[[nodiscard]] std::size_t skip_angles(const std::vector<Token>& t, std::size_t i,
+                                      std::size_t end) {
+  int depth = 0;
+  for (; i < end; ++i) {
+    if (is_punct(t[i], "<")) {
+      ++depth;
+    } else if (is_punct(t[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(t[i], ";") || is_punct(t[i], "{")) {
+      return i;
+    }
+  }
+  return end;
+}
+
+}  // namespace
+
+ClassifiedType classify_type(const std::vector<Token>& tokens, std::size_t begin,
+                             std::size_t end) {
+  ClassifiedType out;
+  // Find the head type: skip qualifiers, attributes, and elaborated-type
+  // keywords; take the first name path (ident (:: ident)*); the head is its
+  // last component before any template argument list.
+  std::size_t i = begin;
+  int bracket = 0;
+  while (i < end) {
+    const Token& tok = tokens[i];
+    if (is_punct(tok, "[")) {
+      ++bracket;
+      ++i;
+      continue;
+    }
+    if (is_punct(tok, "]")) {
+      if (bracket > 0) --bracket;
+      ++i;
+      continue;
+    }
+    if (bracket > 0) {
+      ++i;
+      continue;
+    }
+    if (is_any_ident(tok) && (is_qualifier(tok.text) || tok.text == "struct" ||
+                              tok.text == "class" || tok.text == "enum")) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= end || !is_any_ident(tokens[i])) return out;
+  std::string head = tokens[i].text;
+  std::size_t head_pos = i;
+  ++i;
+  while (i + 1 < end && is_punct(tokens[i], "::") && is_any_ident(tokens[i + 1])) {
+    head = tokens[i + 1].text;
+    head_pos = i + 1;
+    i += 2;
+  }
+  out.head = head;
+
+  TypeFlags& f = out.flags;
+  if (head == "atomic" || head == "atomic_flag") {
+    f.atomic = true;
+  } else if (in_list(head, kMutexHeads)) {
+    f.mutex_kind = true;
+  } else if (in_list(head, kRaiiLockHeads)) {
+    f.raii_lock = true;
+  } else if (head == "condition_variable" || head == "condition_variable_any") {
+    f.condvar = true;
+  } else if (head == "thread" || head == "jthread") {
+    f.thread_kind = true;
+  } else if (head == "bitset") {
+    f.packed_bool = true;
+  } else if (head == "bool") {
+    f.plain_bool = true;
+  } else if (in_list(head, kContainerHeads)) {
+    // Look inside the template argument list for the element type.
+    std::size_t j = head_pos + 1;
+    if (j < end && is_punct(tokens[j], "<")) {
+      const std::size_t close = skip_angles(tokens, j, end);
+      bool first_arg = true;
+      for (std::size_t k = j + 1; k < close; ++k) {
+        if (!is_any_ident(tokens[k])) {
+          if (is_punct(tokens[k], ",")) first_arg = false;
+          continue;
+        }
+        if (tokens[k].text == "atomic" || tokens[k].text == "atomic_flag") {
+          f.container_of_atomic = true;
+        } else if (tokens[k].text == "thread" || tokens[k].text == "jthread") {
+          f.container_of_thread = true;
+        } else if (head == "vector" && first_arg && tokens[k].text == "bool") {
+          f.packed_bool = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+const FieldDecl* TypeDecl::find_field(std::string_view field_name) const {
+  for (const FieldDecl& field : fields) {
+    if (field.name == field_name) return &field;
+  }
+  return nullptr;
+}
+
+void DeclIndex::add(const ParsedFile& file) {
+  for (const TypeDecl& type : file.types) types_.push_back(&type);
+}
+
+const TypeDecl* DeclIndex::find_type(std::string_view path) const {
+  for (const TypeDecl* type : types_) {
+    if (type->path == path) return type;
+  }
+  // Unique match on the last path component.
+  const std::size_t sep = path.rfind("::");
+  const std::string_view last = sep == std::string_view::npos ? path : path.substr(sep + 2);
+  const TypeDecl* found = nullptr;
+  for (const TypeDecl* type : types_) {
+    if (type->name != last) continue;
+    if (found != nullptr) return nullptr;  // Ambiguous; silence over a wrong guess.
+    found = type;
+  }
+  return found;
+}
+
+namespace {
+
+/// Annotation macro names the parser recovers (see src/check/annotations.hpp).
+constexpr std::string_view kGuardedBy = "CUDALIGN_GUARDED_BY";
+constexpr std::string_view kRequires = "CUDALIGN_REQUIRES";
+constexpr std::string_view kAcquire = "CUDALIGN_ACQUIRE";
+constexpr std::string_view kRelease = "CUDALIGN_RELEASE";
+
+class Parser {
+ public:
+  explicit Parser(const LexedFile& file) : t_(file.tokens) {}
+
+  ParsedFile take() && {
+    parse_scope(/*type_index=*/kNoType);
+    return std::move(out_);
+  }
+
+ private:
+  static constexpr std::size_t kNoType = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] bool done() const { return i_ >= t_.size(); }
+  [[nodiscard]] const Token& cur() const { return t_[i_]; }
+  [[nodiscard]] bool at_punct(std::string_view p) const { return !done() && is_punct(cur(), p); }
+  [[nodiscard]] bool at_ident(std::string_view s) const { return !done() && is_ident(cur(), s); }
+
+  void skip_to_semi_or_eof() {
+    // Balanced skip: a `{...}` block on the way (inline friend body, lambda
+    // in an initializer) is consumed whole.
+    int brace = 0;
+    while (!done()) {
+      if (is_punct(cur(), "{")) ++brace;
+      if (is_punct(cur(), "}")) {
+        if (brace == 0) return;  // Enclosing scope closes; let the caller see it.
+        --brace;
+      }
+      if (brace == 0 && is_punct(cur(), ";")) {
+        ++i_;
+        return;
+      }
+      ++i_;
+    }
+  }
+
+  /// `i_` points just past an opening `{`; advances past the matching `}`
+  /// and returns the index of that `}` (or tokens.size() when unbalanced).
+  std::size_t skip_balanced_braces() {
+    int depth = 1;
+    while (!done()) {
+      if (is_punct(cur(), "{")) ++depth;
+      if (is_punct(cur(), "}") && --depth == 0) {
+        const std::size_t close = i_;
+        ++i_;
+        return close;
+      }
+      ++i_;
+    }
+    return t_.size();
+  }
+
+  /// Parses declarations until the scope's closing `}` (consumed) or EOF.
+  /// `type_index` indexes out_.types when this scope is a class body.
+  void parse_scope(std::size_t type_index) {
+    while (!done()) {
+      if (at_punct("}")) {
+        ++i_;
+        return;
+      }
+      if (at_punct(";") || at_punct(",") || at_punct(")")) {  // Stray recovery.
+        ++i_;
+        continue;
+      }
+      // Access specifiers.
+      if (type_index != kNoType &&
+          (at_ident("public") || at_ident("private") || at_ident("protected")) &&
+          i_ + 1 < t_.size() && is_punct(t_[i_ + 1], ":")) {
+        i_ += 2;
+        continue;
+      }
+      if (at_ident("template")) {
+        ++i_;
+        if (at_punct("<")) i_ = skip_angles(t_, i_, t_.size());
+        continue;  // The declaration itself is handled next iteration.
+      }
+      if (at_ident("using") || at_ident("typedef") || at_ident("static_assert")) {
+        skip_to_semi_or_eof();
+        continue;
+      }
+      if (at_ident("namespace")) {
+        parse_namespace();
+        continue;
+      }
+      if (at_ident("extern") && i_ + 1 < t_.size() && t_[i_ + 1].kind == TokKind::kString) {
+        i_ += 2;  // extern "C"
+        if (at_punct("{")) {
+          ++i_;
+          parse_scope(kNoType);
+        }
+        continue;
+      }
+      if (at_ident("enum")) {
+        parse_enum();
+        continue;
+      }
+      if (at_ident("class") || at_ident("struct") || at_ident("union")) {
+        parse_type();
+        continue;
+      }
+      parse_decl(type_index);
+    }
+  }
+
+  void parse_namespace() {
+    ++i_;  // 'namespace'
+    while (!done() && (is_any_ident(cur()) || is_punct(cur(), "::"))) ++i_;
+    if (at_punct("=")) {  // Namespace alias.
+      skip_to_semi_or_eof();
+      return;
+    }
+    if (at_punct("{")) {
+      ++i_;
+      parse_scope(kNoType);  // Namespaces don't contribute to the class path.
+    }
+  }
+
+  void parse_enum() {
+    // `enum [class|struct] Name [: base] { ... };` — enumerators are not
+    // fields; skip the body whole. (`enum class` must be checked before the
+    // generic `class` branch or the enum body would be parsed as members.)
+    while (!done() && !is_punct(cur(), "{") && !is_punct(cur(), ";")) ++i_;
+    if (at_punct("{")) {
+      ++i_;
+      skip_balanced_braces();
+    }
+    skip_to_semi_or_eof();
+  }
+
+  void parse_type() {
+    const int line = cur().line;
+    ++i_;  // class / struct / union
+    // Peek ahead: a definition has `{` before `;`. A forward declaration (or
+    // an elaborated-type variable, which we drop) does not.
+    std::size_t probe = i_;
+    int angle = 0;
+    bool definition = false;
+    while (probe < t_.size()) {
+      if (is_punct(t_[probe], "<")) ++angle;
+      if (is_punct(t_[probe], ">") && angle > 0) --angle;
+      if (angle == 0 && is_punct(t_[probe], ";")) break;
+      if (angle == 0 && is_punct(t_[probe], "{")) {
+        definition = true;
+        break;
+      }
+      ++probe;
+    }
+    if (!definition) {
+      skip_to_semi_or_eof();
+      return;
+    }
+    // Name = first plain identifier after the keyword (attributes and
+    // annotation macros skipped); the base clause `:` ends the search.
+    std::string name;
+    for (std::size_t j = i_; j < probe; ++j) {
+      if (is_punct(t_[j], ":")) break;
+      if (is_any_ident(t_[j]) && t_[j].text != "final" && t_[j].text != "alignas" &&
+          !t_[j].text.starts_with("CUDALIGN_")) {
+        name = t_[j].text;
+        break;
+      }
+    }
+    if (name.empty()) name = "<anonymous>";
+    i_ = probe + 1;  // Past the `{`.
+
+    class_stack_.push_back(name);
+    std::string path = class_stack_.front();
+    for (std::size_t k = 1; k < class_stack_.size(); ++k) path += "::" + class_stack_[k];
+    out_.types.push_back(TypeDecl{name, std::move(path), line, {}, {}});
+    const std::size_t my_index = out_.types.size() - 1;
+    parse_scope(my_index);
+    class_stack_.pop_back();
+    skip_to_semi_or_eof();  // Trailing declarator list (`} instance;`) dropped.
+  }
+
+  /// One member / namespace-scope declaration or definition. Collects tokens
+  /// up to the terminating `;` (declaration) or the `{` opening a function
+  /// body, consuming brace initializers and constructor init-lists on the
+  /// way. The hard part is deciding what a top-level `{` means; see inline.
+  void parse_decl(std::size_t type_index) {
+    const std::size_t start = i_;
+    const int line = cur().line;
+    std::size_t first_paren = t_.size();  // First top-level `(` — param-list candidate.
+    std::size_t eq_pos = t_.size();       // First top-level `=`.
+    std::size_t body_open = t_.size();    // `{` starting a function body.
+    bool init_list = false;               // Saw `) : ...` — constructor init-list.
+    int paren = 0;
+
+    while (!done()) {
+      const Token& tok = cur();
+      if (tok.kind == TokKind::kIdent && tok.text == "operator" && eq_pos == t_.size()) {
+        // Consume `operator` plus its symbol tokens so `operator<`,
+        // `operator=`, `operator()` never confuse angle/paren/eq tracking.
+        ++i_;
+        if (at_punct("(") && i_ + 1 < t_.size() && is_punct(t_[i_ + 1], ")")) {
+          i_ += 2;  // operator() — the symbol is the paren pair itself.
+          continue;
+        }
+        while (!done() && cur().kind == TokKind::kPunct && !is_punct(cur(), "(")) ++i_;
+        continue;
+      }
+      if (tok.kind == TokKind::kIdent && tok.text.starts_with("CUDALIGN_") && paren == 0) {
+        // Annotation macros carry their own parens; consume the macro and its
+        // argument group whole so its `(` is never mistaken for a parameter
+        // list (which would demote an annotated FIELD to a dropped prototype).
+        // collect_annotations still sees the tokens — they stay in [start, end).
+        ++i_;
+        if (at_punct("(")) {
+          int depth = 0;
+          do {
+            if (at_punct("(")) ++depth;
+            if (at_punct(")")) --depth;
+            ++i_;
+          } while (!done() && depth > 0);
+        }
+        continue;
+      }
+      if (is_punct(tok, "(")) {
+        if (paren == 0 && first_paren == t_.size() && eq_pos == t_.size()) first_paren = i_;
+        ++paren;
+        ++i_;
+        continue;
+      }
+      if (is_punct(tok, ")")) {
+        if (paren > 0) --paren;
+        ++i_;
+        continue;
+      }
+      if (paren > 0) {
+        ++i_;
+        continue;
+      }
+      if (is_punct(tok, "=") && eq_pos == t_.size()) {
+        eq_pos = i_;
+        ++i_;
+        continue;
+      }
+      if (is_punct(tok, ":") && first_paren != t_.size() && eq_pos == t_.size()) {
+        init_list = true;
+        ++i_;
+        continue;
+      }
+      if (is_punct(tok, ";")) {
+        ++i_;
+        break;
+      }
+      if (is_punct(tok, "}")) {
+        break;  // Scope closes mid-declaration; give the `}` back to parse_scope.
+      }
+      if (is_punct(tok, "{")) {
+        const Token& prev = t_[i_ > start ? i_ - 1 : start];
+        const bool prev_is_value = prev.kind == TokKind::kIdent ||
+                                   prev.kind == TokKind::kNumber || is_punct(prev, ">") ||
+                                   is_punct(prev, "]") || is_punct(prev, "}");
+        // A `{` is a brace INITIALIZER when it follows `=`, or trails a value
+        // in a declaration with no parameter list (`job_next_{0}`), or sits
+        // inside a constructor init-list (`: tiles_done{0}`). Otherwise,
+        // with a parameter list present, it opens a function body — this is
+        // what keeps `void f() noexcept {` a body and `stop{false}` not.
+        const bool initializer =
+            eq_pos != t_.size() ||
+            (prev_is_value && (first_paren == t_.size() || init_list));
+        if (initializer) {
+          ++i_;
+          skip_balanced_braces();
+          continue;
+        }
+        body_open = i_;
+        break;
+      }
+      ++i_;
+    }
+
+    const std::size_t end = i_;
+    if (end <= start && body_open == t_.size()) {
+      ++i_;  // Safety: never loop without progress.
+      return;
+    }
+
+    if (body_open != t_.size()) {
+      record_function(start, first_paren, body_open, line, type_index);
+      return;
+    }
+    if (first_paren != t_.size()) {
+      record_prototype(start, end, first_paren, type_index);
+      return;
+    }
+    record_field(start, end, eq_pos, line, type_index);
+  }
+
+  /// Extracts `CUDALIGN_XXX(args)` annotations from [begin, end).
+  void collect_annotations(std::size_t begin, std::size_t end, std::string* guarded_by,
+                           MethodAnnotation* method, std::size_t* anno_pos) {
+    for (std::size_t j = begin; j < end; ++j) {
+      if (t_[j].kind != TokKind::kIdent) continue;
+      const std::string& name = t_[j].text;
+      const bool is_guard = name == kGuardedBy;
+      const bool is_req = name == kRequires;
+      const bool is_mgr = name == kAcquire || name == kRelease;
+      if (!is_guard && !is_req && !is_mgr) continue;
+      if (anno_pos != nullptr && *anno_pos == t_.size()) *anno_pos = j;
+      if (j + 1 >= end || !is_punct(t_[j + 1], "(")) continue;
+      int depth = 1;
+      std::string arg;
+      std::vector<std::string> args;
+      for (std::size_t k = j + 2; k < end && depth > 0; ++k) {
+        if (is_punct(t_[k], "(")) ++depth;
+        if (is_punct(t_[k], ")") && --depth == 0) break;
+        if (depth == 1 && is_punct(t_[k], ",")) {
+          if (!arg.empty()) args.push_back(arg);
+          arg.clear();
+          continue;
+        }
+        arg += t_[k].text;
+      }
+      if (!arg.empty()) args.push_back(arg);
+      for (std::string& a : args) {
+        if (a.starts_with("this->")) a = a.substr(6);
+        if (a.starts_with("&")) a = a.substr(1);
+        if (is_guard && guarded_by != nullptr && guarded_by->empty()) *guarded_by = a;
+        if ((is_req || is_mgr) && method != nullptr) method->requires_locks.push_back(a);
+      }
+      if (is_mgr && method != nullptr) method->lock_manager = true;
+    }
+  }
+
+  /// Name (and `A::B` qualifier path) of the function whose parameter list
+  /// opens at `first_paren`.
+  void function_name(std::size_t start, std::size_t first_paren, std::string* name,
+                     std::string* qualifier) const {
+    if (first_paren == t_.size() || first_paren <= start) return;
+    std::size_t j = first_paren - 1;
+    if (t_[j].kind != TokKind::kIdent) return;  // Operator overloads: unnamed is fine.
+    *name = t_[j].text;
+    if (j > start && is_punct(t_[j - 1], "~")) {
+      *name = "~" + *name;
+      --j;
+    }
+    std::vector<std::string> quals;
+    while (j >= start + 2 && is_punct(t_[j - 1], "::") && t_[j - 2].kind == TokKind::kIdent) {
+      quals.insert(quals.begin(), t_[j - 2].text);
+      j -= 2;
+    }
+    for (std::size_t q = 0; q < quals.size(); ++q) {
+      if (q > 0) *qualifier += "::";
+      *qualifier += quals[q];
+    }
+  }
+
+  void record_function(std::size_t start, std::size_t first_paren, std::size_t body_open,
+                       int line, std::size_t type_index) {
+    std::string name;
+    std::string qualifier;
+    function_name(start, first_paren, &name, &qualifier);
+    MethodAnnotation anno;
+    collect_annotations(start, body_open, nullptr, &anno, nullptr);
+
+    std::string class_path;
+    if (type_index != kNoType) {
+      class_path = out_.types[type_index].path;
+      if (!name.empty()) merge_method(type_index, name, anno);
+    } else if (!qualifier.empty()) {
+      class_path = qualifier;  // Out-of-line member definition.
+    }
+
+    i_ = body_open + 1;
+    const std::size_t body_begin = i_;
+    const std::size_t body_end = skip_balanced_braces();
+    out_.functions.push_back(FunctionDecl{std::move(name), std::move(class_path),
+                                          std::move(anno.requires_locks), anno.lock_manager,
+                                          body_begin, body_end, line});
+  }
+
+  void record_prototype(std::size_t start, std::size_t end, std::size_t first_paren,
+                        std::size_t type_index) {
+    if (type_index == kNoType) return;  // Free prototypes carry nothing we track.
+    std::string name;
+    std::string qualifier;
+    function_name(start, first_paren, &name, &qualifier);
+    if (name.empty()) return;
+    MethodAnnotation anno;
+    collect_annotations(start, end, nullptr, &anno, nullptr);
+    if (anno.requires_locks.empty() && !anno.lock_manager) return;
+    merge_method(type_index, name, anno);
+  }
+
+  void merge_method(std::size_t type_index, const std::string& name,
+                    const MethodAnnotation& anno) {
+    MethodAnnotation& slot = out_.types[type_index].methods[name];
+    for (const std::string& lock : anno.requires_locks) slot.requires_locks.push_back(lock);
+    slot.lock_manager = slot.lock_manager || anno.lock_manager;
+  }
+
+  void record_field(std::size_t start, std::size_t end, std::size_t eq_pos, int line,
+                    std::size_t type_index) {
+    std::string guarded_by;
+    std::size_t anno_pos = t_.size();
+    collect_annotations(start, end, &guarded_by, nullptr, &anno_pos);
+
+    // The declarator name is the last identifier before `=`, the annotation
+    // macro, or the terminator — walking back over the terminator itself,
+    // array suffixes (`[N]`), and brace initializers (`{0}`).
+    std::size_t name_end = std::min({eq_pos, anno_pos, end});
+    std::size_t j = name_end;
+    std::size_t name_pos = t_.size();
+    while (j > start) {
+      --j;
+      const Token& tok = t_[j];
+      if (is_punct(tok, ";") || is_punct(tok, ",")) continue;
+      if (is_punct(tok, "}")) {  // Brace initializer: back to its `{`.
+        int depth = 1;
+        while (j > start && depth > 0) {
+          --j;
+          if (is_punct(t_[j], "}")) ++depth;
+          if (is_punct(t_[j], "{")) --depth;
+        }
+        continue;
+      }
+      if (is_punct(tok, "]")) {  // Array suffix.
+        while (j > start && !is_punct(t_[j], "[")) --j;
+        continue;
+      }
+      if (tok.kind == TokKind::kIdent && !is_qualifier(tok.text)) name_pos = j;
+      break;
+    }
+    if (name_pos == t_.size() || name_pos <= start) return;
+
+    ClassifiedType type = classify_type(t_, start, name_pos);
+    bool is_static = false;
+    for (std::size_t q = start; q < name_pos; ++q) {
+      if (is_ident(t_[q], "static") || is_ident(t_[q], "constexpr")) is_static = true;
+    }
+    FieldDecl field{t_[name_pos].text, std::move(type), std::move(guarded_by), is_static, line};
+    if (type_index != kNoType) {
+      out_.types[type_index].fields.push_back(std::move(field));
+    } else {
+      out_.globals.push_back(std::move(field));
+    }
+  }
+
+  const std::vector<Token>& t_;
+  std::size_t i_ = 0;
+  ParsedFile out_;
+  std::vector<std::string> class_stack_;
+};
+
+}  // namespace
+
+ParsedFile parse(const LexedFile& file) { return Parser(file).take(); }
+
+}  // namespace cudalint

@@ -1,0 +1,125 @@
+// cudalint parser: declaration recovery over the lexer's token stream.
+//
+// This is the v2 layer between the lexer and the rules — a lightweight,
+// fault-tolerant C++ declaration parser that recovers just enough structure
+// for scope-aware checking: namespaces, classes (nested, templated, with
+// out-of-line members), fields with head-type classification, functions with
+// body token ranges, and the repo's thread-safety annotations
+// (CUDALIGN_GUARDED_BY / CUDALIGN_REQUIRES / CUDALIGN_ACQUIRE / RELEASE).
+//
+// Deliberately NOT a compiler front end: no templates instantiation, no
+// overload resolution, no expression trees. Types are classified by their
+// HEAD type (the last name component before the template argument list), so
+// `std::unique_lock<std::mutex>` is an RAII lock wrapper and NOT a mutex —
+// substring matching would get that wrong. Anything the parser cannot
+// recover it skips; rules treat unrecovered declarations as unknown and stay
+// silent (a documented false-negative, never a false positive).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cudalint/lexer.hpp"
+
+namespace cudalint {
+
+/// What a declaration's head type is, for the concurrency rules. At most a
+/// few flags are set; all-false means "nothing the rules care about".
+struct TypeFlags {
+  bool atomic = false;         ///< std::atomic<T> / std::atomic_flag.
+  bool mutex_kind = false;     ///< mutex / timed_ / recursive_ / shared_mutex.
+  bool raii_lock = false;      ///< lock_guard / unique_lock / scoped_lock / shared_lock.
+  bool condvar = false;        ///< condition_variable[_any].
+  bool thread_kind = false;    ///< std::thread / std::jthread.
+  bool packed_bool = false;    ///< std::vector<bool> / std::bitset<N>.
+  bool plain_bool = false;     ///< bare `bool` (the stop-flag rule's prey).
+  bool container_of_atomic = false;  ///< vector/deque/array of atomics.
+  bool container_of_thread = false;  ///< vector/deque/array of threads.
+
+  [[nodiscard]] bool any() const noexcept {
+    return atomic || mutex_kind || raii_lock || condvar || thread_kind || packed_bool ||
+           plain_bool || container_of_atomic || container_of_thread;
+  }
+};
+
+/// Head-type classification of the token range [begin, end) — the type part
+/// of a declaration, qualifiers included. `head` keeps the last component of
+/// the head type path (e.g. "GraphRun" for `const GraphRun&`) so rules can
+/// resolve member chains through the declaration index.
+struct ClassifiedType {
+  TypeFlags flags;
+  std::string head;
+};
+
+[[nodiscard]] ClassifiedType classify_type(const std::vector<Token>& tokens, std::size_t begin,
+                                           std::size_t end);
+
+/// One data member (or namespace-scope variable).
+struct FieldDecl {
+  std::string name;
+  ClassifiedType type;
+  std::string guarded_by;  ///< CUDALIGN_GUARDED_BY argument; "" = unannotated.
+  bool is_static = false;  ///< static / constexpr — not per-instance state.
+  int line = 0;
+};
+
+/// Thread-safety annotations recovered from a member declaration, keyed by
+/// method name in TypeDecl::methods so out-of-line definitions inherit them
+/// (clang attaches attributes to declarations; so do we).
+struct MethodAnnotation {
+  std::vector<std::string> requires_locks;  ///< CUDALIGN_REQUIRES args.
+  bool lock_manager = false;  ///< CUDALIGN_ACQUIRE / CUDALIGN_RELEASE present.
+};
+
+/// One class / struct / union definition.
+struct TypeDecl {
+  std::string name;  ///< Unqualified.
+  std::string path;  ///< Class nesting path ("Outer::Inner"); namespaces excluded.
+  int line = 0;
+  std::vector<FieldDecl> fields;
+  std::map<std::string, MethodAnnotation, std::less<>> methods;
+
+  [[nodiscard]] const FieldDecl* find_field(std::string_view field_name) const;
+};
+
+/// One function DEFINITION (body present). Prototypes only contribute their
+/// annotations to TypeDecl::methods.
+struct FunctionDecl {
+  std::string name;        ///< Unqualified ("push", "~BusAuditor", "operator==").
+  std::string class_path;  ///< Owning class path; "" for free functions.
+  std::vector<std::string> requires_locks;  ///< From the definition itself.
+  bool lock_manager = false;
+  std::size_t body_begin = 0;  ///< First token index inside the `{`.
+  std::size_t body_end = 0;    ///< Token index of the matching `}`.
+  int line = 0;
+};
+
+struct ParsedFile {
+  std::vector<TypeDecl> types;
+  std::vector<FunctionDecl> functions;
+  std::vector<FieldDecl> globals;  ///< Namespace-scope variables.
+};
+
+/// Never throws; unparseable regions are skipped, not diagnosed.
+[[nodiscard]] ParsedFile parse(const LexedFile& file);
+
+/// Cross-file class lookup: annotations live in headers while member bodies
+/// live in .cpp files, so guarded-by checking needs every scanned file's
+/// declarations. Stores pointers — the ParsedFiles must outlive the index.
+class DeclIndex {
+ public:
+  void add(const ParsedFile& file);
+
+  /// Exact path match first, then a unique match on the last path component
+  /// (`find_type("Inner")` finds "Outer::Inner" if nothing else ends in
+  /// "Inner"). Ambiguity returns null — silence over a wrong guess.
+  [[nodiscard]] const TypeDecl* find_type(std::string_view path) const;
+
+ private:
+  std::vector<const TypeDecl*> types_;
+};
+
+}  // namespace cudalint

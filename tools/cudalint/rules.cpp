@@ -149,6 +149,21 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"stdout-in-src", "no `std::cout` / `printf` in src/ outside obs/progress"},
       {"unused-suppression", "every `// cudalint: allow(rule)` marker must suppress at least "
                              "one diagnostic of a known rule"},
+      {"suppression-budget", "the allow-marker count per scanned tree must stay within "
+                             "tools/cudalint/suppressions.budget (and --max-suppressions)"},
+      {"explicit-memory-order", "every atomic load/store/fetch/exchange names a memory_order "
+                                "(both orders for CAS); seq_cst/relaxed sites carry a "
+                                "justifying `// order:` comment"},
+      {"guarded-by", "fields annotated CUDALIGN_GUARDED_BY(m) are only touched under a "
+                     "lock_guard/unique_lock/scoped_lock on m or in a CUDALIGN_REQUIRES(m) "
+                     "function"},
+      {"raw-lock", "no bare .lock()/.unlock()/.try_lock() on a mutex outside RAII "
+                   "(CUDALIGN_ACQUIRE/RELEASE functions exempt)"},
+      {"shared-packed-bool", "no vector<bool>/bitset fields in types that also own atomics "
+                             "or mutexes — adjacent-bit writes race"},
+      {"detached-thread", "no std::thread::detach() — keep the handle and join it"},
+      {"unguarded-stop-flag", "no non-atomic unannotated bool fields next to std::thread "
+                              "members — use std::atomic<bool> or a guarded field"},
   };
   return kRules;
 }

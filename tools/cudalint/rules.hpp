@@ -22,6 +22,14 @@
 //   unused-suppression      a `// cudalint: allow(...)` marker that suppressed
 //                           nothing, or that names an unknown rule (applied by
 //                           the driver, not per-file).
+//   suppression-budget      the total allow-marker count per scanned tree
+//                           exceeds tools/cudalint/suppressions.budget, or the
+//                           --max-suppressions cap (applied by the driver).
+//
+// The concurrency/ownership rule pack (explicit-memory-order, guarded-by,
+// raw-lock, shared-packed-bool, detached-thread, unguarded-stop-flag) runs on
+// the declaration parser instead of the raw token stream; see
+// concurrency.hpp for its catalogue comment.
 #pragma once
 
 #include <string>

@@ -2,12 +2,21 @@
 # Lint wall for cudalign, run by the ci.sh lint stage. Since PR 4 this is a
 # thin wrapper: the repo rules live in tools/cudalint/, a real C++ analyzer
 # with a lexer (comment/string/raw-string aware — the grep rules it replaced
-# were blind to all three) and the include-layering manifest
+# were blind to all three), a declaration-aware parser feeding the
+# concurrency/ownership rule pack, and the include-layering manifest
 # (tools/cudalint/layering.manifest).
 #
 #   tools/lint.sh            cudalint + clang-tidy (if installed)
 #   tools/lint.sh --no-tidy  cudalint only
 #   tools/lint.sh --json     machine-readable cudalint report (implies --no-tidy)
+#
+# cudalint runs per tree with the same configurations as the ctest gates in
+# tools/cudalint/CMakeLists.txt: src/ and tools/ with the full rule set,
+# tests/ with explicit-memory-order off (test atomics deliberately lean on
+# default seq_cst; the TSan suite covers them dynamically). All three share
+# the checked-in suppression budget. Under GitHub Actions ($GITHUB_ACTIONS)
+# findings are also emitted as `::error file=...` workflow annotations so
+# they surface inline on the PR diff.
 #
 # Builds the cudalint binary on demand, reusing an already-configured build
 # tree when one exists. `cudalint --list-rules` prints the rule catalogue;
@@ -42,10 +51,16 @@ fi
 cmake --build "$BUILD_DIR" --target cudalint -j "$(nproc)" >/dev/null
 
 CUDALINT="$BUILD_DIR/tools/cudalint/cudalint"
+BUDGET=(--budget tools/cudalint/suppressions.budget)
+GITHUB=()
+[[ "${GITHUB_ACTIONS:-}" == "true" ]] && GITHUB=(--github)
 if [[ "$JSON" -eq 1 ]]; then
-  exec "$CUDALINT" --root . --json src
+  # One tree per report keeps the schema simple; src is the interesting one.
+  exec "$CUDALINT" --root . "${BUDGET[@]}" --json src
 fi
-"$CUDALINT" --root . src
+"$CUDALINT" --root . "${BUDGET[@]}" "${GITHUB[@]}" src
+"$CUDALINT" --root . "${BUDGET[@]}" "${GITHUB[@]}" --disable explicit-memory-order tests
+"$CUDALINT" --root . "${BUDGET[@]}" "${GITHUB[@]}" tools
 
 # clang-tidy stage (optional by toolchain availability).
 if [[ "$RUN_TIDY" -eq 1 ]]; then
