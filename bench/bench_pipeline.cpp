@@ -11,10 +11,20 @@
 // the headline: pruning makes tile costs wildly uneven, which is exactly the
 // load the per-diagonal barrier pays for and the dataflow executor does not.
 //
+// Kernel-pinned rows ([v16] / [striped8] / [striped16]) rerun the plain
+// lockstep configuration with the process-wide kernel override set, so the
+// Stage-1 throughput of the auto-vectorized anti-diagonal sweep and the
+// hand-striped Farrar kernels can be compared on identical work. The pin is
+// best-effort by design: tiles outside a kernel's exactness envelope fall
+// back to automatic selection (scores never change, only speed).
+//
 //   --fast    smallest roster entry only (the CI smoke configuration)
 //   --out F   JSON output path ("off" disables the artifact)
+#include <string_view>
+
 #include "bench_util.hpp"
 #include "common/args.hpp"
+#include "engine/kernel_registry.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
 
@@ -24,6 +34,7 @@ struct Variant {
   const char* suffix;  ///< Appended to both the table and the JSON label.
   cudalign::engine::ExecutorKind executor;
   bool prune;
+  const char* kernel = "";  ///< Process-wide kernel pin for this row ("" = auto).
 };
 
 std::vector<Variant> variants_for(const cudalign::bench::RosterEntry& e) {
@@ -31,6 +42,9 @@ std::vector<Variant> variants_for(const cudalign::bench::RosterEntry& e) {
   std::vector<Variant> v = {
       {"", ExecutorKind::kLockstep, false},
       {" [dataflow]", ExecutorKind::kDataflow, false},
+      {" [v16]", ExecutorKind::kLockstep, false, "v16-local+best"},
+      {" [striped8]", ExecutorKind::kLockstep, false, "striped8-local+best"},
+      {" [striped16]", ExecutorKind::kLockstep, false, "striped16-local+best"},
   };
   if (!e.related) {
     // Short local optimum: block pruning skips most of the matrix and tile
@@ -68,6 +82,7 @@ int main(int argc, char** argv) {
     double s1_plain[2] = {0, 0};   // [0] lockstep, [1] dataflow.
     double s1_pruned[2] = {0, 0};
     bool have_pruned = false;
+    double s1_v16 = 0, s1_striped8 = 0, s1_striped16 = 0;  // For the striped-vs-v16 speedup line.
 
     for (const Variant& v : variants_for(e)) {
       core::PipelineOptions options = bench_options();
@@ -75,7 +90,9 @@ int main(int argc, char** argv) {
       options.block_pruning = v.prune;
       obs::Telemetry telemetry;
       options.telemetry = &telemetry;
+      engine::set_kernel_override(v.kernel);
       const auto result = core::align_pipeline(pair.s0, pair.s1, options);
+      engine::set_kernel_override("");
       telemetry.finish();
 
       WideScore cells = 0;
@@ -88,8 +105,11 @@ int main(int argc, char** argv) {
       const double total = result.total_seconds();
       const double stage1 = result.stages[0].seconds;
       const int df = options.executor == engine::ExecutorKind::kDataflow ? 1 : 0;
-      (v.prune ? s1_pruned : s1_plain)[df] = stage1;
+      if (v.kernel[0] == '\0') (v.prune ? s1_pruned : s1_plain)[df] = stage1;
       have_pruned = have_pruned || v.prune;
+      if (std::string_view(v.kernel) == "v16-local+best") s1_v16 = stage1;
+      if (std::string_view(v.kernel) == "striped8-local+best") s1_striped8 = stage1;
+      if (std::string_view(v.kernel) == "striped16-local+best") s1_striped16 = stage1;
       std::printf("%-32s | %8s %8s | %7.3f | %10.1f %10.1f | %8d\n",
                   (label(e) + v.suffix).c_str(), format_seconds(total).c_str(),
                   format_seconds(stage1).c_str(), mcups(cells, total) / 1e3,
@@ -114,6 +134,11 @@ int main(int argc, char** argv) {
       if (have_pruned && s1_pruned[1] > 0) {
         std::printf(", %.2fx pruned", s1_pruned[0] / s1_pruned[1]);
       }
+      std::printf("\n");
+    }
+    if (s1_v16 > 0 && s1_striped16 > 0) {
+      std::printf("  stage-1 striped16 vs v16 speedup: %.2fx", s1_v16 / s1_striped16);
+      if (s1_striped8 > 0) std::printf(", striped8 %.2fx", s1_v16 / s1_striped8);
       std::printf("\n");
     }
   }

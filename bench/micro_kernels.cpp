@@ -17,6 +17,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dp/gotoh.hpp"
@@ -61,6 +62,12 @@ constexpr TileArchetype kArchetypes[] = {
     {"global", false, false, false, false},
     {"global+taps", false, false, true, false},
 };
+
+/// Stage-1 tile shapes swept: the classic alpha*T x n/B block (256x512) and
+/// the thin-strip variant (64x512) whose min(rows, w) reachable-score bound
+/// fits the 8-bit striped envelope — the shape where the byte-lane kernels
+/// are admissible.
+constexpr std::pair<Index, Index> kTileShapes[] = {{256, 512}, {64, 512}};
 
 /// Owns one tile problem (Stage-1-shaped by default) with pristine buses; the
 /// timed loop restores the buses each iteration so inputs never drift (the
@@ -135,6 +142,7 @@ double time_variant_gcups(const engine::KernelVariant& variant, TileBench& bench
 struct VariantSample {
   std::string archetype;
   std::string kernel;
+  Index rows = 0, cols = 0;
   double gcups = 0;
 };
 
@@ -182,19 +190,22 @@ std::string json_escape(const std::string& s) {
 /// speedup of the automatically dispatched Stage-1 run over the pinned
 /// legacy kernel (the dispatch layer's headline number).
 void run_kernel_sweep(const std::string& path) {
-  constexpr Index kRows = 256, kCols = 512;  // Stage-1 tile shape (alpha*T x n/B).
   std::vector<VariantSample> tile_samples;
-  for (const TileArchetype& arch : kArchetypes) {
-    TileBench bench(arch, kRows, kCols);
-    for (const engine::KernelVariant& variant : engine::kernel_registry()) {
-      if (!variant.can_run(bench.job())) continue;
-      VariantSample s;
-      s.archetype = arch.name;
-      s.kernel = variant.name;
-      s.gcups = time_variant_gcups(variant, bench);
-      tile_samples.push_back(s);
-      std::fprintf(stderr, "[kernel-sweep] %-12s %-24s %7.3f GCUPS\n", s.archetype.c_str(),
-                   s.kernel.c_str(), s.gcups);
+  for (const auto& [rows, cols] : kTileShapes) {
+    for (const TileArchetype& arch : kArchetypes) {
+      TileBench bench(arch, rows, cols);
+      for (const engine::KernelVariant& variant : engine::kernel_registry()) {
+        if (!variant.can_run(bench.job())) continue;
+        VariantSample s;
+        s.archetype = arch.name;
+        s.kernel = variant.name;
+        s.rows = rows;
+        s.cols = cols;
+        s.gcups = time_variant_gcups(variant, bench);
+        tile_samples.push_back(s);
+        std::fprintf(stderr, "[kernel-sweep] %4ldx%-4ld %-12s %-24s %7.3f GCUPS\n", long(rows),
+                     long(cols), s.archetype.c_str(), s.kernel.c_str(), s.gcups);
+      }
     }
   }
 
@@ -215,13 +226,12 @@ void run_kernel_sweep(const std::string& path) {
     std::fprintf(stderr, "[kernel-sweep] cannot write %s\n", path.c_str());
     return;
   }
-  out << "{\n  \"tile\": {\"rows\": " << kRows << ", \"cols\": " << kCols << "},\n";
-  out << "  \"variants\": [\n";
+  out << "{\n  \"variants\": [\n";
   for (std::size_t i = 0; i < tile_samples.size(); ++i) {
     const VariantSample& s = tile_samples[i];
     out << "    {\"job\": \"" << json_escape(s.archetype) << "\", \"kernel\": \""
-        << json_escape(s.kernel) << "\", \"gcups\": " << s.gcups << "}"
-        << (i + 1 < tile_samples.size() ? "," : "") << "\n";
+        << json_escape(s.kernel) << "\", \"rows\": " << s.rows << ", \"cols\": " << s.cols
+        << ", \"gcups\": " << s.gcups << "}" << (i + 1 < tile_samples.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"stage1\": {\"n\": " << n << ", \"runs\": [\n";
   for (std::size_t i = 0; i < engine_samples.size(); ++i) {
@@ -258,25 +268,31 @@ BENCHMARK(BM_TileKernel)->Args({64, 1024})->Args({256, 1024})->Args({64, 8192})-
 /// dynamically so the benchmark list always matches the registry.
 void register_variant_benchmarks() {
   for (const engine::KernelVariant& variant : engine::kernel_registry()) {
-    for (const TileArchetype& arch : kArchetypes) {
-      // Probe eligibility once with a throwaway bench.
-      TileBench probe(arch, 256, 512);
-      if (!variant.can_run(probe.job())) continue;
-      const std::string name =
-          std::string("BM_KernelVariant/") + variant.name + "/" + arch.name;
-      const TileArchetype arch_copy = arch;
-      const engine::KernelVariant* v = &variant;
-      benchmark::RegisterBenchmark(name.c_str(), [v, arch_copy](benchmark::State& state) {
-        TileBench bench(arch_copy, 256, 512);
-        engine::TileScratch scratch;
-        for (auto _ : state) {
-          bench.reset_bus();
-          benchmark::DoNotOptimize(v->run(bench.job(), scratch));
-        }
-        state.counters["MCUPS"] = benchmark::Counter(
-            256.0 * 512.0 * static_cast<double>(state.iterations()) / 1e6, benchmark::Counter::kIsRate);
-      });
-      break;  // One archetype per variant keeps the default run short.
+    for (const auto& [rows, cols] : kTileShapes) {
+      for (const TileArchetype& arch : kArchetypes) {
+        // Probe eligibility once with a throwaway bench.
+        TileBench probe(arch, rows, cols);
+        if (!variant.can_run(probe.job())) continue;
+        const std::string name = std::string("BM_KernelVariant/") + variant.name + "/" +
+                                 arch.name + "/" + std::to_string(rows) + "x" +
+                                 std::to_string(cols);
+        const TileArchetype arch_copy = arch;
+        const engine::KernelVariant* v = &variant;
+        const Index r = rows, c = cols;
+        benchmark::RegisterBenchmark(name.c_str(), [v, arch_copy, r, c](benchmark::State& state) {
+          TileBench bench(arch_copy, r, c);
+          engine::TileScratch scratch;
+          for (auto _ : state) {
+            bench.reset_bus();
+            benchmark::DoNotOptimize(v->run(bench.job(), scratch));
+          }
+          state.counters["MCUPS"] = benchmark::Counter(
+              static_cast<double>(r) * static_cast<double>(c) *
+                  static_cast<double>(state.iterations()) / 1e6,
+              benchmark::Counter::kIsRate);
+        });
+        break;  // One archetype per variant and shape keeps the default run short.
+      }
     }
   }
 }

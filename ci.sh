@@ -137,6 +137,18 @@ run_suite release build-ci-release \
 stage "release: ctest"
 (cd build-ci-release && ctest --output-on-failure -j "$JOBS")
 
+# The striped kernels pick their SIMD backend at runtime, so the default
+# ctest pass only proves byte-identity for the ISA the runner auto-selects
+# (AVX2 on modern hosts). Rerun the kernel equivalence matrix with the
+# backend forced down the tiers so the SSE2 and portable-generic code paths
+# keep their proof in CI no matter what silicon runs it.
+stage "release: kernel equivalence, forced ISAs"
+for isa in sse2 generic; do
+  CUDALIGN_SIMD="$isa" build-ci-release/tests/cudalign_tests \
+    --gtest_filter='KernelEquivalence.*:KernelDispatch.*:LaneEnvelope.*' \
+    --gtest_brief=1
+done
+
 # Observability smoke: a tiny end-to-end run must produce a run report that
 # the CLI's own validator accepts (schema + internal consistency), and the
 # pipeline bench must emit its trajectory artifact.

@@ -346,18 +346,18 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
   if (pool == nullptr) pool = &ThreadPool::shared();
 
   // Resolve kernel pinning up front so a bad name fails on the caller thread
-  // with a proper message (kernel_override() itself ignores unknown names).
+  // with a proper message. The spec override is API input and throws; the
+  // environment override is resolved by kernel_override() itself, which
+  // fail-fast exits on an unknown CUDALIGN_KERNEL name — touching it here
+  // guarantees that happens before any tile work starts.
   const KernelVariant* forced_kernel = nullptr;
   if (!spec.kernel_override.empty()) {
     forced_kernel = find_kernel(spec.kernel_override);
     CUDALIGN_CHECK(forced_kernel != nullptr,
                    "unknown kernel variant in ProblemSpec::kernel_override: " +
-                       spec.kernel_override);
+                       spec.kernel_override + " (valid: " + kernel_names_list() + ")");
   }
-  if (const char* env = std::getenv("CUDALIGN_KERNEL"); env != nullptr && *env != '\0') {
-    CUDALIGN_CHECK(find_kernel(env) != nullptr,
-                   std::string("unknown kernel variant in CUDALIGN_KERNEL: ") + env);
-  }
+  (void)kernel_override();
 
   if (spec.executor == ExecutorKind::kDataflow) {
     return run_dataflow(spec, hooks, pool, forced_kernel);

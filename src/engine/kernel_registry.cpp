@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string>
@@ -35,6 +36,16 @@ bool vec16_can_run(const TileJob& job) {
 template <bool kBest>
 bool vec32_can_run(const TileJob& job) {
   return job.track_best == kBest && detail::vector_can_run(job);
+}
+
+template <bool kBest>
+bool striped8_can_run(const TileJob& job) {
+  return job.track_best == kBest && detail::striped8_can_run(job);
+}
+
+template <bool kBest>
+bool striped16_can_run(const TileJob& job) {
+  return job.track_best == kBest && detail::striped16_can_run(job);
 }
 
 /// Anti-diagonal sweeps only pay off when the diagonals are long enough to
@@ -92,6 +103,22 @@ const std::array<Entry, kCount>& table() {
        kVectorMinRows},
       {{KernelId::kVec32LocalBest, "v32-local+best", 11, &vec32_can_run<true>,
         &detail::run_vector<std::int32_t, true>},
+       kVectorMinWidth,
+       kVectorMinRows},
+      {{KernelId::kStriped8Local, "striped8-local", 7, &striped8_can_run<false>,
+        &detail::run_striped<std::int8_t, false>},
+       kVectorMinWidth,
+       kVectorMinRows},
+      {{KernelId::kStriped8LocalBest, "striped8-local+best", 7, &striped8_can_run<true>,
+        &detail::run_striped<std::int8_t, true>},
+       kVectorMinWidth,
+       kVectorMinRows},
+      {{KernelId::kStriped16Local, "striped16-local", 8, &striped16_can_run<false>,
+        &detail::run_striped<std::int16_t, false>},
+       kVectorMinWidth,
+       kVectorMinRows},
+      {{KernelId::kStriped16LocalBest, "striped16-local+best", 8, &striped16_can_run<true>,
+        &detail::run_striped<std::int16_t, true>},
        kVectorMinWidth,
        kVectorMinRows},
   }};
@@ -155,13 +182,39 @@ const KernelVariant* kernel_override() noexcept {
   if (!g_override_initialized) {
     g_override_initialized = true;
     if (const char* env = std::getenv("CUDALIGN_KERNEL"); env != nullptr && *env != '\0') {
-      // An unknown name in the environment is ignored rather than thrown:
-      // this accessor is noexcept and runs on worker threads. run_wavefront
-      // validates the name up front and reports it properly.
       g_override = find_kernel(env);
+      if (g_override == nullptr) {
+        // Fail fast with an actionable message. A misspelled CUDALIGN_KERNEL
+        // must never silently fall back to automatic selection (the run would
+        // quietly measure the wrong kernel), and this accessor is noexcept on
+        // worker threads, so a clean exit beats a mid-run throw.
+        std::fprintf(stderr,
+                     "cudalign: unknown kernel name in CUDALIGN_KERNEL: \"%s\"\n"
+                     "valid names: %s\n",
+                     env, kernel_names_list().c_str());
+        std::exit(2);
+      }
     }
   }
   return g_override;
+}
+
+std::string kernel_names_list() {
+  std::string names;
+  for (const KernelVariant& variant : kernel_registry()) {
+    if (!names.empty()) names += ", ";
+    names += variant.name;
+  }
+  return names;
+}
+
+void reload_kernel_override_from_env() {
+  {
+    std::lock_guard lock(g_override_mutex);
+    g_override = nullptr;
+    g_override_initialized = false;
+  }
+  (void)kernel_override();
 }
 
 const KernelVariant& select_kernel(const TileJob& job, const KernelVariant* forced) {

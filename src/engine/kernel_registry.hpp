@@ -25,6 +25,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "engine/kernels.hpp"
@@ -74,7 +75,42 @@ struct KernelVariant {
 void set_kernel_override(std::string_view name);
 
 /// The active process-wide override, or nullptr (reflects CUDALIGN_KERNEL on
-/// first use unless set_kernel_override was called).
+/// first use unless set_kernel_override was called). An *unknown* name in
+/// CUDALIGN_KERNEL terminates the process with exit code 2 at first use,
+/// printing the valid names — a misspelled pin must never silently fall back
+/// to automatic selection (the run would silently measure the wrong kernel).
 [[nodiscard]] const KernelVariant* kernel_override() noexcept;
+
+/// Comma-separated list of every registered kernel name (for error messages
+/// and --help output).
+[[nodiscard]] std::string kernel_names_list();
+
+/// Test hook: drops the cached override state and re-reads CUDALIGN_KERNEL as
+/// if the process had just started (including the unknown-name fail-fast).
+void reload_kernel_override_from_env();
+
+/// SIMD instruction sets the striped kernels can dispatch to. kGeneric is the
+/// portable scalar emulation of the lane ops (bit-identical by construction);
+/// kSse2 / kAvx2 are only selectable where compiled in and CPU-supported.
+enum class SimdIsa : std::uint8_t { kGeneric, kSse2, kAvx2 };
+
+/// The ISA the striped kernels currently dispatch to: the best available one,
+/// unless CUDALIGN_SIMD (auto / generic / sse2 / avx2) or
+/// set_simd_isa_override() forces a baseline. An unknown CUDALIGN_SIMD value
+/// terminates the process with exit code 2 at first use, like CUDALIGN_KERNEL.
+[[nodiscard]] SimdIsa active_simd_isa() noexcept;
+
+/// Forces the striped kernels onto `isa` ("auto" via clear_simd_isa_override).
+/// Throws Error if the ISA is not compiled in / not supported by this CPU.
+/// Thread-safe; used by tests to pin the SSE2/generic baselines on AVX2 hosts.
+void set_simd_isa_override(SimdIsa isa);
+void clear_simd_isa_override() noexcept;
+
+/// Stable lowercase name of an ISA ("generic", "sse2", "avx2").
+[[nodiscard]] std::string_view simd_isa_name(SimdIsa isa) noexcept;
+
+/// Test hook: drops the cached ISA state and re-reads CUDALIGN_SIMD as if the
+/// process had just started (including the unknown-value fail-fast).
+void reload_simd_isa_from_env();
 
 }  // namespace cudalign::engine

@@ -51,6 +51,10 @@ enum class KernelId : std::uint8_t {
   kVec16LocalBest,
   kVec32Local,        ///< Branch-free anti-diagonal sweep, 32-bit lanes.
   kVec32LocalBest,
+  kStriped8Local,     ///< Farrar-striped row sweep, 8-bit saturating lanes.
+  kStriped8LocalBest,
+  kStriped16Local,    ///< Farrar-striped row sweep, 16-bit lanes.
+  kStriped16LocalBest,
   kCount,
 };
 
@@ -139,6 +143,14 @@ struct TileScratch {
   std::vector<std::int32_t> lanes32;
   std::vector<seq::Base> arev;  ///< Tile's row sequence, reversed.
   std::vector<seq::Base> bseg;  ///< Tile's column sequence, 1-based.
+  // Striped kernels: H/F/Htmp/E lane planes plus shift/entry staging, per
+  // lane width, and the pad mask used for the row-max reduction.
+  std::vector<std::int8_t> striped8;
+  std::vector<std::int16_t> striped16;
+  std::vector<std::int8_t> striped_mask8;
+  std::vector<std::int16_t> striped_mask16;
+  scoring::StripedProfile<std::int8_t> striped_profile8;
+  scoring::StripedProfile<std::int16_t> striped_profile16;
 };
 
 /// Runs one tile through the registry-selected kernel variant (see

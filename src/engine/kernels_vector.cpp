@@ -32,11 +32,11 @@ namespace cudalign::engine::detail {
 
 namespace {
 
-/// int16 range envelope: penalties and genuine bus values must fit well
+/// int16 range envelope (kernel_detail.hpp kLaneEnvelope16, shared with the
+/// striped 16-bit kernels): penalties and genuine bus values must fit well
 /// inside the lanes, with headroom for the largest score the tile can reach.
-constexpr Score kPenaltyCap16 = 4096;
-constexpr Score kRealFloor16 = -4096;       ///< Most negative genuine input admitted.
-constexpr Score kScoreCeiling16 = 28000;    ///< Reachable-score bound (+match stays in lanes).
+constexpr Score kRealFloor16 = kLaneEnvelope16.real_floor;
+constexpr Score kScoreCeiling16 = kLaneEnvelope16.ceiling;
 constexpr std::int16_t kNinf16 = -16384;    ///< Sentinel: loses every max by construction.
 
 template <typename LaneT>
@@ -118,24 +118,23 @@ bool vector_can_run(const TileJob& job) {
          !job.find_value.has_value() && job.c1 > job.c0 && job.r1 > job.r0;
 }
 
-bool vector16_can_run(const TileJob& job) {
-  if (!vector_can_run(job)) return false;
+bool lane_envelope_admits(const TileJob& job, const LaneEnvelope& env) {
   const scoring::Scheme& s = job.recurrence->scheme;
-  if (s.match > kPenaltyCap16 || s.mismatch < -kPenaltyCap16 || s.mismatch > 0 ||
-      s.gap_first > kPenaltyCap16 || s.gap_first < 0 || s.gap_ext > kPenaltyCap16 ||
+  if (s.match > env.penalty_cap || s.mismatch < -env.penalty_cap || s.mismatch > 0 ||
+      s.gap_first > env.penalty_cap || s.gap_first < 0 || s.gap_ext > env.penalty_cap ||
       s.gap_ext < 0) {
     return false;
   }
   // Genuine H inputs must be representable; sentinel H inputs are rejected
   // outright because the scalar kernels let sentinel chains drift below
-  // kNegInf, which 16-bit lanes cannot reproduce bit-for-bit. (The executor
+  // kNegInf, which narrow lanes cannot reproduce bit-for-bit. (The executor
   // never produces sentinel H in local mode — H >= 0 on every bus.) Gap
   // inputs may be sentinels: in local mode the non-sentinel recurrence branch
   // wins within one step, so the sentinel never escapes into an output.
   Score max_h = 0;
   auto admit = [&](const BusCell& cell) {
-    if (is_neg_inf(cell.h) || cell.h < kRealFloor16 || cell.h > kScoreCeiling16) return false;
-    if (!is_neg_inf(cell.gap) && (cell.gap < kRealFloor16 || cell.gap > kScoreCeiling16)) {
+    if (is_neg_inf(cell.h) || cell.h < env.real_floor || cell.h > env.ceiling) return false;
+    if (!is_neg_inf(cell.gap) && (cell.gap < env.real_floor || cell.gap > env.ceiling)) {
       return false;
     }
     max_h = std::max(max_h, cell.h);
@@ -147,15 +146,20 @@ bool vector16_can_run(const TileJob& job) {
   for (const BusCell& cell : job.vbus_in) {
     if (!admit(cell)) return false;
   }
-  // Any path gains at most one match per row (entering from the top) or per
-  // column (entering from the left), so this bounds every reachable H/E/F.
-  // The bound itself is computed with overflow-checked arithmetic: an
-  // envelope decided by wrapped arithmetic would be no envelope at all.
+  // Every match advances one row AND one column, so any path confined to the
+  // tile makes at most min(rows, w) matches — that bounds every reachable
+  // H/E/F from the admitted bus inputs. The bound itself is computed with
+  // overflow-checked arithmetic: an envelope decided by wrapped arithmetic
+  // would be no envelope at all.
   const Index rows = job.r1 - job.r0;
   const Index w = job.c1 - job.c0;
   const WideScore bound = check::checked_add<WideScore>(
-      max_h, check::checked_mul<WideScore>(s.match, std::max(rows, w)));
-  return bound <= kScoreCeiling16;
+      max_h, check::checked_mul<WideScore>(s.match, std::min(rows, w)));
+  return bound <= env.ceiling;
+}
+
+bool vector16_can_run(const TileJob& job) {
+  return vector_can_run(job) && lane_envelope_admits(job, kLaneEnvelope16);
 }
 
 template <typename LaneT, bool kBest>

@@ -100,6 +100,23 @@ if "$CLI" align "$DIR/b.fasta" "$DIR/a.fasta" --checkpoint-dir "$DIR/ckpt2" \
   exit 1
 fi
 grep -q "digest" "$DIR/swap.err"
+# An unknown kernel override must fail fast (exit 2) and name the valid set
+# before any tile work starts.
+if CUDALIGN_KERNEL=warp9 "$CLI" score "$DIR/a.fasta" "$DIR/b.fasta" 2>"$DIR/kern.err"; then
+  echo "unknown CUDALIGN_KERNEL was accepted" >&2
+  exit 1
+fi
+grep -q "unknown kernel name" "$DIR/kern.err"
+grep -q "valid names" "$DIR/kern.err"
+# Same contract for a forced SIMD ISA the build cannot honor.
+if CUDALIGN_SIMD=avx9 "$CLI" score "$DIR/a.fasta" "$DIR/b.fasta" 2>"$DIR/isa.err"; then
+  echo "unknown CUDALIGN_SIMD was accepted" >&2
+  exit 1
+fi
+grep -q "unknown SIMD ISA" "$DIR/isa.err"
+# A known kernel name pins the selection end to end.
+CUDALIGN_KERNEL=striped16-local+best "$CLI" score "$DIR/a.fasta" "$DIR/b.fasta" \
+  | grep -q "best score"
 # Unknown flag must fail.
 if "$CLI" align "$DIR/a.fasta" "$DIR/b.fasta" --no-such-flag 2>/dev/null; then
   echo "unknown flag was accepted" >&2

@@ -5,6 +5,9 @@
 // boundary corners.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -297,11 +300,13 @@ TEST(KernelDispatch, PinnedVariantActuallyRunsAndIsCounted) {
   EXPECT_FALSE(engine::kernel_usage_summary(run.stats).empty());
 }
 
-TEST(KernelDispatch, AutomaticSelectionPrefersVectorKernelOnStage1Tiles) {
+TEST(KernelDispatch, AutomaticSelectionPrefersStripedKernelOnStage1Tiles) {
+  // Small random Stage-1 tiles sit inside the 8-bit envelope, so the cheapest
+  // variant — the striped 8-bit sweep — wins the automatic selection.
   const auto run = run_pinned("", 160, 180, 555);
-  const auto& v16 =
-      run.stats.kernels[static_cast<std::size_t>(KernelId::kVec16LocalBest)];
-  EXPECT_GT(v16.tiles, 0) << engine::kernel_usage_summary(run.stats);
+  const auto& striped8 =
+      run.stats.kernels[static_cast<std::size_t>(KernelId::kStriped8LocalBest)];
+  EXPECT_GT(striped8.tiles, 0) << engine::kernel_usage_summary(run.stats);
 }
 
 TEST(KernelDispatch, UnknownOverrideNameIsRejected) {
@@ -323,6 +328,218 @@ TEST(KernelDispatch, ProcessOverridePinsSelection) {
   const auto& legacy = run.stats.kernels[static_cast<std::size_t>(KernelId::kLegacy)];
   EXPECT_EQ(legacy.tiles, run.stats.tiles - run.stats.pruned_tiles)
       << engine::kernel_usage_summary(run.stats);
+}
+
+// ---------------------------------------------------------------------------
+// Lane-envelope boundaries: the narrow-kernel prechecks must admit every job
+// they are exact for (no over-rejection at the exact boundary) and refuse one
+// step beyond it.
+// ---------------------------------------------------------------------------
+
+TEST(LaneEnvelope, Int16CeilingBoundaryStaysAdmittedAndExact) {
+  Rng rng(4242);
+  TileCase tc = make_case(rng, 24, 24, 0, true, false, false, paper(), "ceiling-16");
+  // paper match = 1, max(rows, w) = 24: the reachable-score bound is
+  // max_h + 24, so max_h = 27976 lands exactly on the 28000 ceiling.
+  tc.hbus[5].h = 27976;
+  const KernelVariant* v16 = engine::find_kernel("v16-local+best");
+  const KernelVariant* s16 = engine::find_kernel("striped16-local+best");
+  ASSERT_NE(v16, nullptr);
+  ASSERT_NE(s16, nullptr);
+  EXPECT_TRUE(variant_accepts(tc, *v16));
+  EXPECT_TRUE(variant_accepts(tc, *s16));
+  const TileOutputs expected = run_variant(tc, engine::kernel_info(KernelId::kLegacy));
+  expect_identical(expected, run_variant(tc, *v16), "ceiling-16/v16");
+  expect_identical(expected, run_variant(tc, *s16), "ceiling-16/striped16");
+  // One above the boundary the bound can leave the lanes: both must refuse.
+  tc.hbus[5].h = 27977;
+  EXPECT_FALSE(variant_accepts(tc, *v16));
+  EXPECT_FALSE(variant_accepts(tc, *s16));
+}
+
+TEST(LaneEnvelope, Int16GapFloorBoundary) {
+  Rng rng(4243);
+  TileCase tc = make_case(rng, 20, 20, 0, false, false, false, paper(), "floor-16");
+  // A gap-chain value grazing the real floor: admitted and bit-exact (its
+  // decayed continuations lose to genuine >= -gap_first values before any
+  // published cell, so lane drift below the floor is unobservable).
+  tc.vbus_in[4].gap = -4096;
+  const KernelVariant* v16 = engine::find_kernel("v16-local");
+  const KernelVariant* s16 = engine::find_kernel("striped16-local");
+  ASSERT_NE(v16, nullptr);
+  ASSERT_NE(s16, nullptr);
+  EXPECT_TRUE(variant_accepts(tc, *v16));
+  EXPECT_TRUE(variant_accepts(tc, *s16));
+  const TileOutputs expected = run_variant(tc, engine::kernel_info(KernelId::kLegacy));
+  expect_identical(expected, run_variant(tc, *v16), "floor-16/v16");
+  expect_identical(expected, run_variant(tc, *s16), "floor-16/striped16");
+  tc.vbus_in[4].gap = -4097;
+  EXPECT_FALSE(variant_accepts(tc, *v16));
+  EXPECT_FALSE(variant_accepts(tc, *s16));
+}
+
+TEST(LaneEnvelope, Int8CeilingEscalatesToWiderLanes) {
+  Rng rng(4244);
+  TileCase tc = make_case(rng, 16, 16, 0, true, false, false, paper(), "ceiling-8");
+  // Reachable-score bound = max_h + 16; 84 lands exactly on the 100 ceiling.
+  tc.hbus[3].h = 84;
+  const KernelVariant* s8 = engine::find_kernel("striped8-local+best");
+  const KernelVariant* s16 = engine::find_kernel("striped16-local+best");
+  ASSERT_NE(s8, nullptr);
+  ASSERT_NE(s16, nullptr);
+  EXPECT_TRUE(variant_accepts(tc, *s8));
+  const TileOutputs expected = run_variant(tc, engine::kernel_info(KernelId::kLegacy));
+  expect_identical(expected, run_variant(tc, *s8), "ceiling-8/striped8");
+  // One above: the 8-bit lanes could overflow, so the precheck escalates the
+  // tile to the 16-bit variant, which stays exact.
+  tc.hbus[3].h = 85;
+  EXPECT_FALSE(variant_accepts(tc, *s8));
+  ASSERT_TRUE(variant_accepts(tc, *s16));
+  expect_identical(run_variant(tc, engine::kernel_info(KernelId::kLegacy)),
+                   run_variant(tc, *s16), "ceiling-8-escalated/striped16");
+}
+
+TEST(LaneEnvelope, Int8GapFloorEscalatesToWiderLanes) {
+  Rng rng(4245);
+  TileCase tc = make_case(rng, 16, 16, 0, false, false, false, paper(), "floor-8");
+  tc.hbus[2].gap = -64;  // Exactly the 8-bit real floor: still admitted.
+  const KernelVariant* s8 = engine::find_kernel("striped8-local");
+  const KernelVariant* s16 = engine::find_kernel("striped16-local");
+  ASSERT_NE(s8, nullptr);
+  ASSERT_NE(s16, nullptr);
+  EXPECT_TRUE(variant_accepts(tc, *s8));
+  expect_identical(run_variant(tc, engine::kernel_info(KernelId::kLegacy)),
+                   run_variant(tc, *s8), "floor-8/striped8");
+  tc.hbus[2].gap = -65;
+  EXPECT_FALSE(variant_accepts(tc, *s8));
+  ASSERT_TRUE(variant_accepts(tc, *s16));
+  expect_identical(run_variant(tc, engine::kernel_info(KernelId::kLegacy)),
+                   run_variant(tc, *s16), "floor-8-escalated/striped16");
+}
+
+// ---------------------------------------------------------------------------
+// ISA dispatch: every compiled backend must produce byte-identical tiles.
+// ---------------------------------------------------------------------------
+
+TEST(StripedIsa, EveryCompiledBackendMatchesLegacyByteForByte) {
+  const std::vector<engine::SimdIsa> isas = {engine::SimdIsa::kGeneric, engine::SimdIsa::kSse2,
+                                             engine::SimdIsa::kAvx2};
+  Rng rng(5150);
+  std::vector<TileCase> cases;
+  for (int iter = 0; iter < 12; ++iter) {
+    const Index rows = 1 + static_cast<Index>(rng.below(40));
+    const Index w = 1 + static_cast<Index>(rng.below(70));
+    cases.push_back(make_case(rng, rows, w, 0, iter % 2 == 1, false, false, paper(),
+                              "isa" + std::to_string(iter)));
+  }
+  int forced = 0;
+  for (const engine::SimdIsa isa : isas) {
+    try {
+      engine::set_simd_isa_override(isa);
+    } catch (const Error&) {
+      continue;  // Backend not compiled in / CPU lacks it; nothing to force.
+    }
+    ++forced;
+    for (const TileCase& tc : cases) {
+      const TileOutputs expected = run_variant(tc, engine::kernel_info(KernelId::kLegacy));
+      for (const char* name : {"striped8-local", "striped8-local+best", "striped16-local",
+                               "striped16-local+best"}) {
+        const KernelVariant* variant = engine::find_kernel(name);
+        ASSERT_NE(variant, nullptr) << name;
+        if (!variant_accepts(tc, *variant)) continue;
+        expect_identical(expected, run_variant(tc, *variant),
+                         tc.name + " / " + name + " / " +
+                             std::string(engine::simd_isa_name(isa)));
+      }
+    }
+  }
+  engine::clear_simd_isa_override();
+  EXPECT_GE(forced, 1);  // The generic baseline is always available.
+}
+
+TEST(StripedIsa, ForcedGenericBaselineMatchesReferenceProblemLevel) {
+  engine::set_simd_isa_override(engine::SimdIsa::kGeneric);
+  const auto run = run_pinned("striped16-local+best", 150, 170, 6001);
+  engine::clear_simd_isa_override();
+  const auto ref = run_pinned("legacy", 150, 170, 6001);
+  EXPECT_EQ(run.best.score, ref.best.score);
+  EXPECT_EQ(run.best.i, ref.best.i);
+  EXPECT_EQ(run.best.j, ref.best.j);
+  const auto& tally = run.stats.kernels[static_cast<std::size_t>(KernelId::kStriped16LocalBest)];
+  EXPECT_GT(tally.tiles, 0) << engine::kernel_usage_summary(run.stats);
+}
+
+// Lockstep and dataflow executors must flush byte-identical special rows with
+// a striped kernel pinned (the checkpoint store consumes these bytes).
+TEST(StripedIsa, CrossExecutorSpecialRowsIdenticalWithStripedPinned) {
+  const auto a = rand_seq(200, 7007);
+  const auto b = rand_seq(230, 7008);
+  auto run_one = [&](engine::ExecutorKind kind) {
+    engine::ProblemSpec spec;
+    spec.a = a.bases();
+    spec.b = b.bases();
+    spec.grid = engine::GridSpec{3, 8, 4, 1};
+    spec.recurrence = Recurrence::local(paper());
+    spec.kernel_override = "striped16-local+best";
+    spec.executor = kind;
+    std::map<Index, std::vector<BusCell>> rows;
+    engine::Hooks hooks;
+    hooks.special_row_interval = 3;
+    hooks.on_special_row = [&](Index row, std::span<const BusCell> cells) {
+      rows[row] = std::vector<BusCell>(cells.begin(), cells.end());
+    };
+    const auto result = engine::run_wavefront(spec, hooks);
+    const auto& tally =
+        result.stats.kernels[static_cast<std::size_t>(KernelId::kStriped16LocalBest)];
+    EXPECT_GT(tally.tiles, 0) << engine::kernel_usage_summary(result.stats);
+    return rows;
+  };
+  const auto lockstep = run_one(engine::ExecutorKind::kLockstep);
+  const auto dataflow = run_one(engine::ExecutorKind::kDataflow);
+  ASSERT_EQ(lockstep.size(), dataflow.size());
+  for (const auto& [row, cells] : lockstep) {
+    const auto it = dataflow.find(row);
+    ASSERT_NE(it, dataflow.end()) << "row " << row;
+    ASSERT_EQ(cells.size(), it->second.size()) << "row " << row;
+    EXPECT_EQ(0, std::memcmp(cells.data(), it->second.data(),
+                             cells.size() * sizeof(BusCell)))
+        << "row " << row << " bytes differ";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Environment overrides fail fast on unknown names (exit code 2, actionable
+// message) instead of silently falling back to automatic selection.
+// ---------------------------------------------------------------------------
+
+TEST(KernelOverrideDeathTest, UnknownEnvKernelNameFailsFastWithExitCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  setenv("CUDALIGN_KERNEL", "no-such-kernel", 1);
+  EXPECT_EXIT(engine::reload_kernel_override_from_env(), ::testing::ExitedWithCode(2),
+              "unknown kernel name in CUDALIGN_KERNEL.*no-such-kernel");
+  // The message is actionable: it lists every valid kernel name.
+  EXPECT_EXIT(engine::reload_kernel_override_from_env(), ::testing::ExitedWithCode(2),
+              "valid names: legacy.*striped16-local");
+  unsetenv("CUDALIGN_KERNEL");
+  engine::reload_kernel_override_from_env();  // Restore the no-override state.
+}
+
+TEST(KernelOverrideDeathTest, KnownEnvKernelNameIsAdopted) {
+  setenv("CUDALIGN_KERNEL", "striped16-local+best", 1);
+  engine::reload_kernel_override_from_env();
+  EXPECT_EQ(engine::kernel_override(), engine::find_kernel("striped16-local+best"));
+  unsetenv("CUDALIGN_KERNEL");
+  engine::reload_kernel_override_from_env();
+  EXPECT_EQ(engine::kernel_override(), nullptr);
+}
+
+TEST(KernelOverrideDeathTest, UnknownEnvSimdIsaFailsFastWithExitCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  setenv("CUDALIGN_SIMD", "sse9", 1);
+  EXPECT_EXIT(engine::reload_simd_isa_from_env(), ::testing::ExitedWithCode(2),
+              "unknown SIMD ISA in CUDALIGN_SIMD.*sse9");
+  unsetenv("CUDALIGN_SIMD");
+  engine::reload_simd_isa_from_env();
 }
 
 TEST(KernelDispatch, GlobalModeUsesSpecializedScalarSweep) {

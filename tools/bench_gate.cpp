@@ -9,8 +9,10 @@
 //   - throughput within tolerance: totals.gcups must be at least
 //     baseline * (1 - tolerance/100).
 // Labels present only in the baseline fail the gate (coverage shrank);
-// labels present only in the fresh file are reported but allowed (new
-// benchmarks land before their baseline does).
+// labels present only in the fresh file fail it too — an unmatched label
+// means the baseline was never recorded, so the run is silently ungated.
+// Pass --allow-new for the one legitimate window (the commit that introduces
+// a benchmark, before its baseline is recorded).
 //
 // Timing noise: the --fast bench problem is tiny, so a single sample on a
 // busy machine can read 2-3x below its own median. The gate therefore
@@ -74,7 +76,7 @@ const RunMetrics* find_label(const std::vector<RunMetrics>& runs, const std::str
 // Core comparison; returns the number of failures and prints one line per
 // run so the CI log shows the whole picture even when the gate passes.
 int compare(const std::vector<RunMetrics>& fresh, const std::vector<RunMetrics>& baseline,
-            double tolerance_pct) {
+            double tolerance_pct, bool allow_new = false) {
   int failures = 0;
   for (const RunMetrics& base : baseline) {
     const RunMetrics* now = find_label(fresh, base.label);
@@ -109,8 +111,18 @@ int compare(const std::vector<RunMetrics>& fresh, const std::vector<RunMetrics>&
   }
   for (const RunMetrics& now : fresh) {
     if (find_label(baseline, now.label) == nullptr) {
-      std::printf("bench_gate: new  [%s] %.4f gcups (no baseline yet)\n", now.label.c_str(),
-                  now.gcups);
+      if (allow_new) {
+        std::printf("bench_gate: new  [%s] %.4f gcups (no baseline yet)\n", now.label.c_str(),
+                    now.gcups);
+      } else {
+        // An unmatched label is an ungated benchmark, not a free pass: the
+        // row would silently escape regression coverage forever.
+        std::fprintf(stderr,
+                     "bench_gate: FAIL [%s] %.4f gcups has no baseline entry — add it to "
+                     "bench/baseline.json or pass --allow-new\n",
+                     now.label.c_str(), now.gcups);
+        ++failures;
+      }
     }
   }
   return failures;
@@ -188,6 +200,24 @@ int self_test() {
     return 1;
   } catch (const cudalign::Error&) {
   }
+  // A fresh label with no baseline row must fail loudly (the run would be
+  // silently ungated otherwise) — unless --allow-new opts in explicitly.
+  std::vector<RunMetrics> extra = extract_runs(synthetic_doc(1.0, 42));
+  RunMetrics fresh_only;
+  fresh_only.label = "self-test unmatched";
+  fresh_only.best_score = 7;
+  fresh_only.cells = 1;
+  fresh_only.gcups = 1.0;
+  extra.push_back(fresh_only);
+  if (compare(extra, baseline, 15.0) == 0) {
+    std::fprintf(stderr,
+                 "bench_gate: self-test FAILED: unmatched fresh label did not fail the gate\n");
+    return 1;
+  }
+  if (compare(extra, baseline, 15.0, /*allow_new=*/true) != 0) {
+    std::fprintf(stderr, "bench_gate: self-test FAILED: --allow-new did not admit a new label\n");
+    return 1;
+  }
   std::printf("bench_gate: self-test OK\n");
   return 0;
 }
@@ -195,10 +225,11 @@ int self_test() {
 int usage() {
   std::fprintf(stderr,
                "usage: bench_gate <fresh BENCH_pipeline.json>... <baseline.json> "
-               "[--tolerance PCT]\n"
+               "[--tolerance PCT] [--allow-new]\n"
                "       bench_gate --self-test\n"
                "With several fresh files, each label is scored by its best sample\n"
-               "(best-of-N defeats scheduler noise); the last path is the baseline.\n");
+               "(best-of-N defeats scheduler noise); the last path is the baseline.\n"
+               "Fresh labels missing from the baseline fail the gate unless --allow-new.\n");
   return 2;
 }
 
@@ -210,9 +241,12 @@ int main(int argc, char** argv) {
     return self_test();
   }
   double tolerance = 15.0;
+  bool allow_new = false;
   std::vector<std::string> paths;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--tolerance") {
+    if (args[i] == "--allow-new") {
+      allow_new = true;
+    } else if (args[i] == "--tolerance") {
       if (i + 1 >= args.size()) return usage();
       char* end = nullptr;
       tolerance = std::strtod(args[++i].c_str(), &end);
@@ -232,7 +266,7 @@ int main(int argc, char** argv) {
     }
     const auto fresh = best_of(samples);
     const auto baseline = extract_runs(Json::parse(cudalign::read_file(paths.back())));
-    const int failures = compare(fresh, baseline, tolerance);
+    const int failures = compare(fresh, baseline, tolerance, allow_new);
     if (failures > 0) {
       std::fprintf(stderr, "bench_gate: %d regression(s) beyond -%.0f%% tolerance\n", failures,
                    tolerance);

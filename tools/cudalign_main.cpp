@@ -40,8 +40,11 @@ int usage() {
            [--gap-ext N] [--kernel NAME] [--executor NAME] [--audit-bus]
 
 --kernel pins a tile-kernel variant (e.g. legacy, scalar-local+best,
-v16-local+best; equivalent to CUDALIGN_KERNEL); tiles outside the variant's
-envelope fall back to automatic selection, so scores are unaffected.
+v16-local+best, striped8-local+best, striped16-local+best; equivalent to
+CUDALIGN_KERNEL); tiles outside the variant's envelope fall back to
+automatic selection, so scores are unaffected. The striped kernels pick
+their SIMD backend at runtime; CUDALIGN_SIMD=auto|generic|sse2|avx2 forces
+one (unknown or unsupported values fail fast with exit code 2).
 --executor picks the Stage-1 tile-grid executor: lockstep (default; one
 barrier per external diagonal) or dataflow (dependency-driven work stealing,
 no barrier). Results are byte-identical either way, including resume — a
