@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "check/checked.hpp"
 #include "common/types.hpp"
 #include "dp/dp_common.hpp"
 #include "scoring/scoring.hpp"
@@ -36,8 +37,8 @@ struct Partition {
   Crosspoint start;
   Crosspoint end;
 
-  [[nodiscard]] Index height() const noexcept { return end.i - start.i; }
-  [[nodiscard]] Index width() const noexcept { return end.j - start.j; }
+  [[nodiscard]] Index height() const noexcept { return check::checked_sub(end.i, start.i); }
+  [[nodiscard]] Index width() const noexcept { return check::checked_sub(end.j, start.j); }
   /// The paper's partition size metric for Stage 4's maximum partition size.
   [[nodiscard]] Index size() const noexcept { return std::max(height(), width()); }
   [[nodiscard]] Score score() const noexcept { return end.score - start.score; }

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "check/checked.hpp"
 #include "common/types.hpp"
 #include "scoring/scoring.hpp"
 
@@ -95,9 +96,11 @@ struct CellHEF {
   }
 }
 
-/// Saturating add that keeps -infinity absorbing.
-[[nodiscard]] constexpr Score sat_add(Score a, Score b) noexcept {
-  return is_neg_inf(a) ? a : static_cast<Score>(a + b);
+/// Saturating add that keeps -infinity absorbing. The non-absorbed branch is
+/// overflow-checked: -inf is a quarter of the int32 range, so any finite
+/// score plus a penalty fits, and a sum that doesn't is a corrupt input.
+[[nodiscard]] constexpr Score sat_add(Score a, Score b) {
+  return is_neg_inf(a) ? a : check::checked_add(a, b);
 }
 
 }  // namespace cudalign::dp

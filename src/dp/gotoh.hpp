@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "check/checked.hpp"
 #include "dp/transcript.hpp"
 #include "dp/dp_common.hpp"
 #include "seq/sequence.hpp"
@@ -22,14 +23,17 @@ class FullMatrices {
 
   [[nodiscard]] Index m() const noexcept { return m_; }
   [[nodiscard]] Index n() const noexcept { return n_; }
-  [[nodiscard]] const CellHEF& at(Index i, Index j) const noexcept {
-    return cells_[static_cast<std::size_t>(i * (n_ + 1) + j)];
-  }
-  [[nodiscard]] CellHEF& at(Index i, Index j) noexcept {
-    return cells_[static_cast<std::size_t>(i * (n_ + 1) + j)];
-  }
+  [[nodiscard]] const CellHEF& at(Index i, Index j) const { return cells_[flat(i, j)]; }
+  [[nodiscard]] CellHEF& at(Index i, Index j) { return cells_[flat(i, j)]; }
 
  private:
+  /// Row-major flat offset, overflow-checked: `at` is reachable from the
+  /// envelope/bound code paths, so its index math must fail loudly too.
+  [[nodiscard]] std::size_t flat(Index i, Index j) const {
+    const Index row = check::checked_mul(i, check::checked_add(n_, Index{1}));
+    return static_cast<std::size_t>(check::checked_add(row, j));
+  }
+
   Index m_, n_;
   std::vector<CellHEF> cells_;
 };

@@ -104,6 +104,14 @@ TileResult run_striped_avx2(const TileJob& job, TileScratch& scratch);
 /// True when kernels_striped_avx2.cpp was built with AVX2 code generation.
 [[nodiscard]] bool avx2_kernels_compiled() noexcept;
 
+/// AVX-512 entry points, compiled in the -mavx512bw translation unit. Only
+/// called when avx512_kernels_compiled() and the CPU supports AVX-512BW.
+template <typename LaneT, bool kBest>
+TileResult run_striped_avx512(const TileJob& job, TileScratch& scratch);
+
+/// True when kernels_striped_avx512.cpp was built with AVX-512BW codegen.
+[[nodiscard]] bool avx512_kernels_compiled() noexcept;
+
 extern template TileResult run_scalar<false, false, false, false>(const TileJob&, TileScratch&);
 extern template TileResult run_scalar<false, false, false, true>(const TileJob&, TileScratch&);
 extern template TileResult run_scalar<false, false, true, false>(const TileJob&, TileScratch&);
@@ -131,5 +139,10 @@ extern template TileResult run_striped_avx2<std::int8_t, false>(const TileJob&, 
 extern template TileResult run_striped_avx2<std::int8_t, true>(const TileJob&, TileScratch&);
 extern template TileResult run_striped_avx2<std::int16_t, false>(const TileJob&, TileScratch&);
 extern template TileResult run_striped_avx2<std::int16_t, true>(const TileJob&, TileScratch&);
+
+extern template TileResult run_striped_avx512<std::int8_t, false>(const TileJob&, TileScratch&);
+extern template TileResult run_striped_avx512<std::int8_t, true>(const TileJob&, TileScratch&);
+extern template TileResult run_striped_avx512<std::int16_t, false>(const TileJob&, TileScratch&);
+extern template TileResult run_striped_avx512<std::int16_t, true>(const TileJob&, TileScratch&);
 
 }  // namespace cudalign::engine::detail

@@ -91,11 +91,13 @@ void reload_kernel_override_from_env();
 
 /// SIMD instruction sets the striped kernels can dispatch to. kGeneric is the
 /// portable scalar emulation of the lane ops (bit-identical by construction);
-/// kSse2 / kAvx2 are only selectable where compiled in and CPU-supported.
-enum class SimdIsa : std::uint8_t { kGeneric, kSse2, kAvx2 };
+/// kSse2 / kAvx2 / kAvx512 are only selectable where compiled in and
+/// CPU-supported (kAvx512 means AVX-512BW: the striped lane ops need the
+/// byte/word saturating arithmetic).
+enum class SimdIsa : std::uint8_t { kGeneric, kSse2, kAvx2, kAvx512 };
 
 /// The ISA the striped kernels currently dispatch to: the best available one,
-/// unless CUDALIGN_SIMD (auto / generic / sse2 / avx2) or
+/// unless CUDALIGN_SIMD (auto / generic / sse2 / avx2 / avx512) or
 /// set_simd_isa_override() forces a baseline. An unknown CUDALIGN_SIMD value
 /// terminates the process with exit code 2 at first use, like CUDALIGN_KERNEL.
 [[nodiscard]] SimdIsa active_simd_isa() noexcept;
@@ -106,7 +108,7 @@ enum class SimdIsa : std::uint8_t { kGeneric, kSse2, kAvx2 };
 void set_simd_isa_override(SimdIsa isa);
 void clear_simd_isa_override() noexcept;
 
-/// Stable lowercase name of an ISA ("generic", "sse2", "avx2").
+/// Stable lowercase name of an ISA ("generic", "sse2", "avx2", "avx512").
 [[nodiscard]] std::string_view simd_isa_name(SimdIsa isa) noexcept;
 
 /// Test hook: drops the cached ISA state and re-reads CUDALIGN_SIMD as if the

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "check/checked.hpp"
 #include "check/contracts.hpp"
 #include "engine/kernel_registry.hpp"
 
@@ -17,13 +18,20 @@ using dp::AlignMode;
 /// the corner's gap state continues (len * G_ext) or a fresh run opens from
 /// the corner's H (G_first + (len-1) * G_ext); -inf absorbs.
 Score boundary_run(Score corner_gap, Score corner_h, Index len, const scoring::Scheme& s) {
+  // Gap-run math in WideScore with overflow checks: a boundary value decided
+  // by wrapped arithmetic would poison every cell derived from it.
+  const WideScore ext = check::checked_mul(len, WideScore{s.gap_ext});
   const Score via_cont =
-      is_neg_inf(corner_gap) ? kNegInf
-                             : static_cast<Score>(corner_gap - len * s.gap_ext);
+      is_neg_inf(corner_gap)
+          ? kNegInf
+          : check::checked_cast<Score>(check::checked_sub(WideScore{corner_gap}, ext));
+  const WideScore open_ext =
+      check::checked_mul(check::checked_sub(len, Index{1}), WideScore{s.gap_ext});
   const Score via_open =
       is_neg_inf(corner_h)
           ? kNegInf
-          : static_cast<Score>(corner_h - s.gap_first - (len - 1) * s.gap_ext);
+          : check::checked_cast<Score>(check::checked_sub(
+                check::checked_sub(WideScore{corner_h}, WideScore{s.gap_first}), open_ext));
   return std::max(via_cont, via_open);
 }
 

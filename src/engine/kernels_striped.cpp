@@ -4,8 +4,10 @@
 // backend; this file provides the portable scalar emulation (kGeneric — the
 // forced baseline for equivalence tests), the SSE2 128-bit backends, and the
 // process-wide ISA selection (CUDALIGN_SIMD / set_simd_isa_override). The
-// AVX2 backends live in kernels_striped_avx2.cpp, the one translation unit
-// compiled with -mavx2, and are only entered when the CPU reports AVX2.
+// AVX2 backends live in kernels_striped_avx2.cpp (the one TU compiled with
+// -mavx2) and the AVX-512BW backends in kernels_striped_avx512.cpp (the one
+// TU compiled with -mavx512bw); each is only entered when the CPU reports the
+// matching feature.
 //
 // SSE2 has no signed 8-bit max (_mm_max_epi8 is SSE4.1), so the int8 backend
 // uses the classic bias trick: flip the sign bit, take the *unsigned* max,
@@ -148,12 +150,19 @@ struct Sse2Backend<std::int8_t> {
 #else
       return false;
 #endif
+    case SimdIsa::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return detail::avx512_kernels_compiled() && __builtin_cpu_supports("avx512bw");
+#else
+      return false;
+#endif
   }
   return false;
 }
 
 /// The best ISA this build + CPU can run (the "auto" choice).
 [[nodiscard]] SimdIsa best_isa() noexcept {
+  if (isa_supported(SimdIsa::kAvx512)) return SimdIsa::kAvx512;
   if (isa_supported(SimdIsa::kAvx2)) return SimdIsa::kAvx2;
   if (isa_supported(SimdIsa::kSse2)) return SimdIsa::kSse2;
   return SimdIsa::kGeneric;
@@ -180,10 +189,12 @@ void load_isa_env_locked() CUDALIGN_REQUIRES(g_isa_mutex) {
     isa = SimdIsa::kSse2;
   } else if (value == "avx2") {
     isa = SimdIsa::kAvx2;
+  } else if (value == "avx512") {
+    isa = SimdIsa::kAvx512;
   } else {
     std::fprintf(stderr,
                  "cudalign: unknown SIMD ISA in CUDALIGN_SIMD: \"%s\"\n"
-                 "valid values: auto, generic, sse2, avx2\n",
+                 "valid values: auto, generic, sse2, avx2, avx512\n",
                  env);
     std::exit(2);
   }
@@ -232,6 +243,8 @@ std::string_view simd_isa_name(SimdIsa isa) noexcept {
       return "sse2";
     case SimdIsa::kAvx2:
       return "avx2";
+    case SimdIsa::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -249,6 +262,8 @@ bool striped16_can_run(const TileJob& job) {
 template <typename LaneT, bool kBest>
 TileResult run_striped(const TileJob& job, TileScratch& scratch) {
   switch (active_simd_isa()) {
+    case SimdIsa::kAvx512:
+      return run_striped_avx512<LaneT, kBest>(job, scratch);
     case SimdIsa::kAvx2:
       return run_striped_avx2<LaneT, kBest>(job, scratch);
     case SimdIsa::kSse2:

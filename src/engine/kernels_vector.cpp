@@ -151,8 +151,8 @@ bool lane_envelope_admits(const TileJob& job, const LaneEnvelope& env) {
   // H/E/F from the admitted bus inputs. The bound itself is computed with
   // overflow-checked arithmetic: an envelope decided by wrapped arithmetic
   // would be no envelope at all.
-  const Index rows = job.r1 - job.r0;
-  const Index w = job.c1 - job.c0;
+  const Index rows = check::checked_sub(job.r1, job.r0);
+  const Index w = check::checked_sub(job.c1, job.c0);
   const WideScore bound = check::checked_add<WideScore>(
       max_h, check::checked_mul<WideScore>(s.match, std::min(rows, w)));
   return bound <= env.ceiling;

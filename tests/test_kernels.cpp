@@ -423,7 +423,7 @@ TEST(LaneEnvelope, Int8GapFloorEscalatesToWiderLanes) {
 
 TEST(StripedIsa, EveryCompiledBackendMatchesLegacyByteForByte) {
   const std::vector<engine::SimdIsa> isas = {engine::SimdIsa::kGeneric, engine::SimdIsa::kSse2,
-                                             engine::SimdIsa::kAvx2};
+                                             engine::SimdIsa::kAvx2, engine::SimdIsa::kAvx512};
   Rng rng(5150);
   std::vector<TileCase> cases;
   for (int iter = 0; iter < 12; ++iter) {

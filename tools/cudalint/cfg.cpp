@@ -1,0 +1,440 @@
+#include "cudalint/cfg.hpp"
+
+#include <algorithm>
+
+namespace cudalint {
+namespace {
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Recursive-descent CFG builder over one body token range. Statements are
+/// recognized by their leading keyword; everything else is a straight-line
+/// range scanned to its terminating `;` with parens/brackets/braces balanced
+/// (so lambdas and brace initializers never desync the walk). A terminator
+/// (return / break / continue / throw / goto) redirects control through a
+/// scope-closing fixup block and leaves `cur_` pointing at a fresh block with
+/// no predecessors — dead code after the terminator parses into an
+/// unreachable block instead of needing a "terminated" flag everywhere.
+class Builder {
+ public:
+  Builder(const std::vector<Token>& tokens, std::size_t begin, std::size_t end)
+      : t_(tokens), i_(begin), end_(std::min(end, tokens.size())) {
+    cfg_.blocks.resize(2);  // 0 = entry, 1 = exit.
+    cfg_.entry = 0;
+    cfg_.exit_block = 1;
+    cur_ = 0;
+  }
+
+  Cfg take() && {
+    while (!done() && !at_punct("}")) parse_stmt();
+    add_edge(cur_, cfg_.exit_block);
+    return std::move(cfg_);
+  }
+
+ private:
+  [[nodiscard]] bool done() const { return i_ >= end_; }
+  [[nodiscard]] const Token& cur() const { return t_[i_]; }
+  [[nodiscard]] bool at_punct(std::string_view p) const { return !done() && is_punct(cur(), p); }
+  [[nodiscard]] bool at_ident(std::string_view s) const { return !done() && is_ident(cur(), s); }
+
+  [[nodiscard]] int new_block() {
+    cfg_.blocks.emplace_back();
+    return static_cast<int>(cfg_.blocks.size()) - 1;
+  }
+
+  void add_edge(int from, int to) {
+    auto& succs = cfg_.blocks[static_cast<std::size_t>(from)].succs;
+    if (std::find(succs.begin(), succs.end(), to) == succs.end()) succs.push_back(to);
+  }
+
+  /// Appends [begin, end) to the current block, merging adjacent ranges.
+  void emit(std::size_t begin, std::size_t end) {
+    if (end <= begin) return;
+    auto& items = cfg_.blocks[static_cast<std::size_t>(cur_)].items;
+    if (!items.empty() && items.back().kind == CfgItem::Kind::kRange &&
+        items.back().end == begin) {
+      items.back().end = end;
+      return;
+    }
+    items.push_back(CfgItem{CfgItem::Kind::kRange, begin, end, 0});
+  }
+
+  void emit_scope(CfgItem::Kind kind, int scope) {
+    cfg_.blocks[static_cast<std::size_t>(cur_)].items.push_back(CfgItem{kind, 0, 0, scope});
+  }
+
+  /// Consumes a balanced `( ... )` group (braces inside — lambdas in a
+  /// condition — are balanced too). `i_` must point at `(`; no-op otherwise.
+  void consume_parens() {
+    if (!at_punct("(")) return;
+    int paren = 0;
+    int brace = 0;
+    while (!done()) {
+      if (at_punct("(")) ++paren;
+      if (at_punct(")")) --paren;
+      if (at_punct("{")) ++brace;
+      if (at_punct("}")) --brace;
+      ++i_;
+      if (paren == 0 && brace <= 0) return;
+    }
+  }
+
+  /// Consumes up to and including the statement's top-level `;` — or stops
+  /// (without consuming) at a `}` closing the enclosing scope.
+  void consume_to_semi() {
+    int paren = 0;
+    int brace = 0;
+    while (!done()) {
+      if (at_punct("(") || at_punct("[")) ++paren;
+      if (at_punct(")") || at_punct("]")) --paren;
+      if (at_punct("{")) ++brace;
+      if (at_punct("}")) {
+        if (brace <= 0) return;  // Enclosing scope; give it back.
+        --brace;
+      }
+      if (paren <= 0 && brace <= 0 && at_punct(";")) {
+        ++i_;
+        return;
+      }
+      ++i_;
+    }
+  }
+
+  /// Routes control to `target`, first closing every statement scope above
+  /// stack depth `keep` in a synthetic fixup block. Leaves `cur_` on a fresh
+  /// predecessor-less block for whatever dead code follows.
+  void jump_to(int target, std::size_t keep) {
+    if (scopes_.size() > keep) {
+      const int fixup = new_block();
+      add_edge(cur_, fixup);
+      cur_ = fixup;
+      for (std::size_t s = scopes_.size(); s > keep; --s) {
+        emit_scope(CfgItem::Kind::kScopeClose, scopes_[s - 1]);
+      }
+    }
+    add_edge(cur_, target);
+    cur_ = new_block();
+  }
+
+  void parse_compound() {
+    ++i_;  // `{`
+    const int scope = next_scope_++;
+    emit_scope(CfgItem::Kind::kScopeOpen, scope);
+    scopes_.push_back(scope);
+    while (!done() && !at_punct("}")) parse_stmt();
+    if (at_punct("}")) ++i_;
+    scopes_.pop_back();
+    emit_scope(CfgItem::Kind::kScopeClose, scope);
+  }
+
+  void parse_if() {
+    const std::size_t start = i_;
+    ++i_;  // `if`
+    if (at_ident("constexpr")) ++i_;
+    consume_parens();
+    emit(start, i_);
+    const int cond = cur_;
+
+    const int then_entry = new_block();
+    add_edge(cond, then_entry);
+    cur_ = then_entry;
+    parse_stmt();
+    const int then_end = cur_;
+
+    int else_end = -1;
+    if (at_ident("else")) {
+      ++i_;
+      const int else_entry = new_block();
+      add_edge(cond, else_entry);
+      cur_ = else_entry;
+      parse_stmt();  // An `else if` chain recurses naturally here.
+      else_end = cur_;
+    }
+
+    const int join = new_block();
+    add_edge(then_end, join);
+    if (else_end >= 0) {
+      add_edge(else_end, join);
+    } else {
+      add_edge(cond, join);
+    }
+    cur_ = join;
+  }
+
+  void parse_while() {
+    const std::size_t start = i_;
+    const int head = new_block();
+    add_edge(cur_, head);
+    cur_ = head;
+    ++i_;  // `while`
+    consume_parens();
+    emit(start, i_);
+
+    const int body = new_block();
+    const int after = new_block();
+    add_edge(head, body);
+    add_edge(head, after);  // Conservative even for while(true): exit stays reachable.
+    breaks_.push_back(Target{after, scopes_.size()});
+    continues_.push_back(Target{head, scopes_.size()});
+    cur_ = body;
+    parse_stmt();
+    add_edge(cur_, head);
+    breaks_.pop_back();
+    continues_.pop_back();
+    cur_ = after;
+  }
+
+  void parse_do() {
+    ++i_;  // `do`
+    const int body = new_block();
+    const int cond = new_block();
+    const int after = new_block();
+    add_edge(cur_, body);
+    breaks_.push_back(Target{after, scopes_.size()});
+    continues_.push_back(Target{cond, scopes_.size()});
+    cur_ = body;
+    parse_stmt();
+    add_edge(cur_, cond);
+    breaks_.pop_back();
+    continues_.pop_back();
+
+    cur_ = cond;
+    const std::size_t tail = i_;
+    if (at_ident("while")) {
+      ++i_;
+      consume_parens();
+      if (at_punct(";")) ++i_;
+    }
+    emit(tail, i_);
+    add_edge(cond, body);
+    add_edge(cond, after);
+    cur_ = after;
+  }
+
+  void parse_for() {
+    const std::size_t start = i_;
+    ++i_;  // `for`
+    if (!at_punct("(")) {
+      consume_to_semi();
+      emit(start, i_);
+      return;
+    }
+    // Map the header: top-level `;` positions split init / cond / increment;
+    // a `:` with no `;` means a range-for (whole header evaluates once).
+    const std::size_t open = i_;
+    int paren = 0;
+    int brace = 0;
+    std::vector<std::size_t> semis;
+    std::size_t close = end_;
+    for (std::size_t j = open; j < end_; ++j) {
+      if (is_punct(t_[j], "(")) ++paren;
+      if (is_punct(t_[j], ")") && --paren == 0) {
+        close = j;
+        break;
+      }
+      if (is_punct(t_[j], "{")) ++brace;
+      if (is_punct(t_[j], "}")) --brace;
+      if (paren == 1 && brace == 0 && is_punct(t_[j], ";")) semis.push_back(j);
+    }
+    if (close == end_) {  // Malformed; bail to straight-line.
+      consume_to_semi();
+      emit(start, i_);
+      return;
+    }
+
+    const int head = new_block();
+    const int body = new_block();
+    const int latch = new_block();
+    const int after = new_block();
+    if (semis.size() >= 2) {
+      emit(start, semis[0] + 1);  // `for (init;` runs once, before the loop.
+      add_edge(cur_, head);
+      cur_ = head;
+      emit(semis[0] + 1, semis[1] + 1);  // Condition, re-evaluated per iteration.
+    } else {
+      emit(start, close + 1);  // Range-for: the range expression runs once.
+      add_edge(cur_, head);
+      cur_ = head;
+    }
+    add_edge(head, body);
+    add_edge(head, after);
+    i_ = close + 1;
+
+    breaks_.push_back(Target{after, scopes_.size()});
+    continues_.push_back(Target{latch, scopes_.size()});
+    cur_ = body;
+    parse_stmt();
+    add_edge(cur_, latch);
+    breaks_.pop_back();
+    continues_.pop_back();
+
+    cur_ = latch;
+    if (semis.size() >= 2) emit(semis[1] + 1, close);  // Increment, each iteration.
+    add_edge(latch, head);
+    cur_ = after;
+  }
+
+  void parse_switch() {
+    const std::size_t start = i_;
+    ++i_;  // `switch`
+    consume_parens();
+    emit(start, i_);
+    const int head = cur_;
+    if (!at_punct("{")) return;  // Single-statement switch body: not modeled.
+    ++i_;
+    const int scope = next_scope_++;
+    emit_scope(CfgItem::Kind::kScopeOpen, scope);
+    scopes_.push_back(scope);
+
+    const int after = new_block();
+    breaks_.push_back(Target{after, scopes_.size()});
+    bool has_default = false;
+    cur_ = new_block();  // Statements before the first label are unreachable.
+    while (!done() && !at_punct("}")) {
+      if (at_ident("case") || at_ident("default")) {
+        const int arm = new_block();
+        add_edge(head, arm);
+        add_edge(cur_, arm);  // Fallthrough from the previous arm.
+        cur_ = arm;
+        while (at_ident("case") || at_ident("default")) {
+          const std::size_t label = i_;
+          if (at_ident("default")) has_default = true;
+          int paren = 0;
+          while (!done()) {  // Consume `case expr :` / `default :`.
+            if (at_punct("(") || at_punct("[")) ++paren;
+            if (at_punct(")") || at_punct("]")) --paren;
+            if (paren == 0 && at_punct(":")) {
+              ++i_;
+              break;
+            }
+            ++i_;
+          }
+          emit(label, i_);
+        }
+        continue;
+      }
+      parse_stmt();
+    }
+    if (at_punct("}")) ++i_;
+    add_edge(cur_, after);
+    if (!has_default) add_edge(head, after);
+    breaks_.pop_back();
+    scopes_.pop_back();
+    cur_ = after;
+    emit_scope(CfgItem::Kind::kScopeClose, scope);
+  }
+
+  void parse_try() {
+    ++i_;  // `try`
+    const int before = cur_;
+    const int body = new_block();
+    add_edge(before, body);
+    cur_ = body;
+    if (at_punct("{")) parse_compound();
+    const int body_end = cur_;
+
+    const int join = new_block();
+    add_edge(body_end, join);
+    while (at_ident("catch")) {
+      ++i_;
+      const std::size_t clause = i_;
+      consume_parens();
+      // A throw can unwind from anywhere in the try; entering the handler
+      // from the pre-try state is the sound approximation for RAII locks.
+      const int handler = new_block();
+      add_edge(before, handler);
+      cur_ = handler;
+      emit(clause, i_);
+      if (at_punct("{")) parse_compound();
+      add_edge(cur_, join);
+    }
+    cur_ = join;
+  }
+
+  void parse_terminator() {
+    const std::size_t start = i_;
+    const bool is_break = at_ident("break");
+    const bool is_continue = at_ident("continue");
+    consume_to_semi();
+    emit(start, i_);
+    if (is_break && !breaks_.empty()) {
+      jump_to(breaks_.back().block, breaks_.back().scope_depth);
+    } else if (is_continue && !continues_.empty()) {
+      jump_to(continues_.back().block, continues_.back().scope_depth);
+    } else {
+      jump_to(cfg_.exit_block, 0);  // return / throw / co_return / stray goto.
+    }
+  }
+
+  void parse_stmt() {
+    const std::size_t before = i_;
+    if (at_punct("{")) {
+      parse_compound();
+    } else if (at_punct(";")) {
+      ++i_;
+    } else if (at_ident("if")) {
+      parse_if();
+    } else if (at_ident("while")) {
+      parse_while();
+    } else if (at_ident("do")) {
+      parse_do();
+    } else if (at_ident("for")) {
+      parse_for();
+    } else if (at_ident("switch")) {
+      parse_switch();
+    } else if (at_ident("try")) {
+      parse_try();
+    } else if (at_ident("return") || at_ident("throw") || at_ident("co_return") ||
+               at_ident("break") || at_ident("continue") || at_ident("goto")) {
+      parse_terminator();
+    } else {
+      const std::size_t start = i_;
+      consume_to_semi();
+      emit(start, i_);
+    }
+    if (i_ == before && !done()) ++i_;  // Never loop without progress.
+  }
+
+  struct Target {
+    int block = 0;
+    std::size_t scope_depth = 0;  ///< Scopes open at the jump target.
+  };
+
+  const std::vector<Token>& t_;
+  std::size_t i_;
+  std::size_t end_;
+  Cfg cfg_;
+  int cur_ = 0;
+  int next_scope_ = 0;
+  std::vector<int> scopes_;
+  std::vector<Target> breaks_;
+  std::vector<Target> continues_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const std::vector<Token>& tokens, std::size_t body_begin, std::size_t body_end) {
+  return Builder(tokens, body_begin, body_end).take();
+}
+
+std::string cfg_shape(const Cfg& cfg) {
+  std::string out;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (b > 0) out += ";";
+    out += std::to_string(b) + ">";
+    const auto& succs = cfg.blocks[b].succs;
+    for (std::size_t s = 0; s < succs.size(); ++s) {
+      if (s > 0) out += ",";
+      out += std::to_string(succs[s]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cudalint

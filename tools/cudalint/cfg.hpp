@@ -1,0 +1,73 @@
+// cudalint CFG: statement-level control-flow recovery over one function body.
+//
+// The v3 layer between the parser and the dataflow rules. Given a body token
+// range the parser recovered, build_cfg() produces basic blocks of CfgItems —
+// straight-line token ranges interleaved with scope open/close markers — and
+// successor edges for the structured control flow a lint-grade analyzer can
+// recover without a real front end: if/else chains, while/do/for (classic and
+// range), switch with fallthrough, break/continue/return/throw, and
+// try/catch (catch entry approximated as reachable from before the try).
+//
+// Scope markers are the load-bearing part: RAII lock lifetimes follow
+// STATEMENT scopes, so every `{ ... }` compound contributes a kScopeOpen /
+// kScopeClose pair with a unique scope id, and every early exit (break,
+// continue, return) routes through a synthetic fixup block that closes the
+// scopes it jumps out of. A dataflow transfer that releases locks at
+// kScopeClose is therefore path-correct on every edge, not just the
+// fall-through one.
+//
+// Deliberately NOT modeled: goto (edge straight to exit, conservative),
+// control flow inside lambdas (a `{` in the middle of a statement is consumed
+// balanced into its range — the brace-depth tracking in the transfer keeps
+// lambda-local RAII contained, matching the v2 checker), and exceptional
+// edges out of arbitrary expressions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cudalint/lexer.hpp"
+
+namespace cudalint {
+
+/// One entry of a basic block, in execution order.
+struct CfgItem {
+  enum class Kind : unsigned char {
+    kRange,       ///< Straight-line tokens [begin, end).
+    kScopeOpen,   ///< A `{ ... }` statement scope with id `scope` opens.
+    kScopeClose,  ///< That scope closes: RAII locals declared in it die here.
+  };
+  Kind kind = Kind::kRange;
+  std::size_t begin = 0;  ///< Token range (kRange only).
+  std::size_t end = 0;
+  int scope = 0;  ///< Scope id (kScopeOpen / kScopeClose only).
+};
+
+struct CfgBlock {
+  std::vector<CfgItem> items;
+  std::vector<int> succs;
+};
+
+/// blocks[entry] is the function entry; blocks[exit_block] the single exit
+/// every return (and the final fall-off) reaches. Blocks left unreachable by
+/// construction (e.g. the join after an if/else where both arms return) are
+/// kept — a dataflow pass simply never propagates state into them.
+struct Cfg {
+  std::vector<CfgBlock> blocks;
+  int entry = 0;
+  int exit_block = 1;
+};
+
+/// Builds the CFG of the body token range [body_begin, body_end) — the tokens
+/// strictly inside the function's outer braces. Never throws; malformed
+/// regions degrade to straight-line ranges.
+[[nodiscard]] Cfg build_cfg(const std::vector<Token>& tokens, std::size_t body_begin,
+                            std::size_t body_end);
+
+/// Compact structural rendering for tests: `"0>2;1>;2>3,4;..."` — one entry
+/// per block, listing successor ids. Token contents are omitted on purpose so
+/// shape assertions survive unrelated fixture edits.
+[[nodiscard]] std::string cfg_shape(const Cfg& cfg);
+
+}  // namespace cudalint

@@ -54,26 +54,20 @@ constexpr std::array<std::string_view, 3> kLockOps = {"lock", "unlock", "try_loc
   return end;
 }
 
-/// A lock held by an RAII wrapper declared at brace depth `depth`.
-struct HeldLock {
-  int depth = 0;
-  std::string name;
-};
-
-/// Walks one function body, tracking brace scopes, local declarations, and
-/// RAII lock scopes; fires the per-statement concurrency rules.
+/// Walks one function body, tracking local declarations; fires the
+/// per-statement concurrency rules. Lock-hold state is NOT tracked here any
+/// more — guarded-by moved to the CFG-based dataflow engine (dataflow.cpp),
+/// which models early returns and conditional unlocks correctly.
 class BodyChecker {
  public:
   BodyChecker(const LexedFile& file, const ParsedFile& parsed, const DeclIndex& index,
               const FunctionDecl& fn, std::vector<Diagnostic>& out)
       : f_(file), parsed_(parsed), index_(index), fn_(fn), out_(out) {
     if (!fn.class_path.empty()) cls_ = index.find_type(fn.class_path);
-    for (const std::string& lock : fn.requires_locks) required_.push_back(lock);
     lock_manager_ = fn.lock_manager;
     if (cls_ != nullptr) {
       const auto it = cls_->methods.find(fn.name);
       if (it != cls_->methods.end()) {
-        for (const std::string& lock : it->second.requires_locks) required_.push_back(lock);
         lock_manager_ = lock_manager_ || it->second.lock_manager;
       }
     }
@@ -84,14 +78,7 @@ class BodyChecker {
     bool stmt_start = true;
     for (std::size_t k = fn_.body_begin; k < fn_.body_end && k < t.size(); ++k) {
       const Token& tok = t[k];
-      if (is_punct(tok, "{")) {
-        ++depth_;
-        stmt_start = true;
-        continue;
-      }
-      if (is_punct(tok, "}")) {
-        --depth_;
-        std::erase_if(held_, [&](const HeldLock& l) { return l.depth > depth_; });
+      if (is_punct(tok, "{") || is_punct(tok, "}")) {
         stmt_start = true;
         continue;
       }
@@ -124,7 +111,6 @@ class BodyChecker {
       if (tok.text == "detach" && k + 1 < fn_.body_end && is_punct(t[k + 1], "(")) {
         check_detach(k);
       }
-      check_guarded_access(k);
     }
   }
 
@@ -220,7 +206,7 @@ class BodyChecker {
   }
 
   /// Tries to read a local declaration starting at token `k`; registers the
-  /// local's classified type, and RAII lock scopes.
+  /// local's classified type (receiver resolution needs it).
   void try_local_decl(std::size_t k) {
     const auto& t = f_.tokens;
     const std::size_t end = fn_.body_end;
@@ -244,57 +230,7 @@ class BodyChecker {
                       is_punct(t[k], "{") || is_punct(t[k], ","))) {
       return;
     }
-    const ClassifiedType type = classify_type(t, type_begin, name_pos);
-    locals_[t[name_pos].text] = type;
-    if (type.flags.raii_lock && (is_punct(t[k], "(") || is_punct(t[k], "{"))) {
-      register_lock_scope(k);
-    }
-  }
-
-  /// `k` points at the `(` / `{` of an RAII lock constructor; records the
-  /// named mutexes as held until the current brace scope closes. adopt_lock
-  /// is transparent; defer_lock / try_to_lock defeat static tracking, so
-  /// those wrappers register nothing (silence over a wrong guess). A
-  /// mid-scope `lk.unlock()` is likewise approximated as still-held — the
-  /// repo convention is scope-ends-release.
-  void register_lock_scope(std::size_t k) {
-    const auto& t = f_.tokens;
-    const std::string_view close = is_punct(t[k], "(") ? ")" : "}";
-    const std::string_view open = is_punct(t[k], "(") ? "(" : "{";
-    int depth = 1;
-    std::string arg;
-    std::vector<std::string> args;
-    for (std::size_t j = k + 1; j < fn_.body_end && depth > 0; ++j) {
-      if (is_punct(t[j], open)) ++depth;
-      if (is_punct(t[j], close) && --depth == 0) break;
-      if (depth == 1 && is_punct(t[j], ",")) {
-        args.push_back(arg);
-        arg.clear();
-        continue;
-      }
-      arg += t[j].text;
-    }
-    if (!arg.empty()) args.push_back(arg);
-    std::vector<std::string> mutexes;
-    for (std::string& a : args) {
-      if (a.find("defer_lock") != std::string::npos ||
-          a.find("try_to_lock") != std::string::npos) {
-        return;  // Not (necessarily) held; register nothing.
-      }
-      if (a.find("adopt_lock") != std::string::npos) continue;
-      if (a.starts_with("this->")) a = a.substr(6);
-      if (a.starts_with("&")) a = a.substr(1);
-      if (a.starts_with("*")) a = a.substr(1);
-      if (!a.empty()) mutexes.push_back(a);
-    }
-    for (std::string& m : mutexes) held_.push_back(HeldLock{depth_, std::move(m)});
-  }
-
-  [[nodiscard]] bool holds(const std::string& guard) const {
-    for (const HeldLock& lock : held_) {
-      if (lock.name == guard) return true;
-    }
-    return std::find(required_.begin(), required_.end(), guard) != required_.end();
+    locals_[t[name_pos].text] = classify_type(t, type_begin, name_pos);
   }
 
   void check_atomic_op(std::size_t k) {
@@ -352,40 +288,6 @@ class BodyChecker {
                                   "point; keep the handle and join it"});
   }
 
-  void check_guarded_access(std::size_t k) {
-    const auto& t = f_.tokens;
-    const std::string& name = t[k].text;
-    // Member-access-prefixed (`x.field`) and qualified (`NS::field`) names
-    // are someone else's field; `this->field` is ours.
-    if (k > fn_.body_begin) {
-      const Token& prev = t[k - 1];
-      if (is_punct(prev, "::")) return;
-      if (is_punct(prev, ".")) return;
-      if (is_punct(prev, ">") && k >= 2 && is_punct(t[k - 2], "-")) {
-        const bool via_this = k >= 3 && is_ident(t[k - 3], "this");
-        if (!via_this) return;
-      }
-    }
-    if (locals_.contains(name)) return;  // Shadowed by a local.
-    const FieldDecl* field = nullptr;
-    if (cls_ != nullptr) field = cls_->find_field(name);
-    if (field == nullptr) {
-      for (const FieldDecl& global : parsed_.globals) {
-        if (global.name == name) {
-          field = &global;
-          break;
-        }
-      }
-    }
-    if (field == nullptr || field->guarded_by.empty()) return;
-    if (holds(field->guarded_by)) return;
-    out_.push_back(Diagnostic{
-        f_.path, t[k].line, "guarded-by",
-        "'" + name + "' is CUDALIGN_GUARDED_BY(" + field->guarded_by +
-            ") but the lock is not held here (take a std::lock_guard, or annotate "
-            "the function CUDALIGN_REQUIRES(" + field->guarded_by + "))"});
-  }
-
   const LexedFile& f_;
   const ParsedFile& parsed_;
   const DeclIndex& index_;
@@ -393,11 +295,8 @@ class BodyChecker {
   std::vector<Diagnostic>& out_;
 
   const TypeDecl* cls_ = nullptr;
-  std::vector<std::string> required_;
   bool lock_manager_ = false;
   std::map<std::string, ClassifiedType, std::less<>> locals_;
-  std::vector<HeldLock> held_;
-  int depth_ = 0;
 };
 
 /// seq_cst and relaxed are the two orders that most need prose: one is "I

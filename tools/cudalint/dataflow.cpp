@@ -1,0 +1,1166 @@
+#include "cudalint/dataflow.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <optional>
+
+#include "cudalint/cfg.hpp"
+
+namespace cudalint {
+namespace {
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+[[nodiscard]] bool is_any_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+
+/// Identifiers that can never open a local declaration or name a callee.
+[[nodiscard]] bool is_stmt_keyword(std::string_view text) {
+  constexpr std::array<std::string_view, 18> kKeywords = {
+      "return", "if",       "else",  "for",   "while",  "do",    "switch", "case",
+      "break",  "continue", "goto",  "throw", "delete", "new",   "sizeof", "co_return",
+      "catch",  "default"};
+  return std::find(kKeywords.begin(), kKeywords.end(), text) != kKeywords.end();
+}
+
+[[nodiscard]] bool is_decl_qualifier(std::string_view text) {
+  return text == "const" || text == "constexpr" || text == "static" || text == "auto" ||
+         text == "volatile" || text == "thread_local" || text == "unsigned" ||
+         text == "signed" || text == "long" || text == "short";
+}
+
+/// Balanced `< ... >` skip with the same bail-outs as the parser's.
+[[nodiscard]] std::size_t skip_angles(const std::vector<Token>& t, std::size_t i,
+                                      std::size_t end) {
+  int depth = 0;
+  for (; i < end; ++i) {
+    if (is_punct(t[i], "<")) {
+      ++depth;
+    } else if (is_punct(t[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(t[i], ";") || is_punct(t[i], "{")) {
+      return i;
+    }
+  }
+  return end;
+}
+
+/// Type heads whose arithmetic the envelope rule polices. These are the
+/// repo's score/index aliases (src/common/types.hpp); a token with one of
+/// these texts in type position is a TYPE name, not a value.
+[[nodiscard]] bool is_envelope_type_head(std::string_view head) {
+  return head == "Score" || head == "WideScore" || head == "Index";
+}
+
+[[nodiscard]] std::string qualified_name(const FunctionDecl& fn) {
+  if (fn.class_path.empty()) return fn.name;
+  return fn.class_path + "::" + fn.name;
+}
+
+/// A mutex a lock scope names: `raw` as written (what CUDALIGN_GUARDED_BY
+/// arguments match against), `canon` as a cross-TU lock role ("Class::field"
+/// or "file.cpp::global"; empty when unresolvable — no edges, no false ones).
+struct LockRef {
+  std::string raw;
+  std::string canon;
+
+  friend bool operator==(const LockRef&, const LockRef&) = default;
+};
+
+/// One lock in the dataflow state.
+struct HeldEntry {
+  std::string raw;
+  std::string canon;
+  int scope = -1;  ///< CFG scope id owning the RAII wrapper; -1 = whole function.
+  int lambda = 0;  ///< In-range lambda brace depth at acquisition.
+
+  friend auto operator<=>(const HeldEntry&, const HeldEntry&) = default;
+};
+
+struct LockState {
+  bool reachable = false;
+  std::vector<HeldEntry> held;  ///< Sorted, unique.
+
+  friend bool operator==(const LockState&, const LockState&) = default;
+};
+
+struct MovedVar {
+  std::string name;
+  int line = 0;  ///< Move site (earliest across merged paths).
+};
+
+struct MovedState {
+  bool reachable = false;
+  std::vector<MovedVar> vars;  ///< Sorted by name, unique.
+
+  friend bool operator==(const MovedState& a, const MovedState& b) {
+    if (a.reachable != b.reachable || a.vars.size() != b.vars.size()) return false;
+    for (std::size_t i = 0; i < a.vars.size(); ++i) {
+      if (a.vars[i].name != b.vars[i].name || a.vars[i].line != b.vars[i].line) return false;
+    }
+    return true;
+  }
+};
+
+void insert_held(std::vector<HeldEntry>& held, HeldEntry entry) {
+  const auto it = std::lower_bound(held.begin(), held.end(), entry);
+  if (it == held.end() || !(*it == entry)) held.insert(it, std::move(entry));
+}
+
+/// MUST merge: intersection — a lock is held at a join only when every
+/// reachable predecessor holds it. Returns true when `dst` changed.
+bool merge_must(LockState& dst, const LockState& src) {
+  if (!src.reachable) return false;
+  if (!dst.reachable) {
+    dst = src;
+    return true;
+  }
+  std::vector<HeldEntry> both;
+  std::set_intersection(dst.held.begin(), dst.held.end(), src.held.begin(), src.held.end(),
+                        std::back_inserter(both));
+  if (both == dst.held) return false;
+  dst.held = std::move(both);
+  return true;
+}
+
+/// MAY merge: union — an edge exists if any path holds the lock.
+bool merge_may(LockState& dst, const LockState& src) {
+  if (!src.reachable) return false;
+  if (!dst.reachable) {
+    dst = src;
+    return true;
+  }
+  bool changed = false;
+  for (const HeldEntry& entry : src.held) {
+    const auto it = std::lower_bound(dst.held.begin(), dst.held.end(), entry);
+    if (it == dst.held.end() || !(*it == entry)) {
+      dst.held.insert(it, entry);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool merge_moved(MovedState& dst, const MovedState& src) {
+  if (!src.reachable) return false;
+  if (!dst.reachable) {
+    dst = src;
+    return true;
+  }
+  bool changed = false;
+  for (const MovedVar& var : src.vars) {
+    const auto it = std::lower_bound(
+        dst.vars.begin(), dst.vars.end(), var,
+        [](const MovedVar& a, const MovedVar& b) { return a.name < b.name; });
+    if (it == dst.vars.end() || it->name != var.name) {
+      dst.vars.insert(it, var);
+      changed = true;
+    } else if (var.line < it->line) {
+      it->line = var.line;  // Earliest move site wins: deterministic messages.
+    }
+  }
+  return changed;
+}
+
+/// Per-function dataflow engine: builds the CFG, collects locals / RAII lock
+/// scopes / parameters in a pre-pass, runs the lock and moved analyses to
+/// fixpoint, then replays converged entry states to report diagnostics and
+/// collect lock-order edges.
+class FnAnalysis {
+ public:
+  FnAnalysis(const LexedFile& file, const ParsedFile& parsed, const DeclIndex& decls,
+             const DataflowIndex& dfi, const FunctionDecl& fn, std::vector<Diagnostic>& out,
+             std::vector<LockEdge>& edges)
+      : f_(file), parsed_(parsed), decls_(decls), dfi_(dfi), fn_(fn), out_(out),
+        edges_(edges) {
+    if (!fn.class_path.empty()) cls_ = decls.find_type(fn.class_path);
+    qualified_ = qualified_name(fn);
+  }
+
+  void run() {
+    cfg_ = build_cfg(f_.tokens, fn_.body_begin, fn_.body_end);
+    collect_params();
+    collect_body_decls();
+    collect_entry_locks();
+    compute_entry_scopes();
+
+    const std::size_t n = cfg_.blocks.size();
+    // Lock analyses: MUST for guarded-by, MAY for the acquired-while-held
+    // edges. Same transfer function, different merges.
+    const std::vector<LockState> must = lock_fixpoint(&merge_must, entry_held_must_);
+    const std::vector<LockState> may = lock_fixpoint(&merge_may, entry_held_may_);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!must[b].reachable) continue;
+      LockState st = must[b];
+      std::vector<int> scopes = entry_scopes_[b];
+      walk_lock_block(static_cast<int>(b), st, scopes, Sink::kGuarded);
+    }
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!may[b].reachable) continue;
+      LockState st = may[b];
+      std::vector<int> scopes = entry_scopes_[b];
+      walk_lock_block(static_cast<int>(b), st, scopes, Sink::kEdges);
+    }
+
+    const std::vector<MovedState> moved = moved_fixpoint();
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!moved[b].reachable) continue;
+      MovedState st = moved[b];
+      walk_moved_block(static_cast<int>(b), st, /*report=*/true);
+    }
+
+    if (dfi_.envelope_functions.contains(qualified_)) check_envelope_arithmetic();
+  }
+
+ private:
+  enum class Sink : unsigned char { kNone, kGuarded, kEdges };
+
+  struct Wrapper {
+    std::vector<LockRef> mutexes;
+    bool deferred = false;  ///< defer_lock / try_to_lock: unheld until .lock().
+  };
+
+  // -------------------------------------------------------------- pre-pass
+
+  /// Registers parameters as typed locals (operand classification and move
+  /// tracking both need them).
+  void collect_params() {
+    const auto& t = f_.tokens;
+    std::size_t piece = fn_.params_begin;
+    for (std::size_t j = fn_.params_begin; j <= fn_.params_end && j < t.size(); ++j) {
+      const bool at_end = j == fn_.params_end;
+      if (!at_end) {
+        if (is_punct(t[j], "(") || is_punct(t[j], "[") || is_punct(t[j], "{")) {
+          int depth = 1;
+          const std::string_view open = t[j].text;
+          const std::string_view close = open == "(" ? ")" : (open == "[" ? "]" : "}");
+          while (++j < fn_.params_end && depth > 0) {
+            if (is_punct(t[j], open)) ++depth;
+            if (is_punct(t[j], close)) --depth;
+          }
+          continue;
+        }
+        if (is_punct(t[j], "<")) {
+          j = skip_angles(t, j, fn_.params_end);
+          if (j > 0) --j;  // Loop increment re-advances.
+          continue;
+        }
+        if (!is_punct(t[j], ",")) continue;
+      }
+      register_param(piece, j);
+      piece = j + 1;
+    }
+  }
+
+  void register_param(std::size_t begin, std::size_t end) {
+    const auto& t = f_.tokens;
+    // Cut a default argument; the declarator name is the last identifier.
+    for (std::size_t j = begin; j < end; ++j) {
+      if (is_punct(t[j], "=")) {
+        end = j;
+        break;
+      }
+    }
+    std::size_t name_pos = t_size();
+    for (std::size_t j = end; j > begin;) {
+      --j;
+      if (is_punct(t[j], "]")) {  // Array suffix: skip to its `[`.
+        while (j > begin && !is_punct(t[j], "[")) --j;
+        continue;
+      }
+      if (is_any_ident(t[j]) && !is_decl_qualifier(t[j].text)) {
+        name_pos = j;
+        break;
+      }
+      if (t[j].kind == TokKind::kIdent) continue;
+      break;
+    }
+    if (name_pos == t_size() || name_pos <= begin) return;
+    locals_[t[name_pos].text] = classify_type(t, begin, name_pos);
+  }
+
+  /// Linear walk over the whole body registering local declarations (name →
+  /// classified type, plus the token index of the declarator so the CFG
+  /// transfer knows where an RAII wrapper acquires and where a
+  /// redeclaration kills moved state). Same statement-start heuristic as the
+  /// v2 checker.
+  void collect_body_decls() {
+    const auto& t = f_.tokens;
+    bool stmt_start = true;
+    for (std::size_t k = fn_.body_begin; k < fn_.body_end && k < t.size(); ++k) {
+      const Token& tok = t[k];
+      if (is_punct(tok, "{") || is_punct(tok, "}") || is_punct(tok, ";")) {
+        stmt_start = true;
+        continue;
+      }
+      if (is_punct(tok, "(")) {
+        stmt_start = k >= 1 && t[k - 1].kind == TokKind::kIdent &&
+                     (t[k - 1].text == "for" || t[k - 1].text == "if" ||
+                      t[k - 1].text == "while" || t[k - 1].text == "switch");
+        continue;
+      }
+      if (tok.kind != TokKind::kIdent) {
+        stmt_start = false;
+        continue;
+      }
+      if (stmt_start) try_local_decl(k);
+      stmt_start = false;
+    }
+  }
+
+  void try_local_decl(std::size_t k) {
+    const auto& t = f_.tokens;
+    const std::size_t end = std::min(fn_.body_end, t.size());
+    if (t[k].kind != TokKind::kIdent || is_stmt_keyword(t[k].text)) return;
+    const std::size_t type_begin = k;
+    while (k < end && t[k].kind == TokKind::kIdent && is_decl_qualifier(t[k].text)) ++k;
+    if (k >= end || t[k].kind != TokKind::kIdent || is_stmt_keyword(t[k].text)) return;
+    ++k;
+    while (k + 1 < end && is_punct(t[k], "::") && t[k + 1].kind == TokKind::kIdent) k += 2;
+    if (k < end && is_punct(t[k], "<")) k = skip_angles(t, k, end);
+    while (k < end && (is_punct(t[k], "*") || is_punct(t[k], "&") || is_ident(t[k], "const"))) {
+      ++k;
+    }
+    if (k >= end || t[k].kind != TokKind::kIdent || is_stmt_keyword(t[k].text)) return;
+    const std::size_t name_pos = k;
+    if (name_pos == type_begin) return;  // A bare identifier is an expression.
+    ++k;
+    if (k >= end || !(is_punct(t[k], "=") || is_punct(t[k], ";") || is_punct(t[k], "(") ||
+                      is_punct(t[k], "{") || is_punct(t[k], ","))) {
+      return;
+    }
+    const ClassifiedType type = classify_type(t, type_begin, name_pos);
+    const std::string& name = t[name_pos].text;
+    locals_[name] = type;
+    decl_sites_.insert({name_pos, name});
+    if (type.flags.raii_lock && (is_punct(t[k], "(") || is_punct(t[k], "{"))) {
+      register_wrapper(name, k);
+    }
+  }
+
+  /// `k` points at the `(` / `{` of an RAII lock constructor; resolves the
+  /// named mutexes. adopt_lock is transparent; defer_lock / try_to_lock mark
+  /// the wrapper deferred (unheld until an explicit `.lock()`).
+  void register_wrapper(const std::string& name, std::size_t k) {
+    const auto& t = f_.tokens;
+    const std::string_view close = is_punct(t[k], "(") ? ")" : "}";
+    const std::string_view open = is_punct(t[k], "(") ? "(" : "{";
+    int depth = 1;
+    std::string arg;
+    std::vector<std::string> args;
+    for (std::size_t j = k + 1; j < fn_.body_end && depth > 0; ++j) {
+      if (is_punct(t[j], open)) ++depth;
+      if (is_punct(t[j], close) && --depth == 0) break;
+      if (depth == 1 && is_punct(t[j], ",")) {
+        args.push_back(arg);
+        arg.clear();
+        continue;
+      }
+      arg += t[j].text;
+    }
+    if (!arg.empty()) args.push_back(arg);
+    Wrapper wrapper;
+    for (std::string& a : args) {
+      if (a.find("defer_lock") != std::string::npos ||
+          a.find("try_to_lock") != std::string::npos) {
+        wrapper.deferred = true;
+        continue;
+      }
+      if (a.find("adopt_lock") != std::string::npos) continue;
+      if (a.empty()) continue;
+      wrapper.mutexes.push_back(make_lock_ref(a));
+    }
+    if (!wrapper.mutexes.empty()) wrappers_[name] = std::move(wrapper);
+  }
+
+  /// Entry states, from the definition and the in-class prototype. The MUST
+  /// set (guarded-by) is REQUIRES ∪ ACQUIRE ∪ RELEASE — what the body may
+  /// assume held (v2 convention: a release function holds the lock until it
+  /// releases it, an acquire function's accesses sit under its own lock).
+  /// The MAY set (lock-order edges) excludes ACQUIRE args: the body performs
+  /// that acquisition itself, and pre-seeding it would turn the annotated
+  /// `m_.lock()` into a phantom self-deadlock.
+  void collect_entry_locks() {
+    std::vector<std::string> must = fn_.requires_locks;
+    std::vector<std::string> acquires = fn_.acquire_locks;
+    if (cls_ != nullptr) {
+      const auto it = cls_->methods.find(fn_.name);
+      if (it != cls_->methods.end()) {
+        for (const std::string& lock : it->second.requires_locks) must.push_back(lock);
+        for (const std::string& lock : it->second.acquire_locks) acquires.push_back(lock);
+      }
+    }
+    for (const std::string& raw : must) {
+      LockRef ref = make_lock_ref(raw);
+      insert_held(entry_held_must_, HeldEntry{ref.raw, ref.canon, -1, 0});
+      if (std::find(acquires.begin(), acquires.end(), raw) == acquires.end()) {
+        insert_held(entry_held_may_, HeldEntry{ref.raw, ref.canon, -1, 0});
+      }
+    }
+  }
+
+  // ------------------------------------------------------- name resolution
+
+  [[nodiscard]] std::size_t t_size() const { return f_.tokens.size(); }
+
+  [[nodiscard]] std::optional<ClassifiedType> lookup(const std::string& name) const {
+    const auto it = locals_.find(name);
+    if (it != locals_.end()) return it->second;
+    if (cls_ != nullptr) {
+      if (const FieldDecl* field = cls_->find_field(name)) return field->type;
+    }
+    for (const FieldDecl& global : parsed_.globals) {
+      if (global.name == name) return global.type;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool is_file_global(const std::string& name) const {
+    for (const FieldDecl& global : parsed_.globals) {
+      if (global.name == name) return true;
+    }
+    return false;
+  }
+
+  /// Splits "run.queue_mutex" / "run->queue_mutex" into chain components.
+  [[nodiscard]] static std::vector<std::string> split_chain(std::string_view text) {
+    std::vector<std::string> parts;
+    std::string part;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '.' || (text[i] == '-' && i + 1 < text.size() && text[i + 1] == '>')) {
+        parts.push_back(part);
+        part.clear();
+        if (text[i] == '-') ++i;
+        continue;
+      }
+      part += text[i];
+    }
+    parts.push_back(part);
+    return parts;
+  }
+
+  /// Canonical cross-TU lock role of a mutex expression as written. Class
+  /// fields become "ClassPath::field" (through one member chain level per
+  /// hop), file globals "path::name"; locals and unresolvable expressions
+  /// canonicalize to "" and contribute no edges.
+  [[nodiscard]] LockRef make_lock_ref(std::string raw) const {
+    while (!raw.empty() && (raw.front() == '&' || raw.front() == '*')) raw.erase(0, 1);
+    if (raw.starts_with("this->")) raw = raw.substr(6);
+    LockRef ref{raw, ""};
+    if (raw.empty()) return ref;
+    if (raw.find("::") != std::string::npos) {
+      ref.canon = raw;  // Already qualified (static member / enum-scoped).
+      return ref;
+    }
+    const std::vector<std::string> parts = split_chain(raw);
+    if (parts.size() == 1) {
+      const std::string& name = parts[0];
+      if (locals_.contains(name)) return ref;  // Function-local: no shared role.
+      if (cls_ != nullptr && cls_->find_field(name) != nullptr) {
+        ref.canon = cls_->path + "::" + name;
+      } else if (is_file_global(name)) {
+        ref.canon = f_.path + "::" + name;
+      }
+      return ref;
+    }
+    const auto base = lookup(parts[0]);
+    if (!base.has_value() || base->head.empty()) return ref;
+    const TypeDecl* owner = decls_.find_type(base->head);
+    for (std::size_t p = 1; owner != nullptr && p + 1 < parts.size(); ++p) {
+      const FieldDecl* field = owner->find_field(parts[p]);
+      owner = field == nullptr ? nullptr : decls_.find_type(field->type.head);
+    }
+    if (owner != nullptr && owner->find_field(parts.back()) != nullptr) {
+      ref.canon = owner->path + "::" + parts.back();
+    }
+    return ref;
+  }
+
+  /// Resolves the member chain ENDING at token `last` (an identifier) to its
+  /// classified type: `job.r1` at r1 walks back to `job`. Returns nullopt
+  /// for foreign/unresolvable chains.
+  [[nodiscard]] std::optional<ClassifiedType> resolve_chain_ending_at(std::size_t last) const {
+    const auto& t = f_.tokens;
+    std::vector<std::string> parts{t[last].text};
+    std::size_t j = last;
+    while (j >= fn_.body_begin + 2) {
+      std::size_t prev = j - 1;
+      if (is_punct(t[prev], ".")) {
+        prev -= 1;
+      } else if (is_punct(t[prev], ">") && prev >= 1 && is_punct(t[prev - 1], "-")) {
+        prev -= 2;
+      } else {
+        break;
+      }
+      if (prev < fn_.body_begin || !is_any_ident(t[prev])) return std::nullopt;
+      parts.insert(parts.begin(), t[prev].text);
+      j = prev;
+    }
+    if (j >= fn_.body_begin + 1 && is_punct(t[j - 1], "::")) return std::nullopt;
+    if (!parts.empty() && parts.front() == "this") parts.erase(parts.begin());
+    if (parts.empty()) return std::nullopt;
+    if (parts.size() == 1) return lookup(parts[0]);
+    auto base = lookup(parts[0]);
+    if (!base.has_value() || base->head.empty()) return std::nullopt;
+    const TypeDecl* owner = decls_.find_type(base->head);
+    const FieldDecl* field = nullptr;
+    for (std::size_t p = 1; p < parts.size(); ++p) {
+      if (owner == nullptr) return std::nullopt;
+      field = owner->find_field(parts[p]);
+      if (field == nullptr) return std::nullopt;
+      owner = p + 1 < parts.size() ? decls_.find_type(field->type.head) : owner;
+    }
+    return field->type;
+  }
+
+  /// Raw text of the chain ending at `last` ("run.queue_mutex"); empty when
+  /// it is not a simple ident/member chain.
+  [[nodiscard]] std::string chain_text_ending_at(std::size_t last) const {
+    const auto& t = f_.tokens;
+    std::string text = t[last].text;
+    std::size_t j = last;
+    while (j >= fn_.body_begin + 2) {
+      std::size_t prev = j - 1;
+      std::string sep;
+      if (is_punct(t[prev], ".")) {
+        prev -= 1;
+        sep = ".";
+      } else if (is_punct(t[prev], ">") && prev >= 1 && is_punct(t[prev - 1], "-")) {
+        prev -= 2;
+        sep = "->";
+      } else {
+        break;
+      }
+      if (prev < fn_.body_begin || !is_any_ident(t[prev])) return text;
+      if (t[prev].text == "this") break;
+      text = t[prev].text + sep + text;
+      j = prev;
+    }
+    return text;
+  }
+
+  // ----------------------------------------------------- scope bookkeeping
+
+  /// The open-scope stack at each block's entry is a structural property of
+  /// the CFG (every path opens the same scopes); one BFS recovers it. The
+  /// same replay pins each RAII wrapper to its declaration scope — the scope
+  /// whose close releases the lock, no matter where a later `.lock()` call
+  /// re-acquires it.
+  void compute_entry_scopes() {
+    const std::size_t n = cfg_.blocks.size();
+    entry_scopes_.assign(n, {});
+    std::vector<bool> known(n, false);
+    known[static_cast<std::size_t>(cfg_.entry)] = true;
+    std::deque<int> queue{cfg_.entry};
+    while (!queue.empty()) {
+      const int b = queue.front();
+      queue.pop_front();
+      std::vector<int> scopes = entry_scopes_[static_cast<std::size_t>(b)];
+      for (const CfgItem& item : cfg_.blocks[static_cast<std::size_t>(b)].items) {
+        if (item.kind == CfgItem::Kind::kScopeOpen) {
+          scopes.push_back(item.scope);
+        } else if (item.kind == CfgItem::Kind::kScopeClose) {
+          std::erase(scopes, item.scope);
+        } else {
+          for (auto it = decl_sites_.lower_bound(item.begin);
+               it != decl_sites_.end() && it->first < item.end; ++it) {
+            if (wrappers_.contains(it->second)) {
+              wrapper_scopes_.emplace(it->second, scopes.empty() ? -1 : scopes.back());
+            }
+          }
+        }
+      }
+      for (const int s : cfg_.blocks[static_cast<std::size_t>(b)].succs) {
+        if (known[static_cast<std::size_t>(s)]) continue;
+        known[static_cast<std::size_t>(s)] = true;
+        entry_scopes_[static_cast<std::size_t>(s)] = scopes;
+        queue.push_back(s);
+      }
+    }
+  }
+
+  [[nodiscard]] int wrapper_scope(const std::string& name) const {
+    const auto it = wrapper_scopes_.find(name);
+    return it == wrapper_scopes_.end() ? -1 : it->second;
+  }
+
+  // ---------------------------------------------------------- lock transfer
+
+  /// `scope` is the scope whose close releases these locks: the RAII
+  /// wrapper's declaration scope, or -1 for acquisitions with function
+  /// lifetime (raw mutex .lock(), CUDALIGN_ACQUIRE callees) that only an
+  /// explicit release ends.
+  void acquire_group(const std::vector<LockRef>& refs, LockState& st, int scope, int lambda,
+                     Sink sink, int line) {
+    if (sink == Sink::kEdges) {
+      // Edges from everything already held to each newly acquired lock —
+      // computed before insertion so a multi-mutex scoped_lock contributes
+      // no intra-group edges (std::scoped_lock is deadlock-free).
+      for (const HeldEntry& held : st.held) {
+        if (held.canon.empty()) continue;
+        for (const LockRef& ref : refs) {
+          if (ref.canon.empty()) continue;
+          if (ref.canon == held.canon && ref.raw != held.raw) continue;  // Other instance.
+          edges_.push_back(LockEdge{held.canon, ref.canon, f_.path, line, qualified_});
+        }
+      }
+    }
+    for (const LockRef& ref : refs) {
+      insert_held(st.held, HeldEntry{ref.raw, ref.canon, scope, lambda});
+    }
+  }
+
+  void release_group(const std::vector<LockRef>& refs, LockState& st) {
+    std::erase_if(st.held, [&](const HeldEntry& entry) {
+      for (const LockRef& ref : refs) {
+        if (entry.raw == ref.raw) return true;
+        if (!ref.canon.empty() && entry.canon == ref.canon) return true;
+      }
+      return false;
+    });
+  }
+
+  [[nodiscard]] bool holds(const LockState& st, const std::string& guard) const {
+    for (const HeldEntry& entry : st.held) {
+      if (entry.raw == guard) return true;
+    }
+    return false;
+  }
+
+  /// The v2 guarded-access check, now against the flow-sensitive MUST state.
+  void check_guarded_access(std::size_t k, const LockState& st) {
+    const auto& t = f_.tokens;
+    const std::string& name = t[k].text;
+    if (k > fn_.body_begin) {
+      const Token& prev = t[k - 1];
+      if (is_punct(prev, "::")) return;
+      if (is_punct(prev, ".")) return;
+      if (is_punct(prev, ">") && k >= 2 && is_punct(t[k - 2], "-")) {
+        const bool via_this = k >= 3 && is_ident(t[k - 3], "this");
+        if (!via_this) return;
+      }
+    }
+    if (locals_.contains(name)) return;  // Shadowed by a local.
+    const FieldDecl* field = nullptr;
+    if (cls_ != nullptr) field = cls_->find_field(name);
+    if (field == nullptr) {
+      for (const FieldDecl& global : parsed_.globals) {
+        if (global.name == name) {
+          field = &global;
+          break;
+        }
+      }
+    }
+    if (field == nullptr || field->guarded_by.empty()) return;
+    if (holds(st, field->guarded_by)) return;
+    out_.push_back(Diagnostic{
+        f_.path, t[k].line, "guarded-by",
+        "'" + name + "' is CUDALIGN_GUARDED_BY(" + field->guarded_by +
+            ") but the lock is not held here (take a std::lock_guard, or annotate "
+            "the function CUDALIGN_REQUIRES(" + field->guarded_by + "))"});
+  }
+
+  /// Transfer function for one block under the lock analysis. `st` is the
+  /// converged entry state (fixpoint) or a scratch copy (report pass, when
+  /// `sink` says what to emit).
+  void walk_lock_block(int block, LockState& st, std::vector<int>& scopes, Sink sink) {
+    const auto& t = f_.tokens;
+    for (const CfgItem& item : cfg_.blocks[static_cast<std::size_t>(block)].items) {
+      if (item.kind == CfgItem::Kind::kScopeOpen) {
+        scopes.push_back(item.scope);
+        continue;
+      }
+      if (item.kind == CfgItem::Kind::kScopeClose) {
+        std::erase(scopes, item.scope);
+        std::erase_if(st.held, [&](const HeldEntry& e) { return e.scope == item.scope; });
+        continue;
+      }
+      int lambda = 0;
+      for (std::size_t k = item.begin; k < item.end && k < t.size(); ++k) {
+        const Token& tok = t[k];
+        if (is_punct(tok, "{")) {
+          ++lambda;
+          continue;
+        }
+        if (is_punct(tok, "}")) {
+          --lambda;
+          const int now = lambda;
+          std::erase_if(st.held, [&](const HeldEntry& e) { return e.lambda > now; });
+          continue;
+        }
+        if (tok.kind != TokKind::kIdent) continue;
+
+        // RAII wrapper construction at its declarator.
+        const auto ds = decl_sites_.find(k);
+        if (ds != decl_sites_.end()) {
+          const auto w = wrappers_.find(ds->second);
+          if (w != wrappers_.end() && !w->second.deferred) {
+            acquire_group(w->second.mutexes, st, wrapper_scope(ds->second), lambda, sink,
+                          tok.line);
+          }
+          continue;
+        }
+
+        // `x.lock()` / `x.unlock()` / `x.release()` on a wrapper variable, or
+        // lock/unlock directly on a mutex-typed receiver chain.
+        if ((tok.text == "lock" || tok.text == "unlock" || tok.text == "release" ||
+             tok.text == "try_lock") &&
+            k + 1 < item.end && is_punct(t[k + 1], "(") && k > fn_.body_begin) {
+          std::size_t recv = t_size();
+          if (is_punct(t[k - 1], ".") && k >= 2 && is_any_ident(t[k - 2])) {
+            recv = k - 2;
+          } else if (k >= 3 && is_punct(t[k - 1], ">") && is_punct(t[k - 2], "-") &&
+                     is_any_ident(t[k - 3])) {
+            recv = k - 3;
+          }
+          if (recv != t_size()) {
+            const auto w = wrappers_.find(t[recv].text);
+            if (w != wrappers_.end()) {
+              if (tok.text == "lock") {
+                acquire_group(w->second.mutexes, st, wrapper_scope(t[recv].text), lambda, sink,
+                              tok.line);
+              } else if (tok.text == "unlock" || tok.text == "release") {
+                release_group(w->second.mutexes, st);
+              }
+              continue;
+            }
+            const auto recv_type = resolve_chain_ending_at(recv);
+            if (recv_type.has_value() && recv_type->flags.mutex_kind) {
+              const std::vector<LockRef> refs{make_lock_ref(chain_text_ending_at(recv))};
+              if (tok.text == "lock") {
+                acquire_group(refs, st, /*scope=*/-1, lambda, sink, tok.line);
+              } else if (tok.text == "unlock") {
+                release_group(refs, st);
+              }
+              continue;
+            }
+          }
+        }
+
+        // A call into a CUDALIGN_ACQUIRE / CUDALIGN_RELEASE function
+        // transfers the locks its contract names.
+        if (k + 1 < item.end && is_punct(t[k + 1], "(") && tok.text != fn_.name &&
+            !is_stmt_keyword(tok.text)) {
+          const auto anno = dfi_.call_annotations.find(tok.text);
+          if (anno != dfi_.call_annotations.end()) {
+            std::vector<LockRef> acquires;
+            std::vector<LockRef> releases;
+            for (const std::string& a : anno->second.acquires) {
+              acquires.push_back(annotated_ref(anno->second.class_path, a));
+            }
+            for (const std::string& a : anno->second.releases) {
+              releases.push_back(annotated_ref(anno->second.class_path, a));
+            }
+            if (!acquires.empty()) {
+              acquire_group(acquires, st, /*scope=*/-1, lambda, sink, tok.line);
+            }
+            if (!releases.empty()) release_group(releases, st);
+          }
+        }
+
+        if (sink == Sink::kGuarded) check_guarded_access(k, st);
+      }
+    }
+  }
+
+  [[nodiscard]] LockRef annotated_ref(const std::string& class_path,
+                                      const std::string& arg) const {
+    if (arg.find("::") != std::string::npos || class_path.empty()) {
+      return LockRef{arg, arg.find("::") != std::string::npos ? arg : std::string()};
+    }
+    return LockRef{arg, class_path + "::" + arg};
+  }
+
+  [[nodiscard]] std::vector<LockState> lock_fixpoint(
+      bool (*merge)(LockState&, const LockState&), const std::vector<HeldEntry>& init) {
+    const std::size_t n = cfg_.blocks.size();
+    std::vector<LockState> in(n);
+    auto& entry = in[static_cast<std::size_t>(cfg_.entry)];
+    entry.reachable = true;
+    entry.held = init;
+    bool changed = true;
+    int rounds = 0;
+    while (changed && ++rounds < 1000) {
+      changed = false;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (!in[b].reachable) continue;
+        LockState out = in[b];
+        std::vector<int> scopes = entry_scopes_[b];
+        walk_lock_block(static_cast<int>(b), out, scopes, Sink::kNone);
+        for (const int s : cfg_.blocks[b].succs) {
+          changed = merge(in[static_cast<std::size_t>(s)], out) || changed;
+        }
+      }
+    }
+    return in;
+  }
+
+  // --------------------------------------------------------- moved transfer
+
+  void walk_moved_block(int block, MovedState& st, bool report) {
+    const auto& t = f_.tokens;
+    for (const CfgItem& item : cfg_.blocks[static_cast<std::size_t>(block)].items) {
+      if (item.kind != CfgItem::Kind::kRange) continue;
+      for (std::size_t k = item.begin; k < item.end && k < t.size(); ++k) {
+        const Token& tok = t[k];
+        if (tok.kind != TokKind::kIdent) continue;
+
+        // The move site itself: `std::move(x)` over a known local.
+        if (tok.text == "move" && k >= 2 && is_punct(t[k - 1], "::") &&
+            is_ident(t[k - 2], "std") && k + 3 < item.end && is_punct(t[k + 1], "(") &&
+            is_any_ident(t[k + 2]) && is_punct(t[k + 3], ")")) {
+          const std::string& name = t[k + 2].text;
+          if (locals_.contains(name)) {
+            const auto it = std::lower_bound(
+                st.vars.begin(), st.vars.end(), name,
+                [](const MovedVar& a, const std::string& b) { return a.name < b; });
+            if (it == st.vars.end() || it->name != name) {
+              st.vars.insert(it, MovedVar{name, tok.line});
+            }
+          }
+          continue;
+        }
+        if (!locals_.contains(tok.text)) continue;
+        // Inside its own `std::move(x)` parens: neither use nor kill.
+        if (k >= 2 && is_punct(t[k - 1], "(") && is_ident(t[k - 2], "move")) continue;
+        // Foreign member (`other.x`) or qualified name: not this local.
+        if (k > fn_.body_begin) {
+          const Token& prev = t[k - 1];
+          if (is_punct(prev, ".") || is_punct(prev, "::")) continue;
+          if (is_punct(prev, ">") && k >= 2 && is_punct(t[k - 2], "-")) continue;
+        }
+
+        const auto it = std::lower_bound(
+            st.vars.begin(), st.vars.end(), tok.text,
+            [](const MovedVar& a, const std::string& b) { return a.name < b; });
+        const bool was_moved = it != st.vars.end() && it->name == tok.text;
+
+        // Kills: redeclaration, reassignment (`x = ...` but not `x == ...`),
+        // reinitializing members, or address-of (someone may refill it).
+        bool kills = decl_sites_.contains(k);
+        if (!kills && k + 1 < item.end && is_punct(t[k + 1], "=") &&
+            !(k + 2 < item.end && is_punct(t[k + 2], "="))) {
+          kills = true;
+        }
+        if (!kills && k + 3 < item.end && is_punct(t[k + 1], ".") &&
+            (is_ident(t[k + 2], "clear") || is_ident(t[k + 2], "reset") ||
+             is_ident(t[k + 2], "assign")) &&
+            is_punct(t[k + 3], "(")) {
+          kills = true;
+        }
+        if (!kills && k > fn_.body_begin && is_punct(t[k - 1], "&")) kills = true;
+        if (kills) {
+          if (was_moved) st.vars.erase(it);
+          continue;
+        }
+        if (was_moved && report) {
+          const auto seen = reported_moves_.insert({tok.text, tok.line});
+          if (seen.second) {
+            out_.push_back(Diagnostic{
+                f_.path, tok.line, "use-after-move",
+                "'" + tok.text + "' is used after being moved from (moved on line " +
+                    std::to_string(it->line) +
+                    ") — reassign, .clear()/.reset(), or redeclare it before reuse"});
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<MovedState> moved_fixpoint() {
+    const std::size_t n = cfg_.blocks.size();
+    std::vector<MovedState> in(n);
+    in[static_cast<std::size_t>(cfg_.entry)].reachable = true;
+    bool changed = true;
+    int rounds = 0;
+    while (changed && ++rounds < 1000) {
+      changed = false;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (!in[b].reachable) continue;
+        MovedState out = in[b];
+        walk_moved_block(static_cast<int>(b), out, /*report=*/false);
+        for (const int s : cfg_.blocks[b].succs) {
+          changed = merge_moved(in[static_cast<std::size_t>(s)], out) || changed;
+        }
+      }
+    }
+    return in;
+  }
+
+  // --------------------------------------------------- envelope arithmetic
+
+  /// Classified head of the value chain whose LAST token is at `j` (walking
+  /// back over members), or "" when unresolvable.
+  [[nodiscard]] std::string operand_head_back(std::size_t j) const {
+    const auto& t = f_.tokens;
+    if (!is_any_ident(t[j])) return "";
+    if (is_envelope_type_head(t[j].text)) return "";  // Type name position (`Index* p`).
+    const auto type = resolve_chain_ending_at(j);
+    return type.has_value() ? type->head : "";
+  }
+
+  /// Classified head of the value chain STARTING at `j` (walking forward
+  /// over members), or "".
+  [[nodiscard]] std::string operand_head_forward(std::size_t j, std::size_t end) const {
+    const auto& t = f_.tokens;
+    if (j < end && is_punct(t[j], "-")) ++j;  // Unary minus.
+    if (j >= end || !is_any_ident(t[j])) return "";
+    std::size_t last = j;
+    while (last + 2 < end &&
+           (is_punct(t[last + 1], ".") ||
+            (is_punct(t[last + 1], "-") && is_punct(t[last + 2], ">")))) {
+      const std::size_t next = is_punct(t[last + 1], ".") ? last + 2 : last + 3;
+      if (next >= end || !is_any_ident(t[next])) break;
+      last = next;
+    }
+    // A call (`f(x) + y` scanning f) is not a plain value chain.
+    if (last + 1 < end && is_punct(t[last + 1], "(")) return "";
+    return operand_head_back(last);
+  }
+
+  void check_envelope_arithmetic() {
+    const auto& t = f_.tokens;
+    const std::size_t end = std::min(fn_.body_end, t.size());
+    for (std::size_t k = fn_.body_begin + 1; k + 1 < end; ++k) {
+      const Token& tok = t[k];
+      if (tok.kind != TokKind::kPunct) continue;
+      if (tok.text != "+" && tok.text != "-" && tok.text != "*") continue;
+      const Token& prev = t[k - 1];
+      const Token& next = t[k + 1];
+      // Binary only: the left neighbor must be a value end. Excludes unary
+      // minus/plus, dereference, `->`, `++`/`--`, and compound assignment.
+      const bool prev_is_value = prev.kind == TokKind::kIdent ||
+                                 prev.kind == TokKind::kNumber || is_punct(prev, ")") ||
+                                 is_punct(prev, "]");
+      if (!prev_is_value) continue;
+      if (is_punct(next, "=") || next.text == tok.text) continue;  // `+=` / `++`.
+      if (tok.text == "-" && is_punct(next, ">")) continue;        // `->`.
+
+      std::string head;
+      if (prev.kind == TokKind::kIdent) head = operand_head_back(k - 1);
+      if (!is_envelope_type_head(head)) head = operand_head_forward(k + 1, end);
+      if (!is_envelope_type_head(head)) continue;
+      out_.push_back(Diagnostic{
+          f_.path, tok.line, "unchecked-envelope-arithmetic",
+          "raw '" + tok.text + "' on a " + head +
+              "-typed value in envelope/bound code — route through "
+              "check::checked_add/checked_sub/checked_mul (src/check/checked.hpp) so "
+              "overflow fails loudly instead of wrapping"});
+    }
+  }
+
+  // ------------------------------------------------------------------ data
+
+  const LexedFile& f_;
+  const ParsedFile& parsed_;
+  const DeclIndex& decls_;
+  const DataflowIndex& dfi_;
+  const FunctionDecl& fn_;
+  std::vector<Diagnostic>& out_;
+  std::vector<LockEdge>& edges_;
+
+  const TypeDecl* cls_ = nullptr;
+  std::string qualified_;
+  Cfg cfg_;
+  std::map<std::string, ClassifiedType, std::less<>> locals_;
+  std::map<std::size_t, std::string> decl_sites_;  ///< Declarator token → name.
+  std::map<std::string, Wrapper, std::less<>> wrappers_;
+  std::map<std::string, int, std::less<>> wrapper_scopes_;  ///< Declaration scope.
+  std::vector<HeldEntry> entry_held_must_;
+  std::vector<HeldEntry> entry_held_may_;
+  std::vector<std::vector<int>> entry_scopes_;
+  std::set<std::pair<std::string, int>> reported_moves_;
+};
+
+}  // namespace
+
+DataflowIndex build_dataflow_index(const std::vector<LexedFile>& lexed,
+                                   const std::vector<ParsedFile>& parsed,
+                                   const DeclIndex& decls) {
+  (void)decls;
+  DataflowIndex dfi;
+
+  // Acquire/release contracts by bare callee name; inconsistent duplicates
+  // are dropped — a wrong lock transfer is worse than none.
+  std::set<std::string> ambiguous;
+  auto add_annotation = [&](const std::string& name, const std::string& class_path,
+                            const std::vector<std::string>& acquires,
+                            const std::vector<std::string>& releases) {
+    if (name.empty() || (acquires.empty() && releases.empty())) return;
+    const DataflowIndex::CallAnnotation candidate{class_path, acquires, releases};
+    const auto it = dfi.call_annotations.find(name);
+    if (it == dfi.call_annotations.end()) {
+      dfi.call_annotations.emplace(name, candidate);
+      return;
+    }
+    if (it->second.class_path != candidate.class_path ||
+        it->second.acquires != candidate.acquires ||
+        it->second.releases != candidate.releases) {
+      ambiguous.insert(name);
+    }
+  };
+  for (const ParsedFile& file : parsed) {
+    for (const TypeDecl& type : file.types) {
+      for (const auto& [name, anno] : type.methods) {
+        add_annotation(name, type.path, anno.acquire_locks, anno.release_locks);
+      }
+    }
+    for (const FunctionDecl& fn : file.functions) {
+      add_annotation(fn.name, fn.class_path, fn.acquire_locks, fn.release_locks);
+    }
+  }
+  for (const std::string& name : ambiguous) dfi.call_annotations.erase(name);
+
+  // Envelope target set: admit/bound/envelope functions by name, closed over
+  // the bare-name call graph (callees resolved against every scanned file).
+  struct FnRef {
+    const LexedFile* file = nullptr;
+    const FunctionDecl* fn = nullptr;
+  };
+  std::vector<FnRef> all;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_bare_name;
+  for (std::size_t i = 0; i < parsed.size() && i < lexed.size(); ++i) {
+    for (const FunctionDecl& fn : parsed[i].functions) {
+      if (fn.name.empty()) continue;
+      by_bare_name[fn.name].push_back(all.size());
+      all.push_back(FnRef{&lexed[i], &fn});
+    }
+  }
+  auto is_seed = [](const std::string& name) {
+    if (name.starts_with("checked_")) return false;
+    return name.find("admit") != std::string::npos ||
+           name.find("envelope") != std::string::npos ||
+           name.find("bound") != std::string::npos;
+  };
+  std::vector<std::size_t> worklist;
+  std::vector<bool> in_set(all.size(), false);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (is_seed(all[i].fn->name)) {
+      in_set[i] = true;
+      worklist.push_back(i);
+    }
+  }
+  while (!worklist.empty()) {
+    const FnRef ref = all[worklist.back()];
+    worklist.pop_back();
+    const auto& t = ref.file->tokens;
+    const std::size_t end = std::min(ref.fn->body_end, t.size());
+    for (std::size_t k = ref.fn->body_begin; k + 1 < end; ++k) {
+      if (!is_any_ident(t[k]) || !is_punct(t[k + 1], "(")) continue;
+      if (is_stmt_keyword(t[k].text) || t[k].text.starts_with("checked_")) continue;
+      const auto callees = by_bare_name.find(t[k].text);
+      if (callees == by_bare_name.end()) continue;
+      for (const std::size_t c : callees->second) {
+        if (in_set[c]) continue;
+        in_set[c] = true;
+        worklist.push_back(c);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (in_set[i]) dfi.envelope_functions.insert(qualified_name(*all[i].fn));
+  }
+  return dfi;
+}
+
+void run_dataflow_rules(const LexedFile& file, const ParsedFile& parsed, const DeclIndex& decls,
+                        const DataflowIndex& dfi, std::vector<Diagnostic>& out,
+                        std::vector<LockEdge>& edges) {
+  for (const FunctionDecl& fn : parsed.functions) {
+    FnAnalysis(file, parsed, decls, dfi, fn, out, edges).run();
+  }
+}
+
+namespace {
+
+[[nodiscard]] std::string cycle_message(
+    const std::vector<std::string>& cycle,
+    const std::map<std::pair<std::string, std::string>, const LockEdge*>& reps) {
+  std::string path;
+  for (const std::string& node : cycle) path += node + " -> ";
+  path += cycle.front();
+  std::string message = "lock-order cycle: " + path + "; witness:";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const std::string& held = cycle[i];
+    const std::string& acquired = cycle[(i + 1) % cycle.size()];
+    const auto rep = reps.find({held, acquired});
+    if (rep == reps.end()) continue;
+    const LockEdge& e = *rep->second;
+    message += " " + acquired + " acquired at " + e.file + ":" + std::to_string(e.line) +
+               " in '" + e.function + "' while holding " + held + ";";
+  }
+  if (message.ends_with(";")) message.pop_back();
+  return message;
+}
+
+}  // namespace
+
+void detect_lock_order_cycles(const std::vector<LockEdge>& edges, std::vector<Diagnostic>& out) {
+  // Representative edge per (held, acquired) pair: first in sorted order, so
+  // the witness (and therefore the report) is byte-identical at any --jobs.
+  std::vector<const LockEdge*> sorted;
+  sorted.reserve(edges.size());
+  for (const LockEdge& e : edges) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(), [](const LockEdge* a, const LockEdge* b) {
+    if (a->held != b->held) return a->held < b->held;
+    if (a->acquired != b->acquired) return a->acquired < b->acquired;
+    if (a->file != b->file) return a->file < b->file;
+    if (a->line != b->line) return a->line < b->line;
+    return a->function < b->function;
+  });
+  std::map<std::pair<std::string, std::string>, const LockEdge*> reps;
+  std::map<std::string, std::vector<std::string>, std::less<>> graph;
+  for (const LockEdge* e : sorted) {
+    if (reps.emplace(std::make_pair(e->held, e->acquired), e).second) {
+      graph[e->held].push_back(e->acquired);
+      graph[e->acquired];  // Ensure every node exists.
+    }
+  }
+
+  // For each node (sorted), BFS for the shortest cycle back to it; rotate to
+  // the lexicographically smallest node and dedupe rotations.
+  std::set<std::vector<std::string>> seen;
+  for (const auto& [start, direct] : graph) {
+    (void)direct;
+    std::map<std::string, std::string, std::less<>> parent;  // node -> predecessor
+    std::deque<std::string> queue{start};
+    std::set<std::string, std::less<>> visited{start};
+    std::string closer;  // Node whose edge closes the cycle back to start.
+    while (!queue.empty() && closer.empty()) {
+      const std::string node = queue.front();
+      queue.pop_front();
+      const auto succs = graph.find(node);
+      if (succs == graph.end()) continue;
+      for (const std::string& next : succs->second) {
+        if (next == start) {
+          closer = node;
+          break;
+        }
+        if (visited.insert(next).second) {
+          parent[next] = node;
+          queue.push_back(next);
+        }
+      }
+    }
+    if (closer.empty()) continue;
+    std::vector<std::string> cycle;
+    for (std::string node = closer; node != start; node = parent[node]) cycle.push_back(node);
+    cycle.push_back(start);
+    std::reverse(cycle.begin(), cycle.end());  // start, ..., closer.
+    const auto smallest = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), smallest, cycle.end());
+    if (!seen.insert(cycle).second) continue;
+    const auto first_hop = reps.find({cycle.front(), cycle[1 % cycle.size()]});
+    const LockEdge* anchor = first_hop != reps.end() ? first_hop->second : sorted.front();
+    out.push_back(
+        Diagnostic{anchor->file, anchor->line, "lock-order-cycle", cycle_message(cycle, reps)});
+  }
+}
+
+}  // namespace cudalint

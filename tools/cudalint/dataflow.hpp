@@ -1,0 +1,99 @@
+// cudalint dataflow: forward analyses over the statement-level CFG.
+//
+// The v3 rule pack. Every function body the parser recovered is lowered to a
+// Cfg (cfg.hpp) and run through small gen/kill worklist analyses:
+//
+//   guarded-by        MUST-hold lock analysis (intersection at joins): a
+//                     guarded field access is clean only when every path to
+//                     it holds the guard. Early returns, conditional
+//                     unlocks (`lk.unlock()`), and loop back edges are
+//                     modeled on the CFG — the v2 lexical scope tracker's
+//                     known false-negative class.
+//   lock-order-cycle  MAY-hold analysis (union at joins) collecting the
+//                     whole-program acquired-while-held graph; the driver
+//                     merges every file's edges and reports each cycle with
+//                     its full witness path. Lock names are canonicalized to
+//                     class-field roles ("ThreadPool::mutex_") or
+//                     file-qualified globals so edges line up across
+//                     translation units. std::scoped_lock's own arguments
+//                     contribute no intra-group edges (it is deadlock-free
+//                     by construction).
+//   use-after-move    MAY-moved analysis over `std::move(local)` sites;
+//                     reassignment, .clear()/.reset()/.assign(), address-of,
+//                     and redeclaration kill the moved state.
+//   unchecked-envelope-arithmetic
+//                     flow-insensitive scan of admit/bound/envelope
+//                     functions and everything they transitively call: raw
+//                     `+`/`-`/`*` where an operand resolves to a
+//                     Score/WideScore/Index-typed value must route through
+//                     check::checked_add/sub/mul.
+//
+// Conservative limits (silence over a wrong guess, as everywhere in
+// cudalint): control flow inside lambdas is not modeled (lambda-local RAII
+// is contained by brace-depth tracking), try_to_lock/defer_lock wrappers are
+// unheld until an explicit .lock(), goto edges degrade to function exit, and
+// unresolvable receivers produce no facts.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cudalint/lexer.hpp"
+#include "cudalint/parser.hpp"
+#include "cudalint/rules.hpp"
+
+namespace cudalint {
+
+/// One acquired-while-held observation: `acquired` was taken at file:line in
+/// `function` while `held` was held. Names are canonical lock roles.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  std::string file;
+  int line = 0;
+  std::string function;
+
+  friend bool operator==(const LockEdge&, const LockEdge&) = default;
+};
+
+/// Whole-tree inputs the per-file dataflow pass needs; built serially at the
+/// phase-2 barrier (alongside the DeclIndex) so phase 3 stays parallel.
+struct DataflowIndex {
+  /// Acquire/release contracts by unqualified callee name, so a call site
+  /// like `gate.open()` transfers the locks its CUDALIGN_ACQUIRE names.
+  /// Names annotated inconsistently across the tree are dropped (ambiguous).
+  struct CallAnnotation {
+    std::string class_path;  ///< Owning class; qualifies the lock args.
+    std::vector<std::string> acquires;
+    std::vector<std::string> releases;
+  };
+  std::map<std::string, CallAnnotation, std::less<>> call_annotations;
+
+  /// Qualified names ("Class::fn" or "fn") of envelope-arithmetic targets:
+  /// functions whose name contains admit/envelope/bound, plus everything
+  /// they transitively call within the scanned tree (checked_* helpers
+  /// exempt — they ARE the overflow check).
+  std::set<std::string, std::less<>> envelope_functions;
+};
+
+[[nodiscard]] DataflowIndex build_dataflow_index(const std::vector<LexedFile>& lexed,
+                                                 const std::vector<ParsedFile>& parsed,
+                                                 const DeclIndex& decls);
+
+/// Runs the dataflow rule pack over every function in `file`, appending
+/// diagnostics to `out` and acquired-while-held edges to `edges` (both in
+/// deterministic body order).
+void run_dataflow_rules(const LexedFile& file, const ParsedFile& parsed, const DeclIndex& decls,
+                        const DataflowIndex& dfi, std::vector<Diagnostic>& out,
+                        std::vector<LockEdge>& edges);
+
+/// Whole-program cycle detection over the merged edge list. Emits one
+/// `lock-order-cycle` diagnostic per distinct cycle, anchored at the first
+/// hop's acquire site, with the full witness path in the message. Runs after
+/// per-file suppression accounting, so these diagnostics are not
+/// marker-suppressible — a deadlock has no single excusable line.
+void detect_lock_order_cycles(const std::vector<LockEdge>& edges, std::vector<Diagnostic>& out);
+
+}  // namespace cudalint

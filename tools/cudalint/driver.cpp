@@ -1,6 +1,8 @@
 #include "cudalint/driver.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -11,6 +13,7 @@
 #include <thread>
 
 #include "cudalint/concurrency.hpp"
+#include "cudalint/dataflow.hpp"
 #include "cudalint/parser.hpp"
 
 namespace cudalint {
@@ -56,17 +59,20 @@ void sort_diagnostics(std::vector<Diagnostic>& diags) {
 struct FileReport {
   std::vector<Diagnostic> diagnostics;
   std::vector<SuppressionUse> suppressions;
+  std::vector<LockEdge> lock_edges;  ///< Acquired-while-held; merged in phase 4.
   int suppressed = 0;
   int markers = 0;
 };
 
 /// Rules + suppression accounting for one already-analyzed file.
 [[nodiscard]] FileReport lint_one(const LexedFile& lexed, const ParsedFile& parsed,
-                                  const DeclIndex& index, const LayeringManifest* manifest,
+                                  const DeclIndex& index, const DataflowIndex& dfi,
+                                  const LayeringManifest* manifest,
                                   const RunOptions& options) {
   FileReport report;
   std::vector<Diagnostic> diags = run_rules(lexed, manifest);
   run_concurrency_rules(lexed, parsed, index, diags);
+  run_dataflow_rules(lexed, parsed, index, dfi, diags, report.lock_edges);
   if (!options.disabled_rules.empty()) {
     std::erase_if(diags, [&](const Diagnostic& d) { return rule_disabled(options, d.rule); });
   }
@@ -128,9 +134,77 @@ void parallel_for_n(std::size_t n, const RunOptions& options,
   for (std::future<void>& worker : workers) worker.get();
 }
 
+// ------------------------------------------------------------- scan cache
+
+/// FNV-1a 64-bit over length-delimited pieces (the 0xff separator cannot
+/// appear inside UTF-8-free ASCII config, and even for file content the
+/// separator plus per-piece ordering keeps concatenation collisions out).
+struct CacheHasher {
+  std::uint64_t h = 1469598103934665603ULL;
+
+  void mix(std::string_view piece) {
+    for (const unsigned char c : piece) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xffU;
+    h *= 1099511628211ULL;
+  }
+
+  void mix_int(long long v) { mix(std::to_string(v)); }
+
+  [[nodiscard]] std::string hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    std::uint64_t v = h;
+    for (std::size_t i = 16; i > 0; --i, v >>= 4) out[i - 1] = kDigits[v & 0xF];
+    return out;
+  }
+};
+
+/// The cache must die with the binary: a rebuilt cudalint (new rules, fixed
+/// bugs) invalidates every entry via the exe's size+mtime in the key.
+void mix_self_exe(CacheHasher& hasher) {
+  std::error_code ec;
+  const fs::path exe = "/proc/self/exe";
+  const auto size = fs::file_size(exe, ec);
+  hasher.mix_int(ec ? 0 : static_cast<long long>(size));
+  const auto mtime = fs::last_write_time(exe, ec);
+  hasher.mix_int(ec ? 0 : static_cast<long long>(mtime.time_since_epoch().count()));
+}
+
+/// Rebuilds a RunResult from its own to_json dump. Only clean-config results
+/// are cached, so config_errors is always empty here. Throws on shape
+/// mismatch (caller treats any throw as a cache miss).
+[[nodiscard]] RunResult result_from_json(const cudalign::obs::Json& json) {
+  RunResult result;
+  for (const auto& d : json.at("diagnostics").as_array()) {
+    result.diagnostics.push_back(Diagnostic{d.at("file").as_string(),
+                                            static_cast<int>(d.at("line").as_int()),
+                                            d.at("rule").as_string(),
+                                            d.at("message").as_string()});
+  }
+  for (const auto& s : json.at("suppressions").as_array()) {
+    result.suppressions.push_back(SuppressionUse{
+        s.at("file").as_string(), static_cast<int>(s.at("line").as_int()),
+        s.at("rule").as_string(), static_cast<int>(s.at("count").as_int())});
+  }
+  result.files_scanned = static_cast<int>(json.at("files_scanned").as_int());
+  result.suppressed_total = static_cast<int>(json.at("suppressed_total").as_int());
+  result.markers_total = static_cast<int>(json.at("markers_total").as_int());
+  result.from_cache = true;
+  return result;
+}
+
 }  // namespace
 
 bool parse_budget(std::string_view text, SuppressionBudget* budget, std::string* error) {
+  const auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "suppression budget line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
   std::size_t line_no = 0;
   std::istringstream in{std::string(text)};
   std::string line;
@@ -138,26 +212,35 @@ bool parse_budget(std::string_view text, SuppressionBudget* budget, std::string*
     ++line_no;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    std::istringstream fields(line);
-    std::string tree;
-    if (!(fields >> tree)) continue;  // Blank / comment-only line.
+    std::istringstream stream(line);
+    std::vector<std::string> fields;
+    std::string field;
+    while (stream >> field) fields.push_back(field);
+    if (fields.empty()) continue;  // Blank / comment-only line.
+    if (fields.size() != 2 && fields.size() != 3) {
+      return fail(line_no,
+                  "expected '<tree> <count>' or '<tree> <rule> <count>'");
+    }
     long long count = 0;
-    if (!(fields >> count) || count < 0) {
-      if (error != nullptr) {
-        *error = "suppression budget line " + std::to_string(line_no) +
-                 ": expected '<tree> <non-negative count>'";
-      }
-      return false;
+    try {
+      std::size_t used = 0;
+      count = std::stoll(fields.back(), &used);
+      if (used != fields.back().size()) count = -1;
+    } catch (...) {
+      count = -1;
     }
-    std::string extra;
-    if (fields >> extra) {
-      if (error != nullptr) {
-        *error = "suppression budget line " + std::to_string(line_no) +
-                 ": trailing tokens after the count";
-      }
-      return false;
+    if (count < 0) return fail(line_no, "expected a non-negative count");
+    if (fields.size() == 2) {
+      budget->per_tree[fields[0]] = static_cast<int>(count);
+      continue;
     }
-    budget->per_tree[tree] = static_cast<int>(count);
+    // Per-rule cap: `<tree> <rule> <count>`. Unknown rule names are errors —
+    // a typo'd budget line must not silently fail-closed the wrong rule.
+    if (!is_known_rule(fields[1])) {
+      return fail(line_no, "unknown rule '" + fields[1] + "'");
+    }
+    budget->per_rule[{fields[0], fields[1]}] = static_cast<int>(count);
+    budget->rule_trees.insert(fields[0]);
   }
   return true;
 }
@@ -175,30 +258,47 @@ void lint_sources(const std::vector<SourceFile>& sources, const LayeringManifest
     parsed[i] = parse(lexed[i]);
   });
 
-  // Phase 2 (serial barrier): the cross-file declaration index. Annotations
-  // live in headers while member bodies live in .cpp files, so every rule
-  // phase needs every file's declarations.
+  // Phase 2 (serial barrier): the cross-file declaration index plus the
+  // dataflow index (acquire/release call contracts, envelope target set).
+  // Annotations live in headers while member bodies live in .cpp files, so
+  // every rule phase needs every file's declarations.
   DeclIndex index;
   for (const ParsedFile& p : parsed) index.add(p);
+  const DataflowIndex dfi = build_dataflow_index(lexed, parsed, index);
 
   // Phase 3 (parallel): rules + per-file suppression accounting.
   std::vector<FileReport> reports(n);
   parallel_for_n(n, options, [&](std::size_t i) {
-    reports[i] = lint_one(lexed[i], parsed[i], index, manifest, options);
+    reports[i] = lint_one(lexed[i], parsed[i], index, dfi, manifest, options);
   });
 
   // Phase 4 (serial): merge in file order — deterministic at any job count.
   std::map<std::string, int> markers_by_tree;
+  std::map<std::pair<std::string, std::string>, int> markers_by_tree_rule;
+  std::vector<LockEdge> lock_edges;
   for (std::size_t i = 0; i < n; ++i) {
     FileReport& report = reports[i];
     result.diagnostics.insert(result.diagnostics.end(), report.diagnostics.begin(),
                               report.diagnostics.end());
     result.suppressions.insert(result.suppressions.end(), report.suppressions.begin(),
                                report.suppressions.end());
+    lock_edges.insert(lock_edges.end(), report.lock_edges.begin(), report.lock_edges.end());
     result.suppressed_total += report.suppressed;
     result.markers_total += report.markers;
-    markers_by_tree[tree_of(sources[i].path)] += report.markers;
+    const std::string tree = tree_of(sources[i].path);
+    markers_by_tree[tree] += report.markers;
+    for (const AllowComment& allow : lexed[i].allows) {
+      ++markers_by_tree_rule[{tree, allow.rule}];
+    }
     ++result.files_scanned;
+  }
+
+  // Whole-program deadlock detection over the merged acquired-while-held
+  // graph. Runs after per-file suppression accounting on purpose: a
+  // lock-order cycle spans functions and files, so no single allow marker
+  // can excuse it.
+  if (!rule_disabled(options, "lock-order-cycle")) {
+    detect_lock_order_cycles(lock_edges, result.diagnostics);
   }
 
   // Budget: per-tree caps fail closed (a tree with markers but no entry is
@@ -215,6 +315,24 @@ void lint_sources(const std::vector<SourceFile>& sources, const LayeringManifest
                 (it == budget->per_tree.end() ? std::string("has no entry")
                                               : "allows " + std::to_string(cap)) +
                 " — remove the marker or bump the budget in the same change"});
+      }
+    }
+    // Per-rule caps, for trees that opted in: every rule is capped once the
+    // tree names any (unlisted rules fail closed at 0).
+    for (const auto& [key, markers] : markers_by_tree_rule) {
+      const auto& [tree, rule] = key;
+      if (markers == 0 || !budget->rule_trees.contains(tree)) continue;
+      const auto it = budget->per_rule.find(key);
+      const int cap = it == budget->per_rule.end() ? 0 : it->second;
+      if (markers > cap) {
+        result.diagnostics.push_back(Diagnostic{
+            budget->source_path, 1, "suppression-budget",
+            "tree '" + tree + "' has " + std::to_string(markers) + " allow marker(s) for '" +
+                rule + "', budget " +
+                (it == budget->per_rule.end() ? std::string("has no entry for that rule")
+                                              : "allows " + std::to_string(cap)) +
+                " — remove the marker or add a '" + tree + " " + rule +
+                " N' line in the same change"});
       }
     }
   }
@@ -246,9 +364,11 @@ RunResult run(const RunOptions& options) {
                                      ? root / "tools/cudalint/layering.manifest"
                                      : fs::path(options.manifest_path);
   std::optional<LayeringManifest> manifest;
+  std::string manifest_text;
   if (const auto text = read_file(manifest_path); !text.has_value()) {
     result.config_errors.push_back("cannot read layering manifest: " + manifest_path.string());
   } else {
+    manifest_text = *text;
     std::string error;
     manifest = LayeringManifest::parse(*text, &error);
     if (!manifest.has_value()) {
@@ -266,6 +386,7 @@ RunResult run(const RunOptions& options) {
 
   // Budget file, when requested (resolved relative to the root).
   std::optional<SuppressionBudget> budget;
+  std::string budget_text;
   if (!options.budget_path.empty()) {
     const fs::path budget_path = fs::path(options.budget_path).is_absolute()
                                      ? fs::path(options.budget_path)
@@ -273,6 +394,7 @@ RunResult run(const RunOptions& options) {
     if (const auto text = read_file(budget_path); !text.has_value()) {
       result.config_errors.push_back("cannot read suppression budget: " + budget_path.string());
     } else {
+      budget_text = *text;
       SuppressionBudget parsed_budget;
       parsed_budget.source_path = options.budget_path;
       std::string error;
@@ -321,8 +443,53 @@ RunResult run(const RunOptions& options) {
     sources.push_back(
         SourceFile{file.lexically_relative(root).generic_string(), *std::move(content)});
   }
+  // Scan cache: one entry per (binary, full input set, rule configuration).
+  // Jobs are deliberately NOT part of the key — output is byte-identical at
+  // any worker count, so a cached replay is too. Only clean-config scans are
+  // cached; any cache trouble falls through to a live scan.
+  fs::path cache_file;
+  if (!options.cache_dir.empty() && result.config_errors.empty()) {
+    CacheHasher hasher;
+    hasher.mix("cudalint-scan-cache-v1");
+    mix_self_exe(hasher);
+    hasher.mix(manifest_text);
+    hasher.mix(budget_text);
+    std::vector<std::string> disabled = options.disabled_rules;
+    std::sort(disabled.begin(), disabled.end());
+    for (const std::string& rule : disabled) hasher.mix(rule);
+    hasher.mix_int(options.max_suppressions);
+    for (const SourceFile& source : sources) {
+      hasher.mix(source.path);
+      hasher.mix(source.content);
+    }
+    const fs::path cache_dir = fs::path(options.cache_dir).is_absolute()
+                                   ? fs::path(options.cache_dir)
+                                   : root / options.cache_dir;
+    cache_file = cache_dir / (hasher.hex() + ".json");
+    if (const auto text = read_file(cache_file); text.has_value()) {
+      try {
+        return result_from_json(cudalign::obs::Json::parse(*text));
+      } catch (...) {
+        // Corrupt entry: fall through to a live scan that overwrites it.
+      }
+    }
+  }
+
   lint_sources(sources, manifest.has_value() ? &*manifest : nullptr,
                budget.has_value() ? &*budget : nullptr, options, result);
+
+  if (!cache_file.empty() && result.config_errors.empty()) {
+    std::error_code ec;
+    fs::create_directories(cache_file.parent_path(), ec);
+    const fs::path tmp = cache_file.string() + ".tmp";
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << to_json(result).dump();
+    out.close();
+    if (out.good()) {
+      fs::rename(tmp, cache_file, ec);  // Atomic publish.
+    }
+    if (!out.good() || ec) fs::remove(tmp, ec);  // Cache failure is not a lint failure.
+  }
   return result;
 }
 

@@ -21,8 +21,10 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cudalint/layering.hpp"
@@ -39,6 +41,11 @@ struct RunOptions {
   std::vector<std::string> disabled_rules;  ///< Per-tree config: rules to skip entirely.
   int max_suppressions = -1;        ///< Global marker cap; -1 = off.
   int jobs = 0;                     ///< Analysis workers; 0 = hardware concurrency.
+  /// Scan-result cache directory; "" = off. The cache key hashes the tool
+  /// binary (size+mtime), every input file's path and content, the manifest
+  /// and budget text, and the rule configuration — any change misses. Cached
+  /// replays are byte-identical to live runs.
+  std::string cache_dir;
 };
 
 /// One allow-marker that fired, with how many diagnostics it swallowed.
@@ -56,6 +63,7 @@ struct RunResult {
   int files_scanned = 0;
   int suppressed_total = 0;
   int markers_total = 0;  ///< All allow markers seen (used or not) — budget input.
+  bool from_cache = false;  ///< Replayed from the scan cache (not serialized).
 
   [[nodiscard]] bool clean() const noexcept {
     return diagnostics.empty() && config_errors.empty();
@@ -69,14 +77,21 @@ struct SourceFile {
 };
 
 /// Per-tree allow-marker budget, keyed by the first path component ("src",
-/// "tests", "tools"). A tree with markers but no entry fails closed.
+/// "tests", "tools"). A tree with markers but no entry fails closed. A tree
+/// may additionally budget per rule (`src narrow-cast 1`); once it names ANY
+/// rule, every rule is capped — markers for rules without an entry fail
+/// closed at 0, so a new kind of suppression always needs a visible budget
+/// line.
 struct SuppressionBudget {
   std::string source_path;  ///< Where the budget came from (for diagnostics).
   std::map<std::string, int> per_tree;
+  std::map<std::pair<std::string, std::string>, int> per_rule;  ///< (tree, rule) caps.
+  std::set<std::string> rule_trees;  ///< Trees that opted into per-rule caps.
 };
 
-/// Parses `src 1`-style lines; '#' starts a comment. Returns false and sets
-/// `*error` on malformed input.
+/// Parses `src 1` (tree total) and `src narrow-cast 1` (per-rule) lines; '#'
+/// starts a comment. Rule names are validated against the catalogue. Returns
+/// false and sets `*error` on malformed input.
 [[nodiscard]] bool parse_budget(std::string_view text, SuppressionBudget* budget,
                                 std::string* error);
 

@@ -472,7 +472,9 @@ class Parser {
       const std::string& name = t_[j].text;
       const bool is_guard = name == kGuardedBy;
       const bool is_req = name == kRequires;
-      const bool is_mgr = name == kAcquire || name == kRelease;
+      const bool is_acq = name == kAcquire;
+      const bool is_rel = name == kRelease;
+      const bool is_mgr = is_acq || is_rel;
       if (!is_guard && !is_req && !is_mgr) continue;
       if (anno_pos != nullptr && *anno_pos == t_.size()) *anno_pos = j;
       if (j + 1 >= end || !is_punct(t_[j + 1], "(")) continue;
@@ -495,6 +497,8 @@ class Parser {
         if (a.starts_with("&")) a = a.substr(1);
         if (is_guard && guarded_by != nullptr && guarded_by->empty()) *guarded_by = a;
         if ((is_req || is_mgr) && method != nullptr) method->requires_locks.push_back(a);
+        if (is_acq && method != nullptr) method->acquire_locks.push_back(a);
+        if (is_rel && method != nullptr) method->release_locks.push_back(a);
       }
       if (is_mgr && method != nullptr) method->lock_manager = true;
     }
@@ -539,12 +543,29 @@ class Parser {
       class_path = qualifier;  // Out-of-line member definition.
     }
 
+    // Parameter token range: from inside the first paren to its match, for
+    // dataflow's parameter typing (operand classification, move tracking).
+    std::size_t params_begin = 0;
+    std::size_t params_end = 0;
+    if (first_paren != t_.size() && first_paren + 1 < body_open) {
+      params_begin = first_paren + 1;
+      int depth = 1;
+      std::size_t j = params_begin;
+      for (; j < body_open && depth > 0; ++j) {
+        if (is_punct(t_[j], "(")) ++depth;
+        if (is_punct(t_[j], ")")) --depth;
+      }
+      params_end = depth == 0 ? j - 1 : params_begin;
+    }
+
     i_ = body_open + 1;
     const std::size_t body_begin = i_;
     const std::size_t body_end = skip_balanced_braces();
     out_.functions.push_back(FunctionDecl{std::move(name), std::move(class_path),
-                                          std::move(anno.requires_locks), anno.lock_manager,
-                                          body_begin, body_end, line});
+                                          std::move(anno.requires_locks),
+                                          std::move(anno.acquire_locks),
+                                          std::move(anno.release_locks), anno.lock_manager,
+                                          params_begin, params_end, body_begin, body_end, line});
   }
 
   void record_prototype(std::size_t start, std::size_t end, std::size_t first_paren,
@@ -564,6 +585,8 @@ class Parser {
                     const MethodAnnotation& anno) {
     MethodAnnotation& slot = out_.types[type_index].methods[name];
     for (const std::string& lock : anno.requires_locks) slot.requires_locks.push_back(lock);
+    for (const std::string& lock : anno.acquire_locks) slot.acquire_locks.push_back(lock);
+    for (const std::string& lock : anno.release_locks) slot.release_locks.push_back(lock);
     slot.lock_manager = slot.lock_manager || anno.lock_manager;
   }
 

@@ -70,7 +70,12 @@ struct FieldDecl {
 /// method name in TypeDecl::methods so out-of-line definitions inherit them
 /// (clang attaches attributes to declarations; so do we).
 struct MethodAnnotation {
-  std::vector<std::string> requires_locks;  ///< CUDALIGN_REQUIRES args.
+  /// CUDALIGN_REQUIRES args plus ACQUIRE/RELEASE args — the union is what a
+  /// body may assume held at entry (a release function holds the lock until
+  /// it releases it), which is what the v2 checker consumed.
+  std::vector<std::string> requires_locks;
+  std::vector<std::string> acquire_locks;  ///< CUDALIGN_ACQUIRE args only.
+  std::vector<std::string> release_locks;  ///< CUDALIGN_RELEASE args only.
   bool lock_manager = false;  ///< CUDALIGN_ACQUIRE / CUDALIGN_RELEASE present.
 };
 
@@ -90,10 +95,14 @@ struct TypeDecl {
 struct FunctionDecl {
   std::string name;        ///< Unqualified ("push", "~BusAuditor", "operator==").
   std::string class_path;  ///< Owning class path; "" for free functions.
-  std::vector<std::string> requires_locks;  ///< From the definition itself.
+  std::vector<std::string> requires_locks;  ///< From the definition itself (union).
+  std::vector<std::string> acquire_locks;   ///< CUDALIGN_ACQUIRE args only.
+  std::vector<std::string> release_locks;   ///< CUDALIGN_RELEASE args only.
   bool lock_manager = false;
-  std::size_t body_begin = 0;  ///< First token index inside the `{`.
-  std::size_t body_end = 0;    ///< Token index of the matching `}`.
+  std::size_t params_begin = 0;  ///< First token inside the parameter `(`.
+  std::size_t params_end = 0;    ///< Token index of the matching `)`.
+  std::size_t body_begin = 0;    ///< First token index inside the `{`.
+  std::size_t body_end = 0;      ///< Token index of the matching `}`.
   int line = 0;
 };
 

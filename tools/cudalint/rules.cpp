@@ -154,9 +154,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"explicit-memory-order", "every atomic load/store/fetch/exchange names a memory_order "
                                 "(both orders for CAS); seq_cst/relaxed sites carry a "
                                 "justifying `// order:` comment"},
-      {"guarded-by", "fields annotated CUDALIGN_GUARDED_BY(m) are only touched under a "
-                     "lock_guard/unique_lock/scoped_lock on m or in a CUDALIGN_REQUIRES(m) "
-                     "function"},
+      {"guarded-by", "fields annotated CUDALIGN_GUARDED_BY(m) are only touched when every "
+                     "CFG path to the access holds m (lock_guard/unique_lock/scoped_lock, "
+                     "CUDALIGN_REQUIRES, or a CUDALIGN_ACQUIRE callee)"},
       {"raw-lock", "no bare .lock()/.unlock()/.try_lock() on a mutex outside RAII "
                    "(CUDALIGN_ACQUIRE/RELEASE functions exempt)"},
       {"shared-packed-bool", "no vector<bool>/bitset fields in types that also own atomics "
@@ -164,6 +164,14 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"detached-thread", "no std::thread::detach() — keep the handle and join it"},
       {"unguarded-stop-flag", "no non-atomic unannotated bool fields next to std::thread "
                               "members — use std::atomic<bool> or a guarded field"},
+      {"lock-order-cycle", "the whole-program acquired-while-held graph is acyclic — a "
+                           "cycle is a potential deadlock; the diagnostic carries the full "
+                           "witness path (not allow-marker suppressible)"},
+      {"use-after-move", "no read of a local/parameter on a path after std::move(it) — "
+                         "reassign, .clear()/.reset(), or redeclare before reuse"},
+      {"unchecked-envelope-arithmetic", "no raw +/-/* on Score/WideScore/Index values in "
+                                        "admit/bound/envelope functions and their callees — "
+                                        "route through check::checked_add/sub/mul"},
   };
   return kRules;
 }
