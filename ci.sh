@@ -6,7 +6,11 @@
 #      drift fails CI alongside lint. cudalint also runs as a ctest test in
 #      every suite below, so a lint violation is a test failure too.
 #   1. Release build with the strict zero-warning wall (-DCUDALIGN_STRICT=ON:
-#      -Wall -Wextra -Wconversion -Wshadow -Werror) + full ctest
+#      -Wall -Wextra -Wconversion -Wshadow -Werror) + full ctest. The SIMD
+#      backend is a matrix axis: fast mode reruns the kernel-equivalence
+#      suites under forced sse2/generic; full mode reruns the ENTIRE ctest
+#      suite under every ISA the runner supports (generic, sse2, avx2, and
+#      avx512 on capable CPUs).
 #   2. Bench + regression gate: bench_pipeline --fast, then tools/bench_gate
 #      compares it against bench/baseline.json (tolerance
 #      ${CUDALIGN_BENCH_TOLERANCE:-15} percent; the gate's own self-test runs
@@ -21,7 +25,10 @@
 # tree left over from a differently-configured run (say, sanitizer flags
 # lingering in CMAKE_CXX_FLAGS of build-ci-release) fails the run instead of
 # silently testing the wrong binaries. ccache is used automatically when
-# installed. A per-stage wall-clock table prints on exit, pass or fail.
+# installed. A per-stage wall-clock table (plus the run's ccache hit rate)
+# prints on exit, pass or fail. Bench JSON and a sample run report land in
+# ci-artifacts/ for CI to upload; every ctest run carries a global --timeout
+# backstop on top of the per-test TIMEOUT properties.
 #
 # Usage: ./ci.sh [--fast] [jobs]   (jobs defaults to nproc)
 #   --fast  lint + Release suite + gate self-test only: the quick pre-push loop.
@@ -35,11 +42,29 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 JOBS="${1:-$(nproc)}"
 
+# Every ctest invocation runs with a global timeout backstop (on top of the
+# per-test TIMEOUT properties in tests/CMakeLists.txt): a deadlocked pool or a
+# stuck writer drain fails the stage instead of hanging the whole run.
+CTEST_TIMEOUT="${CUDALIGN_CTEST_TIMEOUT:-600}"
+
 # ccache makes the three build trees nearly free after the first one; CI
-# restores its cache directory between runs.
+# restores its cache directory between runs. The finish() table reports the
+# run's own hit rate (delta against the stats at startup).
 LAUNCHER=()
+CCACHE=0
+CCACHE_HITS0=0
+CCACHE_MISSES0=0
+ccache_counts() {
+  # "hits misses" from the machine-readable stats; zeros when unavailable.
+  ccache --print-stats 2>/dev/null | awk '
+    /^direct_cache_hit|^preprocessed_cache_hit/ { hits += $2 }
+    /^cache_miss/ { misses += $2 }
+    END { printf "%d %d", hits, misses }'
+}
 if command -v ccache >/dev/null 2>&1; then
   LAUNCHER=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  CCACHE=1
+  read -r CCACHE_HITS0 CCACHE_MISSES0 <<<"$(ccache_counts)"
   echo "ci.sh: ccache enabled"
 fi
 
@@ -64,6 +89,11 @@ stage() {
 }
 
 OBS_DIR="$(mktemp -d)"
+# Artifacts CI uploads (bench JSON, a sample run report) land here — a
+# checked-out, gitignored directory that outlives the run, unlike OBS_DIR.
+ART_DIR="ci-artifacts"
+rm -rf "$ART_DIR"
+mkdir -p "$ART_DIR"
 finish() {
   local status=$?
   stage_end
@@ -76,6 +106,18 @@ finish() {
       printf '  %-32s %5ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECONDS[$i]}"
     done
     printf '  %-32s %5ss\n' "total" "$SECONDS"
+    if [[ "$CCACHE" -eq 1 ]]; then
+      local hits misses dh dm
+      read -r hits misses <<<"$(ccache_counts)"
+      dh=$((hits - CCACHE_HITS0))
+      dm=$((misses - CCACHE_MISSES0))
+      if ((dh + dm > 0)); then
+        printf '  %-32s %4d%% (%d hits, %d misses)\n' \
+          "ccache hit rate" $((100 * dh / (dh + dm))) "$dh" "$dm"
+      else
+        printf '  %-32s %s\n' "ccache hit rate" "n/a (no compilations)"
+      fi
+    fi
   fi
   if [[ "$status" -ne 0 ]]; then
     echo "ci.sh: FAILED (exit $status)" >&2
@@ -135,37 +177,63 @@ run_suite release build-ci-release \
   CMAKE_BUILD_TYPE=Release CUDALIGN_STRICT=ON CMAKE_CXX_FLAGS= -- \
   -DCMAKE_BUILD_TYPE=Release -DCUDALIGN_STRICT=ON -DCMAKE_CXX_FLAGS=
 stage "release: ctest"
-(cd build-ci-release && ctest --output-on-failure -j "$JOBS")
+(cd build-ci-release && ctest --output-on-failure -j "$JOBS" --timeout "$CTEST_TIMEOUT")
 
 # The striped kernels pick their SIMD backend at runtime, so the default
-# ctest pass only proves byte-identity for the ISA the runner auto-selects
-# (AVX2 on modern hosts). Rerun the kernel equivalence matrix with the
-# backend forced down the tiers so the SSE2 and portable-generic code paths
-# keep their proof in CI no matter what silicon runs it.
-stage "release: kernel equivalence, forced ISAs"
-for isa in sse2 generic; do
-  CUDALIGN_SIMD="$isa" build-ci-release/tests/cudalign_tests \
-    --gtest_filter='KernelEquivalence.*:KernelDispatch.*:LaneEnvelope.*' \
-    --gtest_brief=1
-done
+# ctest pass only proves correctness for the ISA the runner auto-selects
+# (AVX2 on modern hosts). The ISA is a real matrix axis:
+#   fast mode  — rerun just the kernel equivalence/dispatch suites with the
+#                backend forced down the tiers (the cheap pre-push proof);
+#   full mode  — rerun the ENTIRE ctest suite under every ISA the runner
+#                supports, so pipeline/checkpoint/engine behavior (not only
+#                kernel byte-identity) is proven per backend.
+# Forcing an ISA the build or CPU cannot honor fails fast by design, so the
+# matrix only lists supported tiers (avx512 joins when the CPU has avx512bw,
+# mirroring the dispatcher's own gate).
+isa_matrix() {
+  local isas="generic"
+  case "$(uname -m)" in
+    x86_64 | amd64)
+      isas="$isas sse2"
+      grep -qw avx2 /proc/cpuinfo 2>/dev/null && isas="$isas avx2"
+      grep -qw avx512bw /proc/cpuinfo 2>/dev/null && isas="$isas avx512"
+      ;;
+  esac
+  echo "$isas"
+}
+if [[ "$FAST" -eq 1 ]]; then
+  stage "release: kernel equivalence, forced ISAs"
+  for isa in sse2 generic; do
+    CUDALIGN_SIMD="$isa" build-ci-release/tests/cudalign_tests \
+      --gtest_filter='KernelEquivalence.*:KernelDispatch.*:LaneEnvelope.*' \
+      --gtest_brief=1
+  done
+else
+  for isa in $(isa_matrix); do
+    stage "release: full ctest, CUDALIGN_SIMD=$isa"
+    (cd build-ci-release &&
+      CUDALIGN_SIMD="$isa" ctest --output-on-failure -j "$JOBS" --timeout "$CTEST_TIMEOUT")
+  done
+fi
 
 # Observability smoke: a tiny end-to-end run must produce a run report that
-# the CLI's own validator accepts (schema + internal consistency), and the
-# pipeline bench must emit its trajectory artifact.
+# the CLI's own validator accepts (schema + internal consistency). The report
+# is kept as a CI artifact: a diffable sample of the schema every PR ships.
 stage "release: run-report smoke"
 CLI=build-ci-release/tools/cudalign
 "$CLI" generate "$OBS_DIR/a.fasta" --length 4000 --seed 5 >/dev/null
 "$CLI" generate "$OBS_DIR/b.fasta" --mutate-of "$OBS_DIR/a.fasta" --seed 6 >/dev/null
 "$CLI" align "$OBS_DIR/a.fasta" "$OBS_DIR/b.fasta" --out "$OBS_DIR/aln.bin" \
-  --report "$OBS_DIR/run.json" >/dev/null
-"$CLI" report-check "$OBS_DIR/run.json"
+  --report "$ART_DIR/run-report-sample.json" >/dev/null
+"$CLI" report-check "$ART_DIR/run-report-sample.json"
 
 # 2. Bench + regression gate. The self-test exercises the comparator with a
 # synthetic 30% slowdown and must detect it; the real comparison pits the
-# fresh numbers against the checked-in baseline.
+# fresh numbers against the checked-in baseline. Bench JSON lands in ART_DIR
+# so CI uploads it next to the cudalint report.
 stage "bench: bench_pipeline --fast"
-build-ci-release/bench/bench_pipeline --fast --out "$OBS_DIR/BENCH_pipeline.json" >/dev/null
-test -s "$OBS_DIR/BENCH_pipeline.json"
+build-ci-release/bench/bench_pipeline --fast --out "$ART_DIR/BENCH_pipeline.json" >/dev/null
+test -s "$ART_DIR/BENCH_pipeline.json"
 stage "bench: gate"
 build-ci-release/tools/bench_gate --self-test
 if [[ "$FAST" -eq 1 ]]; then
@@ -174,9 +242,9 @@ else
   # Two more samples: the gate scores each benchmark by its best run
   # (best-of-3), since a single sample of the tiny --fast problem can read
   # far below its median on a loaded machine.
-  build-ci-release/bench/bench_pipeline --fast --out "$OBS_DIR/BENCH_pipeline.2.json" >/dev/null
-  build-ci-release/bench/bench_pipeline --fast --out "$OBS_DIR/BENCH_pipeline.3.json" >/dev/null
-  build-ci-release/tools/bench_gate "$OBS_DIR"/BENCH_pipeline*.json bench/baseline.json \
+  build-ci-release/bench/bench_pipeline --fast --out "$ART_DIR/BENCH_pipeline.2.json" >/dev/null
+  build-ci-release/bench/bench_pipeline --fast --out "$ART_DIR/BENCH_pipeline.3.json" >/dev/null
+  build-ci-release/tools/bench_gate "$ART_DIR"/BENCH_pipeline*.json bench/baseline.json \
     --tolerance "${CUDALIGN_BENCH_TOLERANCE:-15}"
 fi
 
@@ -193,7 +261,7 @@ run_suite asan build-ci-asan \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 stage "asan: ctest"
-(cd build-ci-asan && ctest --output-on-failure -j "$JOBS")
+(cd build-ci-asan && ctest --output-on-failure -j "$JOBS" --timeout "$CTEST_TIMEOUT")
 
 # 4. TSan: the full suite (not just a concurrency smoke) — single-threaded
 # suites are cheap under TSan and the executor/pool paths hide in many of
@@ -204,6 +272,7 @@ run_suite tsan build-ci-tsan \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 stage "tsan: ctest"
 (cd build-ci-tsan &&
-  TSAN_OPTIONS="suppressions=$(cd .. && pwd)/tsan.supp" ctest --output-on-failure -j "$JOBS")
+  TSAN_OPTIONS="suppressions=$(cd .. && pwd)/tsan.supp" ctest --output-on-failure -j "$JOBS" \
+    --timeout "$CTEST_TIMEOUT")
 
 echo "ci.sh: all suites passed"

@@ -30,6 +30,7 @@ const char* rule_name(BusViolation::Rule rule) {
     case BusViolation::Rule::kIllegalWriter: return "illegal-writer";
     case BusViolation::Rule::kSameDiagonalHazard: return "same-diagonal-hazard";
     case BusViolation::Rule::kOverwriteBeforeRead: return "overwrite-before-read";
+    case BusViolation::Rule::kFlushOutOfOrder: return "flush-out-of-order";
   }
   return "unknown";
 }
@@ -38,6 +39,8 @@ std::string BusEndpoint::describe() const {
   std::ostringstream os;
   if (block == kSeedBlock) {
     os << "executor seed (strip " << strip << ") at diagonal " << diagonal;
+  } else if (block == kFlushBlock) {
+    os << "flush hand-off (strip " << strip << ") at diagonal " << diagonal;
   } else {
     os << "tile (strip " << strip << ", block " << block << ") on diagonal " << diagonal;
   }
@@ -71,6 +74,7 @@ void BusAuditor::begin_run(Index n, Index strips, Index blocks, Index strip_rows
   order_ = order;
   vplanes_ = vplanes;
   cuts_ = std::move(cuts);
+  last_flush_ = BusEndpoint{-1, BusEndpoint::kFlushBlock, -1, 0};
   hshadow_.assign(static_cast<std::size_t>(n) + 1, Shadow{});
   vshadow_.assign(static_cast<std::size_t>(vplanes) * static_cast<std::size_t>(blocks + 1) *
                       static_cast<std::size_t>(strip_rows + 1),
@@ -239,6 +243,31 @@ void BusAuditor::write_vertical(Index strip, Index block, Index diagonal, Index 
     cell.writer_strip = strip;
     cell.writer = writer;
     cell.read_since_write = false;
+  }
+}
+
+void BusAuditor::flush_handoff(Index strip, Index diagonal) {
+  std::lock_guard lock(mutex_);
+  const BusEndpoint handoff{strip, BusEndpoint::kFlushBlock, diagonal, this_thread_hash()};
+  ++events_;
+  // The prefix property: special rows reach the flush pipeline (and thus the
+  // SRA store, the durable-ack queue and the checkpoint cursor) in strictly
+  // ascending strip order under both executors.
+  if (strip <= last_flush_.strip) {
+    record(BusViolation::Rule::kFlushOutOfOrder, true, 0, last_flush_, handoff);
+  }
+  last_flush_ = handoff;
+  // Row completeness: by retirement every chunk of this strip has published
+  // its hbus segment, so no slot may still carry a pass *older* than this
+  // strip. Equal-or-newer is legal under both models — row segments are
+  // captured per tile, and successor strips may have overwritten early
+  // chunks by the time the strip retires.
+  for (Index j = 1; j <= n_; ++j) {
+    Shadow& cell = hshadow_[static_cast<std::size_t>(j)];
+    if (!cell.written || cell.writer_strip < strip) {
+      ++events_;
+      record(BusViolation::Rule::kReadBeforeWrite, true, j, cell.writer, handoff);
+    }
   }
 }
 

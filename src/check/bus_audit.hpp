@@ -69,6 +69,8 @@ struct BusEndpoint {
   std::uint64_t thread_id = 0;  ///< Hashed std::thread::id of the accessor.
 
   static constexpr Index kSeedBlock = -1;
+  /// Special-row hand-off to the flush pipeline (flush_handoff events).
+  static constexpr Index kFlushBlock = -2;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -82,6 +84,7 @@ struct BusViolation {
     kIllegalWriter,      ///< Write by a block that does not own the slot.
     kSameDiagonalHazard, ///< Read on the writer's own external diagonal.
     kOverwriteBeforeRead,///< Write destroying a value never consumed.
+    kFlushOutOfOrder,    ///< Special-row hand-off out of ascending strip order.
   };
 
   Rule rule = Rule::kDoubleWrite;
@@ -133,6 +136,21 @@ class BusAuditor {
   /// Tile (strip, block) writes vertical boundary `block + 1`, rows [0..rows].
   void write_vertical(Index strip, Index block, Index diagonal, Index rows);
 
+  // --- flush pipeline (driver thread) --------------------------------------
+
+  /// Strip `strip` retires and hands its special row to the flush path —
+  /// the synchronous put() or the async SRA writer's staging buffer
+  /// (sra/async_writer.hpp). Validates the flush pipeline's contract:
+  /// hand-offs arrive in strictly ascending strip order (the prefix property
+  /// the checkpoint cursor's durable-ack advance relies on), and the
+  /// assembled row is complete — no hbus slot still carries a pass older
+  /// than this strip (row segments are captured per tile, so equal-or-newer
+  /// overwrites by successor strips are legal). The staging copy happens on
+  /// the hand-off thread before this returns; the SRA writer thread itself
+  /// never touches the buses, so it legitimately appears in no other audit
+  /// event.
+  void flush_handoff(Index strip, Index diagonal);
+
   // --- results -------------------------------------------------------------
 
   [[nodiscard]] bool ok() const;
@@ -180,6 +198,8 @@ class BusAuditor {
   std::vector<Shadow> hshadow_ CUDALIGN_GUARDED_BY(mutex_);
   /// vplanes x (blocks + 1) x (strip_rows + 1): plane-major.
   std::vector<Shadow> vshadow_ CUDALIGN_GUARDED_BY(mutex_);
+  /// Last flush_handoff, for the ascending-order rule (strip -1 = none yet).
+  BusEndpoint last_flush_ CUDALIGN_GUARDED_BY(mutex_){-1, BusEndpoint::kFlushBlock, -1, 0};
   std::vector<BusViolation> violations_ CUDALIGN_GUARDED_BY(mutex_);
   std::uint64_t violation_count_ CUDALIGN_GUARDED_BY(mutex_) = 0;
   std::uint64_t events_ CUDALIGN_GUARDED_BY(mutex_) = 0;

@@ -3,7 +3,11 @@
 // at the flush interval derived from the SRA budget.
 #include "core/stages.hpp"
 
+#include <optional>
+#include <utility>
+
 #include "common/timer.hpp"
+#include "sra/async_writer.hpp"
 
 namespace cudalign::core {
 
@@ -34,31 +38,65 @@ Stage1Result run_stage1(seq::SequenceView s0, seq::SequenceView s1, const Stage1
       config.progress(static_cast<double>(done) / static_cast<double>(total));
     };
   }
+  std::optional<sra::AsyncSraWriter> writer;
   if (config.rows_area != nullptr && m > 0 && n > 0) {
     result.flush_interval = sra::flush_interval_for_budget(
         m, n, config.grid.strip_rows(), config.rows_area->budget_bytes());
     hooks.special_row_interval = result.flush_interval;
-    hooks.on_special_row = [&](Index row, std::span<const engine::BusCell> cells) {
-      config.rows_area->put(sra::RowKey{row, 0, n, config.group}, cells);
-      ++result.special_rows_saved;
-    };
-    if (config.on_checkpoint) {
-      // Runs after on_special_row, so the row the checkpoint references is
-      // already durable (SRA-before-manifest write ordering).
-      hooks.after_special_row = [&](Index row, const dp::LocalBest& best) {
-        config.on_checkpoint(row, result.special_rows_saved, best);
+    if (config.sra_async) {
+      // Async flush pipeline (DESIGN.md "Stage-1 I/O overlap"): the hooks
+      // stage the row on the driver thread and the writer thread performs
+      // the put() + checkpoint ack off the compute critical path. The two
+      // hooks fire back-to-back per flush, so the stage/commit pair always
+      // pairs up; the cells are copied in on_special_row because the span
+      // dies when it returns (engine/executor.hpp).
+      writer.emplace(*config.rows_area);
+      hooks.on_special_row = [&](Index row, std::span<const engine::BusCell> cells) {
+        writer->stage(sra::RowKey{row, 0, n, config.group}, cells);
+        ++result.special_rows_saved;
       };
+      hooks.after_special_row = [&](Index row, const dp::LocalBest& best) {
+        std::function<void()> ack;
+        if (config.on_checkpoint) {
+          const Index rows_saved = result.special_rows_saved;
+          ack = [&config, row, rows_saved, best] { config.on_checkpoint(row, rows_saved, best); };
+        }
+        writer->commit(std::move(ack));
+      };
+    } else {
+      hooks.on_special_row = [&](Index row, std::span<const engine::BusCell> cells) {
+        config.rows_area->put(sra::RowKey{row, 0, n, config.group}, cells);
+        ++result.special_rows_saved;
+      };
+      if (config.on_checkpoint) {
+        // Runs after on_special_row, so the row the checkpoint references is
+        // already durable (SRA-before-manifest write ordering).
+        hooks.after_special_row = [&](Index row, const dp::LocalBest& best) {
+          config.on_checkpoint(row, result.special_rows_saved, best);
+        };
+      }
     }
   }
 
   const std::int64_t flushed_before =
       config.rows_area != nullptr ? config.rows_area->total_bytes_written() : 0;
   const engine::RunResult run = engine::run_wavefront(spec, hooks, config.pool);
+  if (writer) {
+    // Rethrows a writer-thread failure (a failed put(), or the pipeline's
+    // fault-injected checkpoint throw) and hands ownership of the rows area
+    // and the checkpoint state back to this thread.
+    writer->drain();
+    const sra::AsyncWriterStats ws = writer->stats();
+    result.stats.sra_rows_acked = ws.rows_acked;
+    result.stats.sra_flush_queue_peak = ws.queue_peak;
+    result.stats.sra_writer_busy_seconds = ws.writer_busy_seconds;
+  }
   result.end_point = Crosspoint{run.best.i, run.best.j, run.best.score, dp::CellState::kH};
   result.pruned_cells = run.stats.pruned_cells;
   result.stats.add_run(run.stats);
   if (config.rows_area != nullptr) {
     result.stats.sra_rows_flushed = result.special_rows_saved;
+    if (!config.sra_async) result.stats.sra_rows_acked = result.special_rows_saved;
     result.stats.sra_bytes_flushed = config.rows_area->total_bytes_written() - flushed_before;
   }
   result.stats.crosspoints = 1;  // L_1 = {*, C_1}.

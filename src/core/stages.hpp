@@ -44,6 +44,17 @@ struct StageStats {
   /// SRA traffic attributed to this stage (special rows or columns).
   Index sra_rows_flushed = 0, sra_rows_read = 0;
   std::int64_t sra_bytes_flushed = 0, sra_bytes_read = 0;
+  /// Flush-pipeline accounting (sra/async_writer.hpp). `sra_rows_acked`
+  /// counts durably acknowledged rows — equal to `sra_rows_flushed` at
+  /// completion in both modes (the run-report validator enforces it).
+  /// `sra_flush_wait_seconds` is the compute-side stall inside the flush
+  /// hooks: the whole write cost when synchronous, staging + backpressure
+  /// when asynchronous. The queue peak and writer-busy time are zero when
+  /// synchronous (there is no writer thread).
+  Index sra_rows_acked = 0;
+  std::size_t sra_flush_queue_peak = 0;
+  double sra_flush_wait_seconds = 0;
+  double sra_writer_busy_seconds = 0;
   /// Tiles/cells per kernel variant, accumulated over the stage's engine
   /// runs (engine/kernel_registry.hpp).
   std::array<engine::KernelTally, engine::kKernelIdCount> kernels{};
@@ -76,6 +87,7 @@ struct StageStats {
     vbus_writes += run.vbus_writes;
     hbus_bytes += run.hbus_bytes;
     vbus_bytes += run.vbus_bytes;
+    sra_flush_wait_seconds += run.special_row_wait_seconds;
     blocks_used = std::max(blocks_used, run.blocks_used);
     ram_bytes = std::max(ram_bytes, run.bus_bytes);
     add_kernels(run);
@@ -108,10 +120,22 @@ struct Stage1Config {
   Index resume_row = 0;
   std::span<const engine::BusCell> resume_hbus;
   dp::LocalBest resume_best;
+  /// Asynchronous special-row flushing (DESIGN.md "Stage-1 I/O overlap"):
+  /// stage 1 stands up a dedicated SRA writer thread (sra/async_writer.hpp)
+  /// and the flush hooks hand rows off instead of writing inline, so strip
+  /// retirement returns to compute immediately. Durable-ack ordering is
+  /// preserved — `on_checkpoint` then runs on the writer thread, strictly
+  /// after its row's CRC'd write (+ fsync) — and stage 1 drains the writer
+  /// before returning, handing exclusive ownership of everything the
+  /// callback touched back to the caller. Results are byte-identical either
+  /// way. Ignored without `rows_area`.
+  bool sra_async = false;
   /// Checkpoint hand-off: invoked right after each special row is durable in
   /// `rows_area`, with the row, the rows saved *by this run* and the merged
-  /// best-so-far covering every cell up to that row. Driver thread,
-  /// deterministic order — the pipeline turns each call into a manifest save.
+  /// best-so-far covering every cell up to that row. Deterministic
+  /// (ascending-row) order, on the flushing thread: the driver under the
+  /// synchronous path, the SRA writer thread under `sra_async` — the
+  /// pipeline turns each call into a manifest save.
   std::function<void(Index row, Index rows_saved, const dp::LocalBest& best)> on_checkpoint;
   /// Liveness: fraction of Stage-1 cells completed (long chromosome runs).
   std::function<void(double fraction)> progress;

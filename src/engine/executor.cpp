@@ -287,12 +287,17 @@ RunResult run_dataflow(const ProblemSpec& spec, const Hooks& hooks, ThreadPool* 
     }
     ++result.stats.strips;
     if (special) {
+      // Diagonal coordinate for strip retirement: the strip's last external
+      // diagonal (s + blocks - 1), matching the tile that completed it.
+      if (audit != nullptr) audit->flush_handoff(s, s + blocks - 1);
+      Timer flush_timer;
       hooks.on_special_row(r1, slot.special_row);
       // Checkpoint hand-off: the merged best here covers every tile of
       // strips <= s — a superset of rows <= r1, which is all a resume needs
       // (re-merging recomputed candidates is idempotent). The value can
       // differ from lockstep's at the same row; final results cannot.
       if (hooks.after_special_row) hooks.after_special_row(r1, result.best);
+      result.stats.special_row_wait_seconds += flush_timer.seconds();
     }
     if (hooks.on_progress) hooks.on_progress((s + 1) * blocks, total_tiles);
     return true;
@@ -676,12 +681,15 @@ RunResult run_wavefront(const ProblemSpec& spec, const Hooks& hooks, ThreadPool*
         result.stats.hbus_bytes +=
             static_cast<std::int64_t>((c1 - c0) * static_cast<Index>(sizeof(BusCell)));
         if (++row.chunks_done == blocks) {
+          if (audit != nullptr) audit->flush_handoff(s, d);
+          Timer flush_timer;
           hooks.on_special_row(r1, row.cells);
           pending_rows.erase(it);
           // Checkpoint hand-off: best-so-far here covers (at least) every
           // cell of rows <= r1 — all earlier strips have fully completed and
           // this strip just merged its last chunk.
           if (hooks.after_special_row) hooks.after_special_row(r1, result.best);
+          result.stats.special_row_wait_seconds += flush_timer.seconds();
         }
       }
     }

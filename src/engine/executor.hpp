@@ -143,6 +143,10 @@ struct Hooks {
   /// Called immediately after on_special_row returns, with the run's merged
   /// best-so-far (local mode) at that point — everything a checkpoint needs
   /// to make the flush durable progress. Driver thread, deterministic order.
+  /// The pair is invoked back-to-back per flush, but the cells span handed
+  /// to on_special_row is NOT guaranteed to outlive that call (the lockstep
+  /// executor frees the assembled row before after_special_row) — copy
+  /// inside on_special_row when deferring the write.
   std::function<void(Index row, const dp::LocalBest& best_so_far)> after_special_row;
 
   /// Column taps (ascending vertex columns in (0..n]): after each strip, the
@@ -216,6 +220,12 @@ struct RunStats {
   Index hbus_reads = 0, hbus_writes = 0;
   Index vbus_reads = 0, vbus_writes = 0;
   std::int64_t hbus_bytes = 0, vbus_bytes = 0;
+  /// Time the strip-retirement path spent inside the special-row flush hooks
+  /// (on_special_row + after_special_row, both executors): the synchronous
+  /// write cost, or the staging + backpressure cost when the flush pipeline
+  /// is asynchronous (core/stage1.cpp) — the compute-side I/O stall either
+  /// way.
+  double special_row_wait_seconds = 0;
   double seconds = 0;
   /// Tiles/cells per kernel variant (pruned tiles are not attributed).
   std::array<KernelTally, kKernelIdCount> kernels{};

@@ -1,5 +1,7 @@
 #include "obs/report.hpp"
 
+#include <algorithm>
+
 #include "common/io_util.hpp"
 #include "engine/kernel_registry.hpp"
 
@@ -56,9 +58,22 @@ Json stage_json(int stage, const core::StageStats& s) {
                        .set("bytes", s.vbus_bytes))
       .set("sra", Json::object()
                       .set("rows_flushed", static_cast<std::int64_t>(s.sra_rows_flushed))
+                      .set("rows_acked", static_cast<std::int64_t>(s.sra_rows_acked))
                       .set("rows_read", static_cast<std::int64_t>(s.sra_rows_read))
                       .set("bytes_flushed", s.sra_bytes_flushed)
-                      .set("bytes_read", s.sra_bytes_read))
+                      .set("bytes_read", s.sra_bytes_read)
+                      .set("flush_queue_peak", static_cast<std::int64_t>(s.sra_flush_queue_peak))
+                      .set("flush_wait_seconds", s.sra_flush_wait_seconds)
+                      .set("writer_busy_seconds", s.sra_writer_busy_seconds)
+                      // Fraction of flush I/O hidden behind compute: 1 when
+                      // the writer thread absorbed it all, 0 when every
+                      // second stalled the wavefront (synchronous mode).
+                      .set("overlap_ratio",
+                           s.sra_writer_busy_seconds > 0
+                               ? std::max(0.0, s.sra_writer_busy_seconds -
+                                                   s.sra_flush_wait_seconds) /
+                                     s.sra_writer_busy_seconds
+                               : 0.0))
       .set("kernels", std::move(kernels));
 }
 
@@ -281,6 +296,17 @@ std::vector<std::string> validate_run_report(const Json& report) {
           "stage 1 SRA rows_flushed (" + std::to_string(rows_flushed) + ") + restored (" +
               std::to_string(rows_restored) + ") != special_rows_saved (" +
               std::to_string(rows_saved) + ")");
+
+  // Invariant (async flush pipeline): every row Stage 1 handed to the flush
+  // path was durably written and acknowledged by stage completion — a
+  // wedged or failed writer cannot produce a clean report.
+  const Json* rows_acked = stages->as_array()[0].at("sra").find("rows_acked");
+  if (require(rows_acked != nullptr && rows_acked->is_int(),
+              "stage 1 sra block missing rows_acked")) {
+    require(rows_acked->as_int() == rows_flushed,
+            "stage 1 SRA rows_acked (" + std::to_string(rows_acked->as_int()) +
+                ") != rows_flushed (" + std::to_string(rows_flushed) + ")");
+  }
 
   // Invariant: totals.cells is the sum over the stages array.
   const std::int64_t reported_total = totals->at("cells").as_int();

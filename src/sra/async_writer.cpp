@@ -1,0 +1,122 @@
+#include "sra/async_writer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace cudalign::sra {
+
+AsyncSraWriter::AsyncSraWriter(SpecialRowsArea& area, std::size_t queue_capacity)
+    : area_(area), capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+AsyncSraWriter::~AsyncSraWriter() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  if (writer_.joinable()) writer_.join();
+}
+
+void AsyncSraWriter::stage(const RowKey& key, std::span<const engine::BusCell> cells) {
+  CUDALIGN_CHECK(!staged_.has_value(),
+                 "AsyncSraWriter::stage called twice without an intervening commit");
+  StagedRow row;
+  row.key = key;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!free_buffers_.empty()) {
+      row.cells = std::move(free_buffers_.back());
+      free_buffers_.pop_back();
+    }
+  }
+  // The copy runs outside the lock: it is the bulk of the staging cost and
+  // must not serialize against the writer's retire path.
+  row.cells.assign(cells.begin(), cells.end());
+  staged_.emplace(std::move(row));
+}
+
+void AsyncSraWriter::commit(std::function<void()> on_durable) {
+  CUDALIGN_CHECK(staged_.has_value(), "AsyncSraWriter::commit without a staged row");
+  StagedRow row = std::move(*staged_);
+  staged_.reset();
+  row.on_durable = std::move(on_durable);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (failure_ == nullptr && queue_.size() >= capacity_) {
+    Timer wait;
+    space_cv_.wait(lock, [&] { return failure_ != nullptr || queue_.size() < capacity_; });
+    stats_.submit_wait_seconds += wait.seconds();
+  }
+  ++stats_.rows_submitted;
+  if (failure_ != nullptr) {
+    // Poisoned: drop the row — nothing may be written past a failed one, and
+    // drain() will surface the failure to the submitter.
+    return;
+  }
+  queue_.push_back(std::move(row));
+  stats_.queue_peak = std::max(stats_.queue_peak, queue_.size());
+  work_cv_.notify_one();
+}
+
+void AsyncSraWriter::submit(const RowKey& key, std::span<const engine::BusCell> cells,
+                            std::function<void()> on_durable) {
+  stage(key, cells);
+  commit(std::move(on_durable));
+}
+
+void AsyncSraWriter::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return failure_ != nullptr || (queue_.empty() && !writing_); });
+  if (failure_ != nullptr) std::rethrow_exception(failure_);
+}
+
+AsyncWriterStats AsyncSraWriter::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AsyncSraWriter::writer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || failure_ != nullptr || !queue_.empty(); });
+    if (failure_ != nullptr || queue_.empty()) return;  // Poisoned, or stop + drained.
+    StagedRow row = std::move(queue_.front());
+    queue_.pop_front();
+    writing_ = true;
+    lock.unlock();
+    std::exception_ptr error;
+    Timer busy;
+    try {
+      area_.put(row.key, row.cells);
+      // Durable ack: put() has completed the CRC'd write (+ fsync protocol in
+      // durable mode), so the checkpoint cursor may now advance past this row.
+      if (row.on_durable) row.on_durable();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double busy_seconds = busy.seconds();
+    lock.lock();
+    writing_ = false;
+    stats_.writer_busy_seconds += busy_seconds;
+    if (error == nullptr) {
+      ++stats_.rows_acked;
+      row.cells.clear();
+      free_buffers_.push_back(std::move(row.cells));
+    } else {
+      failure_ = error;
+      // Preserve the cursor's prefix property: later rows must not land on
+      // disk past a failed one. Recycling is pointless now; just drop them.
+      queue_.clear();
+    }
+    space_cv_.notify_all();
+    idle_cv_.notify_all();
+    if (error != nullptr) return;
+  }
+}
+
+}  // namespace cudalign::sra

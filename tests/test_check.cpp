@@ -562,5 +562,107 @@ TEST(EngineAudit, CleanOnDegenerateGeometry) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Flush-pipeline hand-off audits: special rows must retire in ascending strip
+// order (the prefix property the checkpoint cursor's durable-ack advance
+// relies on) and only after the whole row is assembled.
+// ---------------------------------------------------------------------------
+
+TEST_F(BusAuditReplay, FlushHandoffCleanInAscendingOrder) {
+  BusAuditor auditor;
+  legal_prefix(auditor, 2);       // Strip 0 fully published.
+  auditor.flush_handoff(0, 1);    // Retires at its last external diagonal.
+  tile(auditor, 1, 0);
+  tile(auditor, 1, 1);
+  auditor.flush_handoff(1, 2);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+}
+
+TEST_F(BusAuditReplay, FlushHandoffToleratesSuccessorOverwrites) {
+  // Lockstep assembles rows from per-tile captures, so strip 1's early tiles
+  // may overwrite the hbus before strip 0's hand-off lands on the driver
+  // thread. Equal-or-newer slots are legal; only stale ones are defects.
+  BusAuditor auditor;
+  legal_prefix(auditor, 3);       // Tile (1, 0) already republished slots 1..2.
+  auditor.flush_handoff(0, 1);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+}
+
+TEST_F(BusAuditReplay, FlushHandoffOutOfOrderFlagged) {
+  BusAuditor auditor;
+  legal_prefix(auditor, 4);
+  auditor.flush_handoff(1, 2);
+  auditor.flush_handoff(0, 1);    // Regression: cursor would move backwards.
+  ASSERT_FALSE(auditor.ok());
+  const auto v = auditor.violations();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].rule, BusViolation::Rule::kFlushOutOfOrder);
+  EXPECT_EQ(v[0].prior.strip, 1);
+  EXPECT_EQ(v[0].current.strip, 0);
+  EXPECT_EQ(v[0].current.block, BusEndpoint::kFlushBlock);
+  EXPECT_NE(auditor.report().find("flush-out-of-order"), std::string::npos);
+  EXPECT_NE(auditor.report().find("flush hand-off"), std::string::npos);
+}
+
+TEST_F(BusAuditReplay, FlushHandoffRepeatedStripFlagged) {
+  BusAuditor auditor;
+  legal_prefix(auditor, 2);
+  auditor.flush_handoff(0, 1);
+  auditor.flush_handoff(0, 1);    // Double hand-off of the same special row.
+  ASSERT_FALSE(auditor.ok());
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_EQ(auditor.violations()[0].rule, BusViolation::Rule::kFlushOutOfOrder);
+}
+
+TEST_F(BusAuditReplay, FlushHandoffIncompleteRowFlagged) {
+  // Strip 1's chunk-1 tile never published, so slots 3..4 still carry the
+  // strip-0 pass: handing the row off now would flush a torn special row.
+  BusAuditor auditor;
+  legal_prefix(auditor, 3);
+  auditor.flush_handoff(1, 2);
+  ASSERT_FALSE(auditor.ok());
+  const auto v = auditor.violations();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].rule, BusViolation::Rule::kReadBeforeWrite);
+  EXPECT_TRUE(v[0].horizontal);
+  EXPECT_EQ(v[0].current.block, BusEndpoint::kFlushBlock);
+  EXPECT_EQ(v[0].prior.strip, 0);  // The stale slot's actual writer.
+}
+
+TEST_F(BusAuditReplay, FlushStateResetsAcrossRuns) {
+  BusAuditor auditor;
+  legal_prefix(auditor, 4);
+  auditor.flush_handoff(1, 2);    // Last hand-off of run one: strip 1.
+  legal_prefix(auditor, 2);       // begin_run inside: flush cursor must reset.
+  auditor.flush_handoff(0, 1);    // Strip 0 again — legal in the new run.
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+}
+
+TEST(EngineAudit, CleanWithSpecialRowFlushes) {
+  // Both executors must emit their flush hand-offs in ascending strip order
+  // with complete rows — the contract the async SRA writer builds on.
+  for (const auto kind : {engine::ExecutorKind::kLockstep, engine::ExecutorKind::kDataflow}) {
+    const auto a = rand_seq(150, 34001);
+    const auto b = rand_seq(160, 34002);
+    ProblemSpec spec;
+    spec.a = a.bases();
+    spec.b = b.bases();
+    spec.grid = audit_grid(4, 4, 2);
+    spec.recurrence = engine::Recurrence::local(scoring::Scheme::paper_defaults());
+    spec.executor = kind;
+    ThreadPool pool(4);
+    check::BusAuditor auditor;
+    Hooks hooks;
+    hooks.bus_audit = &auditor;
+    hooks.special_row_interval = 1;
+    Index flushed = 0;
+    hooks.on_special_row = [&](Index, std::span<const engine::BusCell>) { ++flushed; };
+    (void)engine::run_wavefront(spec, hooks, &pool);
+    EXPECT_TRUE(auditor.ok()) << "executor=" << static_cast<int>(kind) << "\n"
+                              << auditor.report();
+    EXPECT_GT(flushed, 0) << "case no longer exercises special rows";
+  }
+}
+
 }  // namespace
 }  // namespace cudalign

@@ -306,5 +306,44 @@ TEST(RunReport, ValidatorFlagsTampering) {
   EXPECT_FALSE(validate_run_report(Json("not an object")).empty());
 }
 
+TEST(RunReport, FlushPipelineAccountingReported) {
+  // The default pipeline runs with the async SRA writer: the stage-1 sra
+  // block must account the overlap machinery — every flushed row durably
+  // acked, a real queue high-water mark, and a bounded overlap ratio.
+  const SmallRun run = small_pipeline_run();
+  const Json report = build_run_report(context_of(run));
+  EXPECT_TRUE(validate_run_report(report).empty());
+
+  const Json& sra = report.at("stages").as_array()[0].at("sra");
+  EXPECT_EQ(sra.at("rows_acked").as_int(), sra.at("rows_flushed").as_int());
+  EXPECT_GT(sra.at("rows_acked").as_int(), 0);
+  EXPECT_GE(sra.at("flush_queue_peak").as_int(), 1);
+  EXPECT_GE(sra.at("flush_wait_seconds").as_double(), 0.0);
+  EXPECT_GE(sra.at("writer_busy_seconds").as_double(), 0.0);
+  const double overlap = sra.at("overlap_ratio").as_double();
+  EXPECT_GE(overlap, 0.0);
+  EXPECT_LE(overlap, 1.0);
+}
+
+TEST(RunReport, ValidatorFlagsFlushAckMismatch) {
+  // rows_acked != rows_flushed means a row retired without its durable ack —
+  // exactly the defect the async writer's ordering contract rules out, so the
+  // validator must reject a report that claims it.
+  const SmallRun run = small_pipeline_run();
+  const Json report = build_run_report(context_of(run));
+
+  Json stage1 = report.at("stages").as_array()[0];
+  Json sra = stage1.at("sra");
+  sra.set("rows_acked", sra.at("rows_acked").as_int() + 1);
+  stage1.set("sra", sra);
+  Json stages = Json::array();
+  stages.push(stage1);
+  const auto& original = report.at("stages").as_array();
+  for (std::size_t k = 1; k < original.size(); ++k) stages.push(original[k]);
+  Json tampered = report;
+  tampered.set("stages", stages);
+  EXPECT_FALSE(validate_run_report(tampered).empty());
+}
+
 }  // namespace
 }  // namespace cudalign::obs

@@ -2,7 +2,11 @@
 // round trips.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "common/io_util.hpp"
+#include "sra/async_writer.hpp"
 #include "sra/sra.hpp"
 
 namespace cudalign::sra {
@@ -302,6 +306,157 @@ TEST(SraDurability, DurableModeRoundTripsAndSweepsTornTmpFiles) {
   EXPECT_FALSE(std::filesystem::exists(store / "sra-99.bin.tmp"));
   ASSERT_EQ(reopened.size(), 1u);
   EXPECT_EQ(reopened.get(0), row);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous flush pipeline (sra/async_writer.hpp): rows retire in
+// submission order, acks fire only after the durable put, backpressure bounds
+// staging memory, and a failed write poisons everything behind it.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncWriter, WritesRowsDurablyInSubmissionOrder) {
+  TempDir dir;
+  SpecialRowsArea area(dir.path(), 1 << 20);
+  // Each ack snapshots area.size(); the writer thread is the area's only
+  // user until drain(), so row k's ack must observe exactly k + 1 rows.
+  std::vector<std::size_t> acked_sizes;
+  AsyncSraWriter writer(area);
+  for (Index k = 0; k < 8; ++k) {
+    writer.submit(RowKey{k + 1, 0, 63, 1}, make_row(64, static_cast<Score>(k)),
+                  [&area, &acked_sizes] { acked_sizes.push_back(area.size()); });
+  }
+  writer.drain();
+  const AsyncWriterStats st = writer.stats();
+  EXPECT_EQ(st.rows_submitted, 8);
+  EXPECT_EQ(st.rows_acked, 8);
+  EXPECT_GE(st.queue_peak, 1u);
+  EXPECT_LE(st.queue_peak, AsyncSraWriter::kDefaultQueueCapacity);
+
+  ASSERT_EQ(acked_sizes.size(), 8u);
+  for (std::size_t k = 0; k < acked_sizes.size(); ++k) EXPECT_EQ(acked_sizes[k], k + 1);
+  const auto members = area.group_members(1);
+  ASSERT_EQ(members.size(), 8u);
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    EXPECT_EQ(area.key(members[k]).position, static_cast<Index>(k + 1));
+    EXPECT_EQ(area.get(members[k]), make_row(64, static_cast<Score>(k)));
+  }
+}
+
+TEST(AsyncWriter, TwoPhaseStageCommitMatchesSynchronousStore) {
+  // stage() copies while the engine still owns the row buffer; commit() may
+  // run after the engine freed it (the lockstep hand-off). The stored bytes
+  // must match the synchronous put() path exactly.
+  TempDir dir;
+  SpecialRowsArea sync_area(dir.path() / "sync", 1 << 20);
+  SpecialRowsArea async_area(dir.path() / "async", 1 << 20);
+  {
+    AsyncSraWriter writer(async_area);
+    for (Index k = 0; k < 5; ++k) {
+      const auto row = make_row(32, static_cast<Score>(10 * k));
+      const RowKey key{(k + 1) * 8, 0, 31, 2};
+      (void)sync_area.put(key, row);
+      {
+        auto doomed = row;  // The engine's buffer: gone before commit().
+        writer.stage(key, doomed);
+        doomed.assign(doomed.size(), cell(-1, -1));
+      }
+      writer.commit({});
+    }
+    writer.drain();
+  }
+  ASSERT_EQ(async_area.size(), sync_area.size());
+  for (std::size_t idx = 0; idx < sync_area.size(); ++idx) {
+    EXPECT_EQ(async_area.key(idx).position, sync_area.key(idx).position);
+    EXPECT_EQ(async_area.get(idx), sync_area.get(idx));
+  }
+  EXPECT_EQ(async_area.used_bytes(), sync_area.used_bytes());
+}
+
+TEST(AsyncWriter, BackpressureBoundsQueueDepth) {
+  TempDir dir;
+  SpecialRowsArea area(dir.path(), 1 << 20);
+  AsyncSraWriter writer(area, 2);
+  for (Index k = 0; k < 12; ++k) {
+    // A slow ack keeps the writer busy so the submitter must block on the
+    // bounded queue instead of staging unbounded copies.
+    writer.submit(RowKey{k + 1, 0, 15, 3}, make_row(16, 0),
+                  [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); });
+  }
+  writer.drain();
+  const AsyncWriterStats st = writer.stats();
+  EXPECT_EQ(st.rows_acked, 12);
+  EXPECT_LE(st.queue_peak, 2u);
+  EXPECT_EQ(area.size(), 12u);
+}
+
+TEST(AsyncWriter, PutFailurePoisonsLaterRowsAndDrainRethrows) {
+  TempDir dir;
+  const auto row = make_row(100, 1);
+  const auto bytes = static_cast<std::int64_t>(row.size() * sizeof(engine::BusCell));
+  SpecialRowsArea area(dir.path(), 2 * bytes);  // Budget for two rows only.
+  AsyncSraWriter writer(area);
+  Index acks = 0;
+  for (Index k = 0; k < 4; ++k) {
+    writer.submit(RowKey{k + 1, 0, 99, 1}, row, [&acks] { ++acks; });
+  }
+  EXPECT_THROW(writer.drain(), Error);
+  // The prefix property: rows 1..2 are durable and acked, nothing after the
+  // failed row 3 reached the store.
+  EXPECT_EQ(area.size(), 2u);
+  EXPECT_EQ(acks, 2);
+  EXPECT_EQ(writer.stats().rows_acked, 2);
+  // A poisoned writer stays poisoned: drain keeps reporting the failure.
+  EXPECT_THROW(writer.drain(), Error);
+}
+
+TEST(AsyncWriter, AckFailurePoisonsBeforeCursorAdvance) {
+  // An ack (checkpoint save) that throws must stop the pipeline with the row
+  // on disk but unacked — the same state a crash between flush and manifest
+  // update leaves, which resume's orphan sweep already handles.
+  TempDir dir;
+  SpecialRowsArea area(dir.path(), 1 << 20);
+  AsyncSraWriter writer(area);
+  for (Index k = 0; k < 4; ++k) {
+    writer.submit(RowKey{k + 1, 0, 15, 1}, make_row(16, 0), [k] {
+      CUDALIGN_CHECK(k != 1, "injected checkpoint failure after row ", k + 1);
+    });
+  }
+  EXPECT_THROW(writer.drain(), Error);
+  EXPECT_EQ(area.size(), 2u);  // Row 2 was written; its ack then failed.
+  EXPECT_EQ(writer.stats().rows_acked, 1);
+}
+
+TEST(AsyncWriter, StageCommitContractEnforced) {
+  TempDir dir;
+  SpecialRowsArea area(dir.path(), 1 << 20);
+  AsyncSraWriter writer(area);
+  EXPECT_THROW(writer.commit({}), Error);  // Nothing staged.
+  const auto row = make_row(8, 3);
+  writer.stage(RowKey{1, 0, 7, 1}, row);
+  EXPECT_THROW(writer.stage(RowKey{2, 0, 7, 1}, row), Error);  // Double stage.
+  writer.commit({});
+  writer.drain();
+  EXPECT_EQ(area.size(), 1u);
+}
+
+TEST(AsyncWriter, DestructorFlushesPendingRows) {
+  // An engine that never calls drain() (e.g. during stack unwinding) must
+  // still leave every committed row durable: the destructor drains first.
+  TempDir dir;
+  SpecialRowsArea area(dir.path(), 1 << 20);
+  {
+    AsyncSraWriter writer(area);
+    for (Index k = 0; k < 6; ++k) {
+      writer.submit(RowKey{k + 1, 0, 15, 1}, make_row(16, static_cast<Score>(k)));
+    }
+    // A staged-but-never-committed row is simply dropped — the engine owns
+    // the decision to commit, and destruction must not invent a write.
+    writer.stage(RowKey{99, 0, 15, 1}, make_row(16, 9));
+  }
+  EXPECT_EQ(area.size(), 6u);
+  for (std::size_t idx = 0; idx < area.size(); ++idx) {
+    EXPECT_EQ(area.key(idx).position, static_cast<Index>(idx + 1));
+  }
 }
 
 }  // namespace

@@ -101,12 +101,15 @@ int compare(const std::vector<RunMetrics>& fresh, const std::vector<RunMetrics>&
         base.gcups > 0.0 ? (now->gcups / base.gcups - 1.0) * 100.0 : 0.0;
     if (now->gcups < floor) {
       std::fprintf(stderr,
-                   "bench_gate: FAIL [%s] %.4f gcups vs baseline %.4f (%+.1f%%, floor -%.0f%%)\n",
-                   base.label.c_str(), now->gcups, base.gcups, delta_pct, tolerance_pct);
+                   "bench_gate: FAIL [%s] %.4f gcups vs baseline %.4f (%+.1f%%, floor %.4f)\n",
+                   base.label.c_str(), now->gcups, base.gcups, delta_pct, floor);
       ++failures;
     } else {
-      std::printf("bench_gate: ok   [%s] %.4f gcups vs baseline %.4f (%+.1f%%)\n",
-                  base.label.c_str(), now->gcups, base.gcups, delta_pct);
+      // The passing line carries the same fields as the failing one (delta
+      // AND floor), so two CI runs' gate outputs diff cleanly label by label
+      // and a slow drift toward the floor is visible long before it trips.
+      std::printf("bench_gate: ok   [%s] %.4f gcups vs baseline %.4f (%+.1f%%, floor %.4f)\n",
+                  base.label.c_str(), now->gcups, base.gcups, delta_pct, floor);
     }
   }
   for (const RunMetrics& now : fresh) {
@@ -272,7 +275,8 @@ int main(int argc, char** argv) {
                    tolerance);
       return 1;
     }
-    std::printf("bench_gate: gate passed (tolerance -%.0f%%)\n", tolerance);
+    std::printf("bench_gate: gate passed (%zu label(s), %zu sample(s), tolerance -%.0f%%)\n",
+                fresh.size(), samples.size(), tolerance);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_gate: error: %s\n", e.what());
